@@ -1,0 +1,124 @@
+// Copyright 2026 The ccr Authors.
+//
+// CHECKER: cost of the formal machinery — the dynamic-atomicity and
+// serializability checkers vs history size, the commutativity analyzer, and
+// the looks-like probe. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "adt/bank_account.h"
+#include "adt/registry.h"
+#include "core/atomicity.h"
+#include "core/counterexample.h"
+#include "core/ideal_object.h"
+#include "sim/generator.h"
+
+namespace ccr {
+namespace {
+
+// A dynamic-atomic history with `num_txns` transactions through the
+// UIP+NRBC reference object.
+History MakeHistory(size_t num_txns, uint64_t seed) {
+  auto ba = MakeBankAccount();
+  IdealObject obj("BA", std::shared_ptr<const SpecAutomaton>(ba, &ba->spec()),
+                  MakeUipView(), MakeNrbcConflict(ba));
+  Random rng(seed);
+  ScheduleOptions options;
+  options.num_txns = num_txns;
+  options.max_steps = num_txns * 40;
+  options.leave_active_prob = 0.0;
+  return GenerateSchedule(&obj, UniverseInvocations(*ba), &rng, options);
+}
+
+SpecMap BankSpecs() {
+  auto ba = MakeBankAccount();
+  return {{"BA", std::shared_ptr<const SpecAutomaton>(ba, &ba->spec())}};
+}
+
+void BM_CheckDynamicAtomic(benchmark::State& state) {
+  const History h = MakeHistory(static_cast<size_t>(state.range(0)), 7);
+  const SpecMap specs = BankSpecs();
+  for (auto _ : state) {
+    DynamicAtomicityResult r = CheckDynamicAtomic(h, specs);
+    benchmark::DoNotOptimize(r.dynamic_atomic);
+  }
+  state.SetLabel(std::to_string(h.size()) + " events");
+}
+BENCHMARK(BM_CheckDynamicAtomic)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CheckSerializable(benchmark::State& state) {
+  const History h =
+      MakeHistory(static_cast<size_t>(state.range(0)), 11).Permanent();
+  const SpecMap specs = BankSpecs();
+  for (auto _ : state) {
+    SerializabilityResult r = CheckSerializable(h, specs);
+    benchmark::DoNotOptimize(r.serializable);
+  }
+}
+BENCHMARK(BM_CheckSerializable)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OnlineDynamicAtomic(benchmark::State& state) {
+  const History h = MakeHistory(static_cast<size_t>(state.range(0)), 13);
+  const SpecMap specs = BankSpecs();
+  for (auto _ : state) {
+    DynamicAtomicityResult r = CheckOnlineDynamicAtomic(h, specs);
+    benchmark::DoNotOptimize(r.dynamic_atomic);
+  }
+}
+BENCHMARK(BM_OnlineDynamicAtomic)->Arg(4)->Arg(8);
+
+void BM_AnalyzerFcTable(benchmark::State& state) {
+  const auto adts = AllAdts();
+  const auto& adt = adts[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    CommutativityAnalyzer analyzer(&adt->spec(), adt->Universe(),
+                                   AnalysisOptionsFor(*adt));
+    RelationTable t = analyzer.ComputeFcTable();
+    benchmark::DoNotOptimize(t.related.size());
+  }
+  state.SetLabel(adt->name());
+}
+BENCHMARK(BM_AnalyzerFcTable)->DenseRange(0, 7);
+
+void BM_AnalyzerRbcTable(benchmark::State& state) {
+  const auto adts = AllAdts();
+  const auto& adt = adts[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    CommutativityAnalyzer analyzer(&adt->spec(), adt->Universe(),
+                                   AnalysisOptionsFor(*adt));
+    RelationTable t = analyzer.ComputeRbcTable();
+    benchmark::DoNotOptimize(t.related.size());
+  }
+  state.SetLabel(adt->name());
+}
+BENCHMARK(BM_AnalyzerRbcTable)->DenseRange(0, 7);
+
+void BM_TheoremWitnessSearch(benchmark::State& state) {
+  auto ba = MakeBankAccount();
+  for (auto _ : state) {
+    CommutativityAnalyzer analyzer(&ba->spec(), ba->Universe(),
+                                   AnalysisOptionsFor(*ba));
+    auto witness =
+        analyzer.FindRbcViolation(ba->WithdrawOk(1), ba->Deposit(1));
+    benchmark::DoNotOptimize(witness.has_value());
+  }
+}
+BENCHMARK(BM_TheoremWitnessSearch);
+
+void BM_ReplayThroughIdealObject(benchmark::State& state) {
+  auto ba = MakeBankAccount();
+  const History h = MakeHistory(static_cast<size_t>(state.range(0)), 17);
+  for (auto _ : state) {
+    IdealObject obj("BA",
+                    std::shared_ptr<const SpecAutomaton>(ba, &ba->spec()),
+                    MakeUipView(), MakeNrbcConflict(ba));
+    Status s = ReplayHistory(&obj, h);
+    benchmark::DoNotOptimize(s.ok());
+  }
+}
+BENCHMARK(BM_ReplayThroughIdealObject)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace ccr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Copyright 2026 The ccr Authors.
+//
+// PERF-HOTSPOT: the introduction's "hot spot" motivation. A single hot
+// counter object takes increment-only transactions from a growing number of
+// threads. Increments commute under every type-specific relation, so
+// UIP+NRBC / UIP+symNRBC / DU+NFC admit full concurrency; classical
+// read/write locking serializes every update and stays flat.
+
+#include <cstdio>
+
+#include "adt/counter.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "sim/driver.h"
+
+namespace ccr {
+namespace {
+
+constexpr int kTxnsPerThread = 150;
+// Lock-hold time per operation (see bench_util.h: HoldLockWork).
+constexpr std::chrono::microseconds kWorkPerOp{200};
+
+double RunHotspot(bench::EngineConfig config, int threads) {
+  auto ctr = MakeCounter("HOT");
+  TxnManagerOptions options;
+  options.record_history = false;
+  options.lock_timeout = std::chrono::milliseconds(2000);
+  TxnManager manager(options);
+  manager.AddObject("HOT", ctr, bench::ConflictFor(config, ctr),
+                    bench::RecoveryFor(config, ctr));
+
+  DriverOptions driver_options;
+  driver_options.threads = threads;
+  driver_options.txns_per_thread = kTxnsPerThread;
+  DriverResult result = RunWorkload(
+      &manager,
+      [&](TxnManager* mgr, Transaction* txn, Random* rng) {
+        StatusOr<Value> r =
+            mgr->Execute(txn, ctr->IncInv(rng->UniformRange(1, 3)));
+        if (!r.ok()) return r.status();
+        bench::HoldLockWork(kWorkPerOp);  // hold time on the op lock
+        return Status::OK();
+      },
+      driver_options);
+  return result.throughput;
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  std::printf(
+      "PERF-HOTSPOT: increment-only hot counter, throughput (txn/s) vs "
+      "threads\n%d txns/thread\n\n",
+      kTxnsPerThread);
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<std::string> header{"config"};
+  for (int t : thread_counts) header.push_back(StrFormat("%dthr", t));
+  TablePrinter table(header);
+  for (bench::EngineConfig config : bench::AllEngineConfigs()) {
+    std::vector<std::string> row{bench::EngineConfigName(config)};
+    for (int t : thread_counts) {
+      row.push_back(StrFormat("%.0f", RunHotspot(config, t)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape to check: the three commutativity-based configurations keep\n"
+      "scaling (increments never conflict); 2PL-RW flattens immediately\n"
+      "because every increment takes a write lock on the hot object.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Copyright 2026 The ccr Authors.
+//
+// MOD: local atomicity composes (Theorem 2 of the paper's framework).
+// Systems mixing different recovery methods and conflict relations per
+// object — UIP+NRBC at one, DU+NFC at another, classical 2PL at a third —
+// still produce only atomic global histories, because dynamic atomicity is
+// a local property. Mis-pairing recovery and conflicts at even one object
+// (DU with NRBC) breaks the system, demonstrating that the recovery method
+// is not a swappable implementation detail.
+
+#include <cstdio>
+
+#include "adt/bank_account.h"
+#include "adt/int_set.h"
+#include "adt/semiqueue.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/atomicity.h"
+#include "sim/multi_generator.h"
+
+namespace ccr {
+namespace {
+
+constexpr int kRounds = 60;
+
+struct Row {
+  std::string label;
+  int rounds = 0;
+  int dynamic_atomic = 0;
+};
+
+Row RunSystem(const std::string& label, bool mispair) {
+  auto ba = MakeBankAccount("BA");
+  auto set = MakeIntSet("SET");
+  auto sq = MakeSemiqueue("SQ");
+  SpecMap specs{
+      {"BA", std::shared_ptr<const SpecAutomaton>(ba, &ba->spec())},
+      {"SET", std::shared_ptr<const SpecAutomaton>(set, &set->spec())},
+      {"SQ", std::shared_ptr<const SpecAutomaton>(sq, &sq->spec())}};
+
+  Row row;
+  row.label = label;
+  for (int round = 0; round < kRounds; ++round) {
+    Random rng(round * 7 + 1);
+    // BA: mispaired runs DU with NRBC (wrong); sound runs UIP with NRBC.
+    IdealObject ba_obj("BA",
+                       std::shared_ptr<const SpecAutomaton>(ba, &ba->spec()),
+                       mispair ? MakeDuView() : MakeUipView(),
+                       MakeNrbcConflict(ba));
+    IdealObject set_obj(
+        "SET", std::shared_ptr<const SpecAutomaton>(set, &set->spec()),
+        MakeDuView(), MakeNfcConflict(set));
+    IdealObject sq_obj("SQ",
+                       std::shared_ptr<const SpecAutomaton>(sq, &sq->spec()),
+                       MakeUipView(), MakeReadWriteConflict(sq));
+    ScheduleOptions options;
+    options.num_txns = 6;
+    options.max_ops_per_txn = 4;
+    options.abort_prob = 0.1;
+    History h = GenerateMultiSchedule({{&ba_obj, UniverseInvocations(*ba)},
+                                       {&set_obj, UniverseInvocations(*set)},
+                                       {&sq_obj, UniverseInvocations(*sq)}},
+                                      &rng, options);
+    ++row.rounds;
+    if (CheckOnlineDynamicAtomic(h, specs).dynamic_atomic) {
+      ++row.dynamic_atomic;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  std::printf(
+      "MOD: heterogeneous per-object algorithms compose (local atomicity)\n"
+      "System: BA, SET (DU+NFC), SQ (UIP+RW); %d random multi-object "
+      "schedules each.\n\n",
+      kRounds);
+  TablePrinter table({"system", "schedules", "dynamic-atomic"});
+  Row sound = RunSystem("BA=UIP+NRBC | SET=DU+NFC | SQ=UIP+RW", false);
+  Row broken = RunSystem("BA=DU+NRBC(mispaired) | rest sound", true);
+  table.AddRow({sound.label, StrFormat("%d", sound.rounds),
+                StrFormat("%d", sound.dynamic_atomic)});
+  table.AddRow({broken.label, StrFormat("%d", broken.rounds),
+                StrFormat("%d", broken.dynamic_atomic)});
+  std::printf("%s\n", table.ToString().c_str());
+  const bool ok = sound.dynamic_atomic == sound.rounds &&
+                  broken.dynamic_atomic < broken.rounds;
+  std::printf(
+      "Shape: the sound mix is perfect (%d/%d); the mispaired system leaks "
+      "non-atomic\nschedules (%d/%d) — recovery methods are not "
+      "interchangeable under a fixed\nconflict relation, the paper's core "
+      "claim.\n",
+      sound.dynamic_atomic, sound.rounds, broken.dynamic_atomic,
+      broken.rounds);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,152 @@
+// Copyright 2026 The ccr Authors.
+//
+// OCC: optimistic vs pessimistic concurrency control on a hot object, under
+// a swept conflict density. Both use the same NFC relation — pessimism
+// spends it on lock waits, optimism on validation aborts + retries. The
+// workload knob: the fraction of operations that are successful withdrawals
+// (mutually conflicting under NFC) vs deposits (mutually commuting).
+//
+// Shape: at low conflict density OCC matches locking with zero aborts; as
+// density rises OCC burns work on validation failures while locking
+// degrades more gracefully — the classical trade-off, with commutativity
+// setting the conflict density for both.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "adt/bank_account.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "txn/du_recovery.h"
+#include "txn/occ.h"
+#include "txn/txn_manager.h"
+
+namespace ccr {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kTxnsPerThread = 150;
+constexpr std::chrono::microseconds kWorkPerOp{200};
+
+struct Row {
+  double throughput = 0;
+  uint64_t wasted = 0;  // validation failures (OCC) or lock retries
+};
+
+Row RunOcc(double withdraw_fraction) {
+  auto ba = MakeBankAccount("HOT");
+  OptimisticObject obj("HOT", ba, MakeNfcConflict(ba));
+  // Seed funds.
+  CCR_CHECK(obj.Execute(1, ba->DepositInv(1000000)).ok());
+  CCR_CHECK(obj.Commit(1).ok());
+
+  std::atomic<TxnId> next{2};
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(7000 + w);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+          const TxnId txn = next.fetch_add(1);
+          const int64_t amount = rng.UniformRange(1, 10);
+          const Invocation inv = rng.Bernoulli(withdraw_fraction)
+                                     ? ba->WithdrawInv(amount)
+                                     : ba->DepositInv(amount);
+          StatusOr<Value> r = obj.Execute(txn, inv);
+          CCR_CHECK(r.ok());
+          bench::HoldLockWork(kWorkPerOp);
+          if (obj.Commit(txn).ok()) break;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  Row row;
+  row.throughput = kThreads * kTxnsPerThread / seconds;
+  row.wasted = obj.stats().validation_failures;
+  return row;
+}
+
+Row RunLocking(double withdraw_fraction) {
+  auto ba = MakeBankAccount("HOT");
+  TxnManagerOptions options;
+  options.record_history = false;
+  options.lock_timeout = std::chrono::milliseconds(2000);
+  TxnManager manager(options);
+  manager.AddObject("HOT", ba, MakeNfcConflict(ba),
+                    std::make_unique<DuRecovery>(ba));
+  CCR_CHECK(manager
+                .RunTransaction([&](Transaction* txn) {
+                  return manager.Execute(txn, ba->DepositInv(1000000))
+                      .status();
+                })
+                .ok());
+
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(7000 + w);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+          const int64_t amount = rng.UniformRange(1, 10);
+          const Invocation inv = rng.Bernoulli(withdraw_fraction)
+                                     ? ba->WithdrawInv(amount)
+                                     : ba->DepositInv(amount);
+          StatusOr<Value> r = manager.Execute(txn, inv);
+          if (!r.ok()) return r.status();
+          bench::HoldLockWork(kWorkPerOp);
+          return Status::OK();
+        });
+        CCR_CHECK(s.ok());
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  Row row;
+  row.throughput = kThreads * kTxnsPerThread / seconds;
+  row.wasted = manager.stats().retries;
+  return row;
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  std::printf(
+      "OCC: optimistic (backward validation) vs pessimistic (locking), both "
+      "NFC-based,\non one hot account; %d threads, %d txns/thread, %lldus "
+      "hold per op.\n\n",
+      kThreads, kTxnsPerThread,
+      static_cast<long long>(kWorkPerOp.count()));
+  TablePrinter table({"withdraw%", "OCC txn/s", "OCC validation-aborts",
+                      "Lock txn/s", "Lock retries"});
+  for (double wd : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    Row occ = RunOcc(wd);
+    Row lock = RunLocking(wd);
+    table.AddRow({StrFormat("%.0f%%", wd * 100),
+                  StrFormat("%.0f", occ.throughput),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        occ.wasted)),
+                  StrFormat("%.0f", lock.throughput),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        lock.wasted))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape: at 0%% withdrawals (all-commuting) both run at full "
+      "concurrency with no\nwasted work; as the conflicting fraction grows, "
+      "OCC's validation aborts climb\nwhile locking converts the same NFC "
+      "conflicts into waits.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Copyright 2026 The ccr Authors.
+
+#include "bench_util.h"
+
+#include "common/string_util.h"
+
+namespace ccr {
+namespace bench {
+
+std::string AggregatedTable::ToString(const std::string& marker) const {
+  std::vector<std::string> header{""};
+  for (const std::string& kind : kinds) header.push_back(kind);
+  TablePrinter printer(std::move(header));
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    std::vector<std::string> row{kinds[i]};
+    for (size_t j = 0; j < kinds.size(); ++j) {
+      row.push_back(non_commuting[i][j] ? marker : ".");
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+std::string OperationKind(const Operation& op,
+                          const std::vector<Operation>& universe) {
+  // Results distinguish kinds only when the same invocation name appears
+  // with multiple non-numeric results in the universe (withdraw ok/no,
+  // member true/false). Numeric results (balance, size, ...) are argument
+  // positions, not kinds.
+  bool multi_result = false;
+  for (const Operation& other : universe) {
+    if (other.name() == op.name() && other.result() != op.result() &&
+        !other.result().is_int()) {
+      multi_result = true;
+      break;
+    }
+  }
+  if (multi_result && !op.result().is_int()) {
+    return op.name() + "/" + op.result().ToString();
+  }
+  return op.name();
+}
+
+}  // namespace bench
+}  // namespace ccr

@@ -1,0 +1,77 @@
+// Copyright 2026 The ccr Authors.
+//
+// ZIPF: contention skew over a bank of counters. With uniform access,
+// classical read/write locking hardly ever collides on 16 objects; as
+// Zipfian skew concentrates traffic onto a few hot counters, RW locking
+// collapses toward serialized hot-object access while the
+// commutativity-based relations are unaffected (increments of the same
+// counter never conflict). Skew is exactly where type-specific concurrency
+// control pays — the paper's hot-spot motivation, measured.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "sim/workload.h"
+
+namespace ccr {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kTxnsPerThread = 150;
+
+double RunCell(bench::EngineConfig config, double theta) {
+  TxnManagerOptions options;
+  options.record_history = false;
+  options.lock_timeout = std::chrono::milliseconds(2000);
+  TxnManager manager(options);
+
+  CounterWorkloadSpec spec;
+  spec.num_objects = 16;
+  spec.zipf_theta = theta;
+  spec.ops_per_txn = 2;
+  spec.inc_weight = 1.0;
+  spec.read_weight = 0.0;
+  CounterWorkload workload(
+      &manager, spec,
+      [config](std::shared_ptr<Counter> ctr) {
+        return bench::ConflictFor(config, ctr);
+      },
+      [config](std::shared_ptr<Counter> ctr) {
+        return bench::RecoveryFor(config, ctr);
+      });
+
+  DriverOptions driver_options;
+  driver_options.threads = kThreads;
+  driver_options.txns_per_thread = kTxnsPerThread;
+  return RunWorkload(&manager, workload.Body(), driver_options).throughput;
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  std::printf(
+      "ZIPF: throughput (txn/s) vs access skew over 16 counters\n"
+      "%d threads, %d txns/thread, increment-only mix, 200us "
+      "hold per op\n\n",
+      kThreads, kTxnsPerThread);
+  const std::vector<double> thetas = {0.0, 0.9, 1.5};
+  std::vector<std::string> header{"config"};
+  for (double t : thetas) header.push_back(StrFormat("theta=%.1f", t));
+  TablePrinter table(header);
+  for (bench::EngineConfig config : bench::AllEngineConfigs()) {
+    std::vector<std::string> row{bench::EngineConfigName(config)};
+    for (double t : thetas) {
+      row.push_back(StrFormat("%.0f", RunCell(config, t)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape: all configs comparable at theta=0 (collisions rare on 16\n"
+      "objects); as skew rises, 2PL-RW falls toward hot-object serial rate\n"
+      "while the commutativity-based configs hold steady.\n");
+  return 0;
+}

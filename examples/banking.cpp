@@ -1,0 +1,149 @@
+// Copyright 2026 The ccr Authors.
+//
+// Banking: a multi-teller branch. Four teller threads run deposits,
+// withdrawals, and transfers against a set of accounts with one "payroll"
+// hot spot. Demonstrates: multi-object transactions, hot-spot concurrency
+// under NRBC locking, deadlock resolution across objects, and the final
+// conservation audit.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "adt/bank_account.h"
+#include "common/random.h"
+#include "core/atomicity.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+using namespace ccr;
+
+namespace {
+
+constexpr int kAccounts = 4;
+constexpr int kTellers = 4;
+constexpr int kTxnsPerTeller = 120;
+
+std::string AccountName(int i) {
+  return i == 0 ? "PAYROLL" : "ACCT" + std::to_string(i);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ccr banking demo: %d tellers, %d accounts (one hot)\n\n",
+              kTellers, kAccounts);
+
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(2000);
+  options.policy = DeadlockPolicy::kDetect;
+  TxnManager manager(options);
+
+  std::vector<std::shared_ptr<BankAccount>> accounts;
+  for (int i = 0; i < kAccounts; ++i) {
+    auto ba = MakeBankAccount(AccountName(i));
+    accounts.push_back(ba);
+    manager.AddObject(AccountName(i), ba, MakeNrbcConflict(ba),
+                      std::make_unique<UipRecovery>(ba));
+  }
+
+  // Seed every account.
+  for (int i = 0; i < kAccounts; ++i) {
+    Status s = manager.RunTransaction([&](Transaction* txn) {
+      return manager.Execute(txn, accounts[i]->DepositInv(10000)).status();
+    });
+    CCR_CHECK(s.ok());
+  }
+  const int64_t total_seed = 10000LL * kAccounts;
+
+  std::atomic<int64_t> net_external{0};  // deposits − successful withdrawals
+  std::atomic<uint64_t> transfers{0};
+
+  std::vector<std::thread> tellers;
+  for (int w = 0; w < kTellers; ++w) {
+    tellers.emplace_back([&, w] {
+      Random rng(900 + w);
+      for (int i = 0; i < kTxnsPerTeller; ++i) {
+        const double kind = rng.NextDouble();
+        int64_t delta = 0;
+        Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+          delta = 0;
+          if (kind < 0.4) {
+            // Payroll deposit into the hot account.
+            const int64_t amount = rng.UniformRange(1, 50);
+            StatusOr<Value> r =
+                manager.Execute(txn, accounts[0]->DepositInv(amount));
+            if (!r.ok()) return r.status();
+            delta = amount;
+          } else if (kind < 0.7) {
+            // Withdrawal from a random account.
+            auto& acct = accounts[rng.Uniform(kAccounts)];
+            const int64_t amount = rng.UniformRange(1, 80);
+            StatusOr<Value> r =
+                manager.Execute(txn, acct->WithdrawInv(amount));
+            if (!r.ok()) return r.status();
+            if (r->AsString() == "ok") delta = -amount;
+          } else {
+            // Transfer between two distinct accounts.
+            const size_t from = rng.Uniform(kAccounts);
+            const size_t to = (from + 1 + rng.Uniform(kAccounts - 1)) %
+                              kAccounts;
+            const int64_t amount = rng.UniformRange(1, 40);
+            StatusOr<Value> r =
+                manager.Execute(txn, accounts[from]->WithdrawInv(amount));
+            if (!r.ok()) return r.status();
+            if (r->AsString() != "ok") return Status::OK();  // no funds
+            r = manager.Execute(txn, accounts[to]->DepositInv(amount));
+            if (!r.ok()) return r.status();
+            transfers.fetch_add(1);
+          }
+          return Status::OK();
+        });
+        if (s.ok()) net_external.fetch_add(delta);
+      }
+    });
+  }
+  for (auto& t : tellers) t.join();
+
+  // Conservation audit: sum of committed balances == seed + net external.
+  int64_t total = 0;
+  for (int i = 0; i < kAccounts; ++i) {
+    const int64_t balance = TypedSpecAutomaton<Int64State>::Unwrap(
+                                *manager.object(AccountName(i))
+                                     ->CommittedState())
+                                .v;
+    std::printf("%-8s balance: %lld\n", AccountName(i).c_str(),
+                static_cast<long long>(balance));
+    total += balance;
+  }
+  const int64_t expected = total_seed + net_external.load();
+  std::printf("\ntotal: %lld, expected: %lld -> %s\n",
+              static_cast<long long>(total),
+              static_cast<long long>(expected),
+              total == expected ? "conserved" : "LOST MONEY (bug)");
+
+  const ManagerStats stats = manager.stats();
+  std::printf(
+      "transactions: %llu committed, %llu aborted, %llu retries, "
+      "%llu deadlock kills, %llu transfers\n",
+      static_cast<unsigned long long>(stats.committed),
+      static_cast<unsigned long long>(stats.aborted),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.kills),
+      static_cast<unsigned long long>(transfers.load()));
+
+  // Formal audit of the full multi-object history.
+  SpecMap specs;
+  for (int i = 0; i < kAccounts; ++i) {
+    specs[AccountName(i)] = std::shared_ptr<const SpecAutomaton>(
+        accounts[i], &accounts[i]->spec());
+  }
+  DynamicAtomicityResult audit =
+      CheckDynamicAtomic(manager.SnapshotHistory(), specs);
+  std::printf("recorded history dynamic atomic: %s\n",
+              audit.dynamic_atomic ? "yes"
+              : audit.exhausted    ? "checker exhausted"
+                                   : "NO (bug)");
+  return total == expected && audit.dynamic_atomic ? 0 : 1;
+}

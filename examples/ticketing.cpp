@@ -1,0 +1,143 @@
+// Copyright 2026 The ccr Authors.
+//
+// Ticketing: a box office selling seats from a nondeterministic pool. The
+// Semiqueue hands each buyer *some* available seat (the paper's
+// nondeterministic-operations case), a Counter tracks revenue, and a FIFO
+// queue drives a strictly-ordered waitlist. Buyers race; some payments fail
+// and the whole reservation aborts — the seat silently returns to the pool.
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "adt/counter.h"
+#include "adt/fifo_queue.h"
+#include "adt/semiqueue.h"
+#include "common/random.h"
+#include "core/atomicity.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+using namespace ccr;
+
+namespace {
+
+constexpr int kSeats = 24;
+constexpr int kBuyers = 4;
+constexpr int64_t kPrice = 35;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ccr ticketing demo: %d seats, %d concurrent buyers, price %lld\n"
+      "(seat pool = nondeterministic semiqueue; revenue = counter;\n"
+      " waitlist = FIFO queue)\n\n",
+      kSeats, kBuyers, static_cast<long long>(kPrice));
+
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(3000);
+  TxnManager manager(options);
+
+  auto pool = MakeSemiqueue("SEATS");
+  auto revenue = MakeCounter("REVENUE");
+  auto waitlist = MakeFifoQueue("WAITLIST");
+  manager.AddObject("SEATS", pool, MakeNrbcConflict(pool),
+                    std::make_unique<UipRecovery>(pool));
+  manager.AddObject("REVENUE", revenue, MakeNrbcConflict(revenue),
+                    std::make_unique<UipRecovery>(revenue));
+  manager.AddObject("WAITLIST", waitlist, MakeNrbcConflict(waitlist),
+                    std::make_unique<UipRecovery>(waitlist));
+
+  // Release all seats.
+  Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+    for (int seat = 1; seat <= kSeats; ++seat) {
+      Status r = manager.Execute(txn, pool->EnqInv(seat)).status();
+      if (!r.ok()) return r;
+    }
+    return Status::OK();
+  });
+  CCR_CHECK(s.ok());
+
+  std::mutex mu;
+  std::set<int64_t> sold;
+  std::atomic<int> payment_failures{0};
+  std::atomic<int> waitlisted{0};
+
+  std::vector<std::thread> buyers;
+  for (int w = 0; w < kBuyers; ++w) {
+    buyers.emplace_back([&, w] {
+      Random rng(42 + w);
+      // Each buyer attempts kSeats/kBuyers purchases plus a few extra that
+      // land on the waitlist once the pool is empty.
+      for (int i = 0; i < kSeats / kBuyers + 2; ++i) {
+        int64_t seat = 0;
+        Status status =
+            manager.RunTransaction([&](Transaction* txn) -> Status {
+              // Grab some seat; on an empty pool this would block, so check
+              // the count first and join the waitlist instead.
+              StatusOr<Value> count =
+                  manager.Execute(txn, pool->CountInv());
+              if (!count.ok()) return count.status();
+              if (count->AsInt() == 0) {
+                Status wl = manager
+                                .Execute(txn, waitlist->EnqInv(
+                                                  1000 + w * 100 + i))
+                                .status();
+                if (wl.ok()) waitlisted.fetch_add(1);
+                return wl;
+              }
+              StatusOr<Value> r = manager.Execute(txn, pool->DeqInv());
+              if (!r.ok()) return r.status();
+              seat = r->AsInt();
+              // Charge the card; 15% of payments fail and the whole
+              // reservation aborts (the seat goes back to the pool).
+              if (rng.Bernoulli(0.15)) {
+                payment_failures.fetch_add(1);
+                return Status::Aborted("payment declined");
+              }
+              return manager.Execute(txn, revenue->IncInv(kPrice)).status();
+            });
+        if (status.ok() && seat != 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          CCR_CHECK_MSG(sold.insert(seat).second,
+                        "seat %lld sold twice!",
+                        static_cast<long long>(seat));
+        }
+      }
+    });
+  }
+  for (auto& t : buyers) t.join();
+
+  const int64_t revenue_total =
+      TypedSpecAutomaton<Int64State>::Unwrap(
+          *manager.object("REVENUE")->CommittedState())
+          .v;
+  std::printf("seats sold: %zu (each exactly once)\n", sold.size());
+  std::printf("revenue: %lld (expected %lld)\n",
+              static_cast<long long>(revenue_total),
+              static_cast<long long>(kPrice * sold.size()));
+  std::printf("payment failures (seat auto-returned): %d\n",
+              payment_failures.load());
+  std::printf("waitlisted requests: %d\n", waitlisted.load());
+
+  SpecMap specs{
+      {"SEATS", std::shared_ptr<const SpecAutomaton>(pool, &pool->spec())},
+      {"REVENUE",
+       std::shared_ptr<const SpecAutomaton>(revenue, &revenue->spec())},
+      {"WAITLIST",
+       std::shared_ptr<const SpecAutomaton>(waitlist, &waitlist->spec())}};
+  DynamicAtomicityResult audit =
+      CheckDynamicAtomic(manager.SnapshotHistory(), specs);
+  std::printf("recorded history dynamic atomic: %s\n",
+              audit.dynamic_atomic ? "yes"
+              : audit.exhausted    ? "checker exhausted"
+                                   : "NO (bug)");
+  const bool ok = revenue_total ==
+                      static_cast<int64_t>(kPrice * sold.size()) &&
+                  audit.dynamic_atomic;
+  return ok ? 0 : 1;
+}

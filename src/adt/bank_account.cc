@@ -1,0 +1,225 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/bank_account.h"
+
+#include "common/macros.h"
+
+namespace ccr {
+
+namespace {
+
+// Result constants shared by the operation factories and the spec.
+const char kOk[] = "ok";
+const char kNo[] = "no";
+
+bool IsOk(const Operation& op) {
+  return op.result().is_string() && op.result().AsString() == kOk;
+}
+
+}  // namespace
+
+std::vector<std::pair<Value, Int64State>> BankAccountSpec::TypedOutcomes(
+    const Int64State& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, Int64State>> out;
+  switch (inv.code()) {
+    case BankAccount::kDeposit: {
+      const int64_t amount = inv.arg(0).AsInt();
+      if (amount > 0) {
+        out.emplace_back(Value(kOk), Int64State{state.v + amount});
+      }
+      break;
+    }
+    case BankAccount::kWithdraw: {
+      const int64_t amount = inv.arg(0).AsInt();
+      if (amount > 0) {
+        if (state.v >= amount) {
+          out.emplace_back(Value(kOk), Int64State{state.v - amount});
+        } else {
+          out.emplace_back(Value(kNo), state);
+        }
+      }
+      break;
+    }
+    case BankAccount::kBalance:
+      out.emplace_back(Value(state.v), state);
+      break;
+    default:
+      break;  // unknown invocation: disabled
+  }
+  return out;
+}
+
+BankAccount::BankAccount(std::string object_name)
+    : object_name_(std::move(object_name)), spec_(object_name_) {}
+
+Invocation BankAccount::DepositInv(int64_t amount) const {
+  return Invocation(object_name_, kDeposit, "deposit",
+                    {Value(amount)});
+}
+
+Invocation BankAccount::WithdrawInv(int64_t amount) const {
+  return Invocation(object_name_, kWithdraw, "withdraw",
+                    {Value(amount)});
+}
+
+Invocation BankAccount::BalanceInv() const {
+  return Invocation(object_name_, kBalance, "balance", {});
+}
+
+Operation BankAccount::Deposit(int64_t amount) const {
+  return Operation(DepositInv(amount), Value(kOk));
+}
+
+Operation BankAccount::WithdrawOk(int64_t amount) const {
+  return Operation(WithdrawInv(amount), Value(kOk));
+}
+
+Operation BankAccount::WithdrawNo(int64_t amount) const {
+  return Operation(WithdrawInv(amount), Value(kNo));
+}
+
+Operation BankAccount::Balance(int64_t balance) const {
+  return Operation(BalanceInv(), Value(balance));
+}
+
+std::vector<Operation> BankAccount::Universe() const {
+  std::vector<Operation> ops;
+  for (int64_t amount : {1, 2}) {
+    ops.push_back(Deposit(amount));
+    ops.push_back(WithdrawOk(amount));
+    ops.push_back(WithdrawNo(amount));
+  }
+  for (int64_t balance : {0, 1, 2}) {
+    ops.push_back(Balance(balance));
+  }
+  return ops;
+}
+
+std::vector<Operation> BankAccount::BalanceProbes(int64_t max_balance) const {
+  std::vector<Operation> ops;
+  for (int64_t b = 0; b <= max_balance; ++b) ops.push_back(Balance(b));
+  return ops;
+}
+
+bool BankAccount::CommuteForward(const Operation& p,
+                                 const Operation& q) const {
+  // Normalize to (row, col) with row code <= col code; FC is symmetric.
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kDeposit:
+      switch (b.code()) {
+        case kDeposit:
+          return true;
+        case kWithdraw:
+          // deposit commutes forward with withdraw/ok, not withdraw/no.
+          return IsOk(b);
+        case kBalance:
+          return false;
+      }
+      break;
+    case kWithdraw:
+      switch (b.code()) {
+        case kWithdraw:
+          // ok/ok: insufficient funds for both in sequence may exist -> no.
+          // ok/no and no/no commute.
+          return !(IsOk(a) && IsOk(b));
+        case kBalance:
+          if (!IsOk(a)) return true;  // withdraw/no commutes with balance
+          // [withdraw(i),ok] vs [balance,j]: vacuous (hence commuting) iff
+          // no state enables both, i.e. j < i.
+          return b.result().AsInt() < a.inv().arg(0).AsInt();
+      }
+      break;
+    case kBalance:
+      return true;  // balance/balance
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool BankAccount::RightCommutesBackward(const Operation& p,
+                                        const Operation& q) const {
+  // Does p right-commute-backward with q (p after q -> p before q)?
+  switch (p.code()) {
+    case kDeposit:
+      switch (q.code()) {
+        case kDeposit:
+          return true;
+        case kWithdraw:
+          return IsOk(q);  // commutes with withdraw/ok, not withdraw/no
+        case kBalance:
+          return false;
+      }
+      break;
+    case kWithdraw:
+      if (IsOk(p)) {
+        switch (q.code()) {
+          case kDeposit:
+            return false;  // the paper's Section 6.3 example
+          case kWithdraw:
+            return true;  // ok after ok or after no can move left
+          case kBalance:
+            // [withdraw(i),ok] rcb [balance,j]: vacuous iff j < i.
+            return q.result().AsInt() < p.inv().arg(0).AsInt();
+        }
+      } else {
+        switch (q.code()) {
+          case kDeposit:
+            return true;
+          case kWithdraw:
+            return !IsOk(q);  // no rcb ok fails; no rcb no holds
+          case kBalance:
+            return true;
+        }
+      }
+      break;
+    case kBalance:
+      switch (q.code()) {
+        case kDeposit:
+          // [balance,i] rcb [deposit(j),ok]: vacuous iff i < j.
+          return p.result().AsInt() < q.inv().arg(0).AsInt();
+        case kWithdraw:
+          return !IsOk(q);  // fails against withdraw/ok, holds against no
+        case kBalance:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool BankAccount::IsUpdate(const Operation& op) const {
+  // Classical locking classifies by invocation: any withdraw attempt is a
+  // writer even when it returns "no".
+  return op.code() == kDeposit || op.code() == kWithdraw;
+}
+
+std::optional<std::unique_ptr<SpecState>> BankAccount::InverseApply(
+    const SpecState& state, const Operation& op) const {
+  const int64_t balance = TypedSpecAutomaton<Int64State>::Unwrap(state).v;
+  int64_t undone = balance;
+  switch (op.code()) {
+    case kDeposit:
+      undone = balance - op.inv().arg(0).AsInt();
+      break;
+    case kWithdraw:
+      if (IsOk(op)) undone = balance + op.inv().arg(0).AsInt();
+      break;
+    case kBalance:
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (undone < 0) return std::nullopt;  // cannot undo out of domain
+  return std::make_unique<TypedState<Int64State>>(Int64State{undone});
+}
+
+std::shared_ptr<BankAccount> MakeBankAccount(std::string object_name) {
+  return std::make_shared<BankAccount>(std::move(object_name));
+}
+
+}  // namespace ccr

@@ -1,0 +1,97 @@
+// Copyright 2026 The ccr Authors.
+//
+// The paper's running example (Sections 3.2 and 6): a bank account with
+// deposit, withdraw, and balance operations. Withdraw is total but has two
+// results — "ok" when the balance covers the amount, "no" otherwise — which
+// is exactly why conflict relations must be defined on operations
+// (invocation + result) rather than invocations.
+//
+// The serial specification is the paper's automaton M(BA): states are
+// non-negative integers, initial state 0, and
+//   [deposit(i), ok]   (i > 0): s' = s + i
+//   [withdraw(i), ok]  (i > 0): pre s >= i, s' = s - i
+//   [withdraw(i), no]  (i > 0): pre s < i
+//   [balance, i]              : pre s == i
+//
+// The closed-form commutativity predicates generalize Figures 6-1 and 6-2 to
+// arbitrary concrete amounts. Two cells are argument-dependent:
+//   FC([withdraw(i),ok], [balance,j]) holds iff j < i (vacuously: no state
+//     enables both), and
+//   RBC([balance,i], [deposit(j),ok]) holds iff i < j (vacuously: no state
+//     enables deposit(j)·balance(i)).
+// Aggregated over all amounts both collapse to the paper's "x" entries.
+
+#ifndef CCR_ADT_BANK_ACCOUNT_H_
+#define CCR_ADT_BANK_ACCOUNT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+class BankAccountSpec final : public TypedSpecAutomaton<Int64State> {
+ public:
+  explicit BankAccountSpec(std::string object_name)
+      : object_name_(std::move(object_name)) {}
+
+  std::string name() const override { return "BankAccount"; }
+  Int64State Initial() const override { return Int64State{0}; }
+  std::vector<std::pair<Value, Int64State>> TypedOutcomes(
+      const Int64State& state, const Invocation& inv) const override;
+
+ private:
+  std::string object_name_;
+};
+
+class BankAccount final : public Adt {
+ public:
+  // Operation codes.
+  static constexpr int kDeposit = 0;
+  static constexpr int kWithdraw = 1;
+  static constexpr int kBalance = 2;
+
+  explicit BankAccount(std::string object_name = "BA");
+
+  const std::string& object_name() const { return object_name_; }
+
+  // Invocation factories.
+  Invocation DepositInv(int64_t amount) const;
+  Invocation WithdrawInv(int64_t amount) const;
+  Invocation BalanceInv() const;
+
+  // Operation factories (invocation + result).
+  Operation Deposit(int64_t amount) const;      // [deposit(i), ok]
+  Operation WithdrawOk(int64_t amount) const;   // [withdraw(i), ok]
+  Operation WithdrawNo(int64_t amount) const;   // [withdraw(i), no]
+  Operation Balance(int64_t balance) const;     // [balance, i]
+
+  // Adt interface.
+  std::string name() const override { return "BankAccount"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+  std::optional<std::unique_ptr<SpecState>> InverseApply(
+      const SpecState& state, const Operation& op) const override;
+  bool supports_inverse() const override { return true; }
+
+  // Observer operations covering balances [0, max] — the probe universe for
+  // exact bounded equieffectiveness checks.
+  std::vector<Operation> BalanceProbes(int64_t max_balance) const;
+
+ private:
+  std::string object_name_;
+  BankAccountSpec spec_;
+};
+
+std::shared_ptr<BankAccount> MakeBankAccount(std::string object_name = "BA");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_BANK_ACCOUNT_H_

@@ -1,0 +1,183 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/bounded_counter.h"
+
+#include "common/macros.h"
+
+namespace ccr {
+
+namespace {
+
+bool IsOk(const Operation& op) {
+  return op.result().is_string() && op.result().AsString() == "ok";
+}
+
+}  // namespace
+
+std::vector<std::pair<Value, Int64State>> BoundedCounterSpec::TypedOutcomes(
+    const Int64State& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, Int64State>> out;
+  switch (inv.code()) {
+    case BoundedCounter::kAdd: {
+      const int64_t amount = inv.arg(0).AsInt();
+      if (amount > 0) {
+        if (state.v + amount <= cap_) {
+          out.emplace_back(Value("ok"), Int64State{state.v + amount});
+        } else {
+          out.emplace_back(Value("no"), state);
+        }
+      }
+      break;
+    }
+    case BoundedCounter::kTake: {
+      const int64_t amount = inv.arg(0).AsInt();
+      if (amount > 0) {
+        if (state.v >= amount) {
+          out.emplace_back(Value("ok"), Int64State{state.v - amount});
+        } else {
+          out.emplace_back(Value("no"), state);
+        }
+      }
+      break;
+    }
+    case BoundedCounter::kLevel:
+      out.emplace_back(Value(state.v), state);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+BoundedCounter::BoundedCounter(std::string object_name, int64_t cap)
+    : object_name_(std::move(object_name)), spec_(cap) {
+  CCR_CHECK(cap > 0);
+}
+
+Invocation BoundedCounter::AddInv(int64_t amount) const {
+  return Invocation(object_name_, kAdd, "add", {Value(amount)});
+}
+
+Invocation BoundedCounter::TakeInv(int64_t amount) const {
+  return Invocation(object_name_, kTake, "take", {Value(amount)});
+}
+
+Invocation BoundedCounter::LevelInv() const {
+  return Invocation(object_name_, kLevel, "level", {});
+}
+
+Operation BoundedCounter::AddOk(int64_t amount) const {
+  return Operation(AddInv(amount), Value("ok"));
+}
+
+Operation BoundedCounter::AddNo(int64_t amount) const {
+  return Operation(AddInv(amount), Value("no"));
+}
+
+Operation BoundedCounter::TakeOk(int64_t amount) const {
+  return Operation(TakeInv(amount), Value("ok"));
+}
+
+Operation BoundedCounter::TakeNo(int64_t amount) const {
+  return Operation(TakeInv(amount), Value("no"));
+}
+
+Operation BoundedCounter::Level(int64_t n) const {
+  return Operation(LevelInv(), Value(n));
+}
+
+std::vector<Operation> BoundedCounter::Universe() const {
+  std::vector<Operation> ops;
+  for (int64_t amount : {1, 2}) {
+    ops.push_back(AddOk(amount));
+    ops.push_back(AddNo(amount));
+    ops.push_back(TakeOk(amount));
+    ops.push_back(TakeNo(amount));
+  }
+  for (int64_t n = 0; n <= cap(); ++n) {
+    ops.push_back(Level(n));
+  }
+  return ops;
+}
+
+std::vector<Operation> BoundedCounter::LevelProbes() const {
+  std::vector<Operation> ops;
+  for (int64_t n = 0; n <= cap(); ++n) ops.push_back(Level(n));
+  return ops;
+}
+
+bool BoundedCounter::StepAt(int64_t s, const Operation& op,
+                            int64_t* next) const {
+  for (auto& [result, state] :
+       spec_.TypedOutcomes(Int64State{s}, op.inv())) {
+    if (result == op.result()) {
+      *next = state.v;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Both closed forms below are exact decision procedures: the state space is
+// {0, ..., cap} and every state is reachable (adds of 1 from 0) and
+// observably distinct (via [level, n]), so
+//   FC(p, q)  iff for every s: p, q defined at s implies p·q and q·p
+//             defined with equal end states;
+//   RBC(p, q) iff for every s: q·p defined at s implies p·q defined at s
+//             with an equal end state.
+bool BoundedCounter::CommuteForward(const Operation& p,
+                                    const Operation& q) const {
+  for (int64_t s = 0; s <= cap(); ++s) {
+    int64_t after_p, after_q;
+    if (!StepAt(s, p, &after_p) || !StepAt(s, q, &after_q)) continue;
+    int64_t pq, qp;
+    if (!StepAt(after_p, q, &pq) || !StepAt(after_q, p, &qp)) return false;
+    if (pq != qp) return false;
+  }
+  return true;
+}
+
+bool BoundedCounter::RightCommutesBackward(const Operation& p,
+                                           const Operation& q) const {
+  for (int64_t s = 0; s <= cap(); ++s) {
+    int64_t after_q;
+    if (!StepAt(s, q, &after_q)) continue;
+    int64_t qp;
+    if (!StepAt(after_q, p, &qp)) continue;  // q·p undefined here: vacuous
+    int64_t after_p, pq;
+    if (!StepAt(s, p, &after_p) || !StepAt(after_p, q, &pq)) return false;
+    if (pq != qp) return false;
+  }
+  return true;
+}
+
+bool BoundedCounter::IsUpdate(const Operation& op) const {
+  return op.code() == kAdd || op.code() == kTake;
+}
+
+std::optional<std::unique_ptr<SpecState>> BoundedCounter::InverseApply(
+    const SpecState& state, const Operation& op) const {
+  const int64_t level = TypedSpecAutomaton<Int64State>::Unwrap(state).v;
+  int64_t undone = level;
+  switch (op.code()) {
+    case kAdd:
+      if (IsOk(op)) undone = level - op.inv().arg(0).AsInt();
+      break;
+    case kTake:
+      if (IsOk(op)) undone = level + op.inv().arg(0).AsInt();
+      break;
+    case kLevel:
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (undone < 0 || undone > cap()) return std::nullopt;
+  return std::make_unique<TypedState<Int64State>>(Int64State{undone});
+}
+
+std::shared_ptr<BoundedCounter> MakeBoundedCounter(std::string object_name,
+                                                   int64_t cap) {
+  return std::make_shared<BoundedCounter>(std::move(object_name), cap);
+}
+
+}  // namespace ccr

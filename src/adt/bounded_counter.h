@@ -1,0 +1,103 @@
+// Copyright 2026 The ccr Authors.
+//
+// A bounded counter: a resource pool with both a floor (0) and a ceiling
+// (the capacity) — warehouse slots, connection pools, O'Neil-escrow-style
+// quantities (the paper's Section 8 pointer to [16]). Both directions are
+// conditional:
+//
+//   [add(i), ok]    (i > 0): pre s + i <= cap, s' = s + i
+//   [add(i), no]    (i > 0): pre s + i >  cap
+//   [take(i), ok]   (i > 0): pre s >= i,       s' = s - i
+//   [take(i), no]   (i > 0): pre s <  i
+//   [level, n]              : pre s == n
+//
+// By the s <-> cap−s duality, `add` near the ceiling behaves exactly like
+// the bank account's withdraw near the floor: successful adds do not
+// commute forward with each other, successful takes "make room" for adds
+// the way deposits fund withdrawals, and the NRBC asymmetry appears in both
+// directions. The paper never analyzed such a type; the framework handles
+// it unchanged.
+//
+// The abstract state space is finite (cap + 1 values), so the closed-form
+// predicates are *decided exactly* by enumerating every state — no symbolic
+// case analysis and no bounded approximation. This uses the fact that the
+// spec is reduced (every state is observably distinct via [level, n]), so
+// "looks like" between two reachable compositions is simply definedness
+// implication plus end-state equality.
+
+#ifndef CCR_ADT_BOUNDED_COUNTER_H_
+#define CCR_ADT_BOUNDED_COUNTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+class BoundedCounterSpec final : public TypedSpecAutomaton<Int64State> {
+ public:
+  explicit BoundedCounterSpec(int64_t cap) : cap_(cap) {}
+
+  std::string name() const override { return "BoundedCounter"; }
+  Int64State Initial() const override { return Int64State{0}; }
+  std::vector<std::pair<Value, Int64State>> TypedOutcomes(
+      const Int64State& state, const Invocation& inv) const override;
+
+  int64_t cap() const { return cap_; }
+
+ private:
+  int64_t cap_;
+};
+
+class BoundedCounter final : public Adt {
+ public:
+  static constexpr int kAdd = 0;
+  static constexpr int kTake = 1;
+  static constexpr int kLevel = 2;
+
+  explicit BoundedCounter(std::string object_name = "POOL", int64_t cap = 4);
+
+  const std::string& object_name() const { return object_name_; }
+  int64_t cap() const { return spec_.cap(); }
+
+  Invocation AddInv(int64_t amount) const;
+  Invocation TakeInv(int64_t amount) const;
+  Invocation LevelInv() const;
+
+  Operation AddOk(int64_t amount) const;   // [add(i), ok]
+  Operation AddNo(int64_t amount) const;   // [add(i), no]
+  Operation TakeOk(int64_t amount) const;  // [take(i), ok]
+  Operation TakeNo(int64_t amount) const;  // [take(i), no]
+  Operation Level(int64_t n) const;        // [level, n]
+
+  std::string name() const override { return "BoundedCounter"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+  std::optional<std::unique_ptr<SpecState>> InverseApply(
+      const SpecState& state, const Operation& op) const override;
+  bool supports_inverse() const override { return true; }
+
+  std::vector<Operation> LevelProbes() const;
+
+ private:
+  // The unique (result, next-state) of `op`'s invocation at level `s`, as
+  // (defined?, next). Exact: the spec is deterministic per state.
+  bool StepAt(int64_t s, const Operation& op, int64_t* next) const;
+
+  std::string object_name_;
+  BoundedCounterSpec spec_;
+};
+
+std::shared_ptr<BoundedCounter> MakeBoundedCounter(
+    std::string object_name = "POOL", int64_t cap = 4);
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_BOUNDED_COUNTER_H_

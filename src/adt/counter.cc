@@ -1,0 +1,184 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/counter.h"
+
+#include "common/macros.h"
+
+namespace ccr {
+
+std::vector<std::pair<Value, Int64State>> CounterSpec::TypedOutcomes(
+    const Int64State& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, Int64State>> out;
+  switch (inv.code()) {
+    case Counter::kInc: {
+      const int64_t amount = inv.arg(0).AsInt();
+      if (amount > 0) {
+        out.emplace_back(Value("ok"), Int64State{state.v + amount});
+      }
+      break;
+    }
+    case Counter::kDec: {
+      const int64_t amount = inv.arg(0).AsInt();
+      if (amount > 0 && state.v >= amount) {
+        out.emplace_back(Value("ok"), Int64State{state.v - amount});
+      }
+      break;  // disabled below the floor: dec is partial
+    }
+    case Counter::kRead:
+      out.emplace_back(Value(state.v), state);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+Counter::Counter(std::string object_name)
+    : object_name_(std::move(object_name)) {}
+
+Invocation Counter::IncInv(int64_t amount) const {
+  return Invocation(object_name_, kInc, "inc", {Value(amount)});
+}
+
+Invocation Counter::DecInv(int64_t amount) const {
+  return Invocation(object_name_, kDec, "dec", {Value(amount)});
+}
+
+Invocation Counter::ReadInv() const {
+  return Invocation(object_name_, kRead, "read", {});
+}
+
+Operation Counter::Inc(int64_t amount) const {
+  return Operation(IncInv(amount), Value("ok"));
+}
+
+Operation Counter::Dec(int64_t amount) const {
+  return Operation(DecInv(amount), Value("ok"));
+}
+
+Operation Counter::Read(int64_t value) const {
+  return Operation(ReadInv(), Value(value));
+}
+
+std::vector<Operation> Counter::Universe() const {
+  std::vector<Operation> ops;
+  for (int64_t amount : {1, 2}) {
+    ops.push_back(Inc(amount));
+    ops.push_back(Dec(amount));
+  }
+  for (int64_t value : {0, 1, 2}) {
+    ops.push_back(Read(value));
+  }
+  return ops;
+}
+
+std::vector<Operation> Counter::ReadProbes(int64_t max_value) const {
+  std::vector<Operation> ops;
+  for (int64_t v = 0; v <= max_value; ++v) ops.push_back(Read(v));
+  return ops;
+}
+
+bool Counter::CommuteForward(const Operation& p, const Operation& q) const {
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kInc:
+      switch (b.code()) {
+        case kInc:
+        case kDec:
+          return true;  // adds/subtracts compose in either order
+        case kRead:
+          return false;  // inc changes the value a read reports
+      }
+      break;
+    case kDec:
+      switch (b.code()) {
+        case kDec:
+          // dec(i), dec(j) both enabled at s = max(i, j) but the pair needs
+          // s >= i + j: not forward-commuting.
+          return false;
+        case kRead:
+          // [dec(i),ok] and [read,n] both enabled iff n >= i: then the read
+          // after the dec would report n - i != n. Vacuous iff n < i.
+          return b.result().AsInt() < a.inv().arg(0).AsInt();
+      }
+      break;
+    case kRead:
+      return true;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool Counter::RightCommutesBackward(const Operation& p,
+                                    const Operation& q) const {
+  switch (p.code()) {
+    case kInc:
+      switch (q.code()) {
+        case kInc:
+        case kDec:
+          return true;  // inc is total and additive: moves left freely
+        case kRead:
+          return false;  // read n then inc != inc then read n
+      }
+      break;
+    case kDec:
+      switch (q.code()) {
+        case kInc:
+          return false;  // dec enabled only thanks to the earlier inc
+        case kDec:
+          return true;   // q·p needs s >= i + j, so p·q is enabled too
+        case kRead:
+          // [read,n]·[dec(i),ok] needs n >= i; then dec·read reports n - i:
+          // fails. Vacuous iff n < i.
+          return q.result().AsInt() < p.inv().arg(0).AsInt();
+      }
+      break;
+    case kRead:
+      switch (q.code()) {
+        case kInc:
+          // inc(j)·[read,n] needs s = n - j: then read-first reports n - j:
+          // fails unless no state enables the pair, i.e. n < j.
+          return p.result().AsInt() < q.inv().arg(0).AsInt();
+        case kDec:
+          return false;  // dec(j)·[read,n] at s = n + j; read-first fails
+        case kRead:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool Counter::IsUpdate(const Operation& op) const {
+  return op.code() == kInc || op.code() == kDec;
+}
+
+std::optional<std::unique_ptr<SpecState>> Counter::InverseApply(
+    const SpecState& state, const Operation& op) const {
+  const int64_t value = TypedSpecAutomaton<Int64State>::Unwrap(state).v;
+  int64_t undone = value;
+  switch (op.code()) {
+    case kInc:
+      undone = value - op.inv().arg(0).AsInt();
+      break;
+    case kDec:
+      undone = value + op.inv().arg(0).AsInt();
+      break;
+    case kRead:
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (undone < 0) return std::nullopt;
+  return std::make_unique<TypedState<Int64State>>(Int64State{undone});
+}
+
+std::shared_ptr<Counter> MakeCounter(std::string object_name) {
+  return std::make_shared<Counter>(std::move(object_name));
+}
+
+}  // namespace ccr

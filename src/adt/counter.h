@@ -1,0 +1,73 @@
+// Copyright 2026 The ccr Authors.
+//
+// A non-negative counter with a *partial* decrement: dec(i) is disabled
+// (blocks) when the count is below i, rather than returning "no" as the bank
+// account's withdraw does. This is the classic hot-spot aggregate
+// (inventory, quota, seat count) and exercises the paper's claim that the
+// analysis covers partial operations.
+//
+//   [inc(i), ok] (i > 0):            s' = s + i
+//   [dec(i), ok] (i > 0): pre s >= i, s' = s - i
+//   [read, n]           : pre s == n
+
+#ifndef CCR_ADT_COUNTER_H_
+#define CCR_ADT_COUNTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+class CounterSpec final : public TypedSpecAutomaton<Int64State> {
+ public:
+  std::string name() const override { return "Counter"; }
+  Int64State Initial() const override { return Int64State{0}; }
+  std::vector<std::pair<Value, Int64State>> TypedOutcomes(
+      const Int64State& state, const Invocation& inv) const override;
+};
+
+class Counter final : public Adt {
+ public:
+  static constexpr int kInc = 0;
+  static constexpr int kDec = 1;
+  static constexpr int kRead = 2;
+
+  explicit Counter(std::string object_name = "CTR");
+
+  const std::string& object_name() const { return object_name_; }
+
+  Invocation IncInv(int64_t amount) const;
+  Invocation DecInv(int64_t amount) const;
+  Invocation ReadInv() const;
+
+  Operation Inc(int64_t amount) const;   // [inc(i), ok]
+  Operation Dec(int64_t amount) const;   // [dec(i), ok]
+  Operation Read(int64_t value) const;   // [read, n]
+
+  std::string name() const override { return "Counter"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+  std::optional<std::unique_ptr<SpecState>> InverseApply(
+      const SpecState& state, const Operation& op) const override;
+  bool supports_inverse() const override { return true; }
+
+  std::vector<Operation> ReadProbes(int64_t max_value) const;
+
+ private:
+  std::string object_name_;
+  CounterSpec spec_;
+};
+
+std::shared_ptr<Counter> MakeCounter(std::string object_name = "CTR");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_COUNTER_H_

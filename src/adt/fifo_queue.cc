@@ -1,0 +1,184 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/fifo_queue.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+size_t QueueState::Hash() const {
+  size_t h = items.size();
+  for (int64_t e : items) {
+    h = h * 1000003 + std::hash<int64_t>()(e);
+  }
+  return h;
+}
+
+std::string QueueState::ToString() const {
+  std::vector<std::string> parts;
+  for (int64_t e : items) {
+    parts.push_back(StrFormat("%lld", static_cast<long long>(e)));
+  }
+  std::string out = "[";
+  out += StrJoin(parts, ",");
+  out += "]";
+  return out;
+}
+
+std::vector<std::pair<Value, QueueState>> FifoQueueSpec::TypedOutcomes(
+    const QueueState& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, QueueState>> out;
+  switch (inv.code()) {
+    case FifoQueue::kEnq: {
+      QueueState next = state;
+      next.items.push_back(inv.arg(0).AsInt());
+      out.emplace_back(Value("ok"), std::move(next));
+      break;
+    }
+    case FifoQueue::kDeq: {
+      if (!state.items.empty()) {
+        QueueState next;
+        next.items.assign(state.items.begin() + 1, state.items.end());
+        out.emplace_back(Value(state.items.front()), std::move(next));
+      }
+      break;  // empty queue: deq is disabled (partial)
+    }
+    case FifoQueue::kLen:
+      out.emplace_back(Value(static_cast<int64_t>(state.items.size())),
+                       state);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+FifoQueue::FifoQueue(std::string object_name)
+    : object_name_(std::move(object_name)) {}
+
+Invocation FifoQueue::EnqInv(int64_t item) const {
+  return Invocation(object_name_, kEnq, "enq", {Value(item)});
+}
+
+Invocation FifoQueue::DeqInv() const {
+  return Invocation(object_name_, kDeq, "deq", {});
+}
+
+Invocation FifoQueue::LenInv() const {
+  return Invocation(object_name_, kLen, "len", {});
+}
+
+Operation FifoQueue::Enq(int64_t item) const {
+  return Operation(EnqInv(item), Value("ok"));
+}
+
+Operation FifoQueue::Deq(int64_t item) const {
+  return Operation(DeqInv(), Value(item));
+}
+
+Operation FifoQueue::Len(int64_t n) const {
+  return Operation(LenInv(), Value(n));
+}
+
+std::vector<Operation> FifoQueue::Universe() const {
+  std::vector<Operation> ops;
+  for (int64_t item : {1, 2}) {
+    ops.push_back(Enq(item));
+    ops.push_back(Deq(item));
+  }
+  for (int64_t n : {0, 1, 2}) {
+    ops.push_back(Len(n));
+  }
+  return ops;
+}
+
+namespace {
+
+int64_t EnqItem(const Operation& op) { return op.inv().arg(0).AsInt(); }
+int64_t DeqItem(const Operation& op) { return op.result().AsInt(); }
+int64_t LenVal(const Operation& op) { return op.result().AsInt(); }
+
+}  // namespace
+
+bool FifoQueue::CommuteForward(const Operation& p, const Operation& q) const {
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kEnq:
+      switch (b.code()) {
+        case kEnq:
+          return EnqItem(a) == EnqItem(b);  // order observable otherwise
+        case kDeq:
+          return true;  // deq enabled => nonempty => enq can slide past
+        case kLen:
+          return false;
+      }
+      break;
+    case kDeq:
+      switch (b.code()) {
+        case kDeq:
+          // Same result: the second deq might see a different item.
+          // Different results: no state enables both (vacuous).
+          return DeqItem(a) != DeqItem(b);
+        case kLen:
+          return LenVal(b) == 0;  // vacuous: deq needs a nonempty queue
+      }
+      break;
+    case kLen:
+      return true;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool FifoQueue::RightCommutesBackward(const Operation& p,
+                                      const Operation& q) const {
+  switch (p.code()) {
+    case kEnq:
+      switch (q.code()) {
+        case kEnq:
+          return EnqItem(p) == EnqItem(q);
+        case kDeq:
+          return true;  // q·p legal => queue nonempty => p·q same state
+        case kLen:
+          return false;
+      }
+      break;
+    case kDeq:
+      switch (q.code()) {
+        case kEnq:
+          // On an empty queue, enq(j)·[deq,j] is legal but deq-first is not.
+          return DeqItem(p) != EnqItem(q);
+        case kDeq:
+          return DeqItem(p) == DeqItem(q);  // FIFO order fixed otherwise
+        case kLen:
+          return LenVal(q) == 0;  // vacuous
+      }
+      break;
+    case kLen:
+      switch (q.code()) {
+        case kEnq:
+          return LenVal(p) == 0;  // vacuous: enq leaves length >= 1
+        case kDeq:
+          return false;
+        case kLen:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool FifoQueue::IsUpdate(const Operation& op) const {
+  return op.code() == kEnq || op.code() == kDeq;
+}
+
+std::shared_ptr<FifoQueue> MakeFifoQueue(std::string object_name) {
+  return std::make_shared<FifoQueue>(std::move(object_name));
+}
+
+}  // namespace ccr

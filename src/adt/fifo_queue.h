@@ -1,0 +1,78 @@
+// Copyright 2026 The ccr Authors.
+//
+// A FIFO queue with a *partial* dequeue (disabled when empty). FIFO order
+// makes this the least concurrent ADT in the library: enqueues of distinct
+// items do not even commute with each other (the order is observable), yet
+// an enqueue still commutes forward with a dequeue on a nonempty queue —
+// the classic example from Weihl's earlier work.
+//
+//   [enq(i), ok] : s' = s · i
+//   [deq, i]     : pre s = i · t, s' = t
+//   [len, n]     : pre |s| == n
+
+#ifndef CCR_ADT_FIFO_QUEUE_H_
+#define CCR_ADT_FIFO_QUEUE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+struct QueueState {
+  std::vector<int64_t> items;
+
+  bool operator==(const QueueState& other) const {
+    return items == other.items;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+};
+
+class FifoQueueSpec final : public TypedSpecAutomaton<QueueState> {
+ public:
+  std::string name() const override { return "FifoQueue"; }
+  QueueState Initial() const override { return QueueState{}; }
+  std::vector<std::pair<Value, QueueState>> TypedOutcomes(
+      const QueueState& state, const Invocation& inv) const override;
+};
+
+class FifoQueue final : public Adt {
+ public:
+  static constexpr int kEnq = 0;
+  static constexpr int kDeq = 1;
+  static constexpr int kLen = 2;
+
+  explicit FifoQueue(std::string object_name = "Q");
+
+  const std::string& object_name() const { return object_name_; }
+
+  Invocation EnqInv(int64_t item) const;
+  Invocation DeqInv() const;
+  Invocation LenInv() const;
+
+  Operation Enq(int64_t item) const;   // [enq(i), ok]
+  Operation Deq(int64_t item) const;   // [deq, i]
+  Operation Len(int64_t n) const;      // [len, n]
+
+  std::string name() const override { return "FifoQueue"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+
+ private:
+  std::string object_name_;
+  FifoQueueSpec spec_;
+};
+
+std::shared_ptr<FifoQueue> MakeFifoQueue(std::string object_name = "Q");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_FIFO_QUEUE_H_

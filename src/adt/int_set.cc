@@ -1,0 +1,230 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/int_set.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+size_t SetState::Hash() const {
+  size_t h = elems.size();
+  for (int64_t e : elems) {
+    h = h * 1000003 + std::hash<int64_t>()(e);
+  }
+  return h;
+}
+
+std::string SetState::ToString() const {
+  std::vector<std::string> parts;
+  for (int64_t e : elems) {
+    parts.push_back(StrFormat("%lld", static_cast<long long>(e)));
+  }
+  std::string out = "{";
+  out += StrJoin(parts, ",");
+  out += "}";
+  return out;
+}
+
+std::vector<std::pair<Value, SetState>> IntSetSpec::TypedOutcomes(
+    const SetState& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, SetState>> out;
+  switch (inv.code()) {
+    case IntSet::kInsert: {
+      SetState next = state;
+      next.elems.insert(inv.arg(0).AsInt());
+      out.emplace_back(Value("ok"), std::move(next));
+      break;
+    }
+    case IntSet::kRemove: {
+      SetState next = state;
+      next.elems.erase(inv.arg(0).AsInt());
+      out.emplace_back(Value("ok"), std::move(next));
+      break;
+    }
+    case IntSet::kMember:
+      out.emplace_back(Value(state.elems.count(inv.arg(0).AsInt()) > 0),
+                       state);
+      break;
+    case IntSet::kSize:
+      out.emplace_back(Value(static_cast<int64_t>(state.elems.size())),
+                       state);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+IntSet::IntSet(std::string object_name)
+    : object_name_(std::move(object_name)) {}
+
+Invocation IntSet::InsertInv(int64_t elem) const {
+  return Invocation(object_name_, kInsert, "insert", {Value(elem)});
+}
+
+Invocation IntSet::RemoveInv(int64_t elem) const {
+  return Invocation(object_name_, kRemove, "remove", {Value(elem)});
+}
+
+Invocation IntSet::MemberInv(int64_t elem) const {
+  return Invocation(object_name_, kMember, "member", {Value(elem)});
+}
+
+Invocation IntSet::SizeInv() const {
+  return Invocation(object_name_, kSize, "size", {});
+}
+
+Operation IntSet::Insert(int64_t elem) const {
+  return Operation(InsertInv(elem), Value("ok"));
+}
+
+Operation IntSet::Remove(int64_t elem) const {
+  return Operation(RemoveInv(elem), Value("ok"));
+}
+
+Operation IntSet::Member(int64_t elem, bool in) const {
+  return Operation(MemberInv(elem), Value(in));
+}
+
+Operation IntSet::Size(int64_t n) const {
+  return Operation(SizeInv(), Value(n));
+}
+
+std::vector<Operation> IntSet::Universe() const {
+  // Three elements, not two: commuting with [size,n] depends on states that
+  // contain n elements *other than* the operation's own element, so the
+  // element range must exceed the size range by one for the analyzer's
+  // bounded α-exploration to cover every distinguishing state.
+  std::vector<Operation> ops;
+  for (int64_t e : {1, 2, 3}) {
+    ops.push_back(Insert(e));
+    ops.push_back(Remove(e));
+    ops.push_back(Member(e, true));
+    ops.push_back(Member(e, false));
+  }
+  for (int64_t n : {0, 1, 2}) {
+    ops.push_back(Size(n));
+  }
+  return ops;
+}
+
+namespace {
+
+int64_t Elem(const Operation& op) { return op.inv().arg(0).AsInt(); }
+
+bool MemberTrue(const Operation& op) { return op.result().AsBool(); }
+
+}  // namespace
+
+bool IntSet::CommuteForward(const Operation& p, const Operation& q) const {
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kInsert:
+      switch (b.code()) {
+        case kInsert:
+          return true;  // distinct elems commute; same elem is idempotent
+        case kRemove:
+          return Elem(a) != Elem(b);
+        case kMember:
+          // insert(i) forces member(i) -> true afterwards.
+          return Elem(a) != Elem(b) || MemberTrue(b);
+        case kSize:
+          return false;  // a state with a absent and |s| = n always exists
+      }
+      break;
+    case kRemove:
+      switch (b.code()) {
+        case kRemove:
+          return true;  // idempotent / disjoint
+        case kMember:
+          return Elem(a) != Elem(b) || !MemberTrue(b);
+        case kSize:
+          // Vacuous iff no state has a's element present with |s| = n,
+          // i.e. n == 0.
+          return b.result().AsInt() == 0;
+      }
+      break;
+    case kMember:
+      return true;  // observers commute with observers
+    case kSize:
+      return true;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool IntSet::RightCommutesBackward(const Operation& p,
+                                   const Operation& q) const {
+  switch (p.code()) {
+    case kInsert:
+      switch (q.code()) {
+        case kInsert:
+          return true;
+        case kRemove:
+          return Elem(p) != Elem(q);  // remove·insert ends present; swap no
+        case kMember:
+          // member(i,false)·insert(i): the insert-first order outlaws the
+          // "false" observation.
+          return Elem(p) != Elem(q) || MemberTrue(q);
+        case kSize:
+          return false;  // size(n)·insert at a state lacking the element
+      }
+      break;
+    case kRemove:
+      switch (q.code()) {
+        case kInsert:
+          return Elem(p) != Elem(q);
+        case kRemove:
+          return true;
+        case kMember:
+          return Elem(p) != Elem(q) || !MemberTrue(q);
+        case kSize:
+          // size(n)·remove(i) with the element present needs n >= 1;
+          // vacuous iff n == 0.
+          return q.result().AsInt() == 0;
+      }
+      break;
+    case kMember:
+      switch (q.code()) {
+        case kInsert:
+          // insert(i)·member(i,true) holds in every state, but
+          // member(i,true) first needs i already present.
+          return Elem(p) != Elem(q) || !MemberTrue(p);
+        case kRemove:
+          return Elem(p) != Elem(q) || MemberTrue(p);
+        case kMember:
+        case kSize:
+          return true;
+      }
+      break;
+    case kSize:
+      switch (q.code()) {
+        case kInsert:
+          // insert·size(n) from |s| = n-1 with elem absent; size(n) first
+          // fails there. Vacuous iff n == 0 (insert never leaves 0).
+          return p.result().AsInt() == 0;
+        case kRemove:
+          return false;  // remove·size(n) from |s| = n+1 with elem present
+        case kMember:
+        case kSize:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool IntSet::IsUpdate(const Operation& op) const {
+  return op.code() == kInsert || op.code() == kRemove;
+}
+
+std::shared_ptr<IntSet> MakeIntSet(std::string object_name) {
+  return std::make_shared<IntSet>(std::move(object_name));
+}
+
+}  // namespace ccr

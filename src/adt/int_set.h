@@ -1,0 +1,89 @@
+// Copyright 2026 The ccr Authors.
+//
+// A set of integers — the standard example of a type whose algebra admits
+// far more concurrency than read/write locking: inserts of distinct elements
+// commute, idempotent re-inserts commute, a membership test commutes with an
+// insert of the same element when the answer is "true", and so on.
+//
+//   [insert(i), ok] : s' = s ∪ {i}
+//   [remove(i), ok] : s' = s \ {i}
+//   [member(i), b]  : pre (i ∈ s) == b
+//   [size, n]       : pre |s| == n
+//
+// Inverse operations are NOT definable from the operation alone (undoing
+// insert(i) needs to know whether i was present before), so this ADT forces
+// UIP recovery onto its replay path — a deliberate contrast with the
+// arithmetic ADTs.
+
+#ifndef CCR_ADT_INT_SET_H_
+#define CCR_ADT_INT_SET_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+// The abstract state: a finite set of integers.
+struct SetState {
+  std::set<int64_t> elems;
+
+  bool operator==(const SetState& other) const {
+    return elems == other.elems;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+};
+
+class IntSetSpec final : public TypedSpecAutomaton<SetState> {
+ public:
+  std::string name() const override { return "IntSet"; }
+  SetState Initial() const override { return SetState{}; }
+  std::vector<std::pair<Value, SetState>> TypedOutcomes(
+      const SetState& state, const Invocation& inv) const override;
+};
+
+class IntSet final : public Adt {
+ public:
+  static constexpr int kInsert = 0;
+  static constexpr int kRemove = 1;
+  static constexpr int kMember = 2;
+  static constexpr int kSize = 3;
+
+  explicit IntSet(std::string object_name = "SET");
+
+  const std::string& object_name() const { return object_name_; }
+
+  Invocation InsertInv(int64_t elem) const;
+  Invocation RemoveInv(int64_t elem) const;
+  Invocation MemberInv(int64_t elem) const;
+  Invocation SizeInv() const;
+
+  Operation Insert(int64_t elem) const;            // [insert(i), ok]
+  Operation Remove(int64_t elem) const;            // [remove(i), ok]
+  Operation Member(int64_t elem, bool in) const;   // [member(i), b]
+  Operation Size(int64_t n) const;                 // [size, n]
+
+  std::string name() const override { return "IntSet"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+  // No inverse support: see header comment.
+
+ private:
+  std::string object_name_;
+  IntSetSpec spec_;
+};
+
+std::shared_ptr<IntSet> MakeIntSet(std::string object_name = "SET");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_INT_SET_H_

@@ -1,0 +1,212 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/kv_store.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+namespace {
+
+const char kNone[] = "none";
+
+const std::string& KeyOf(const Operation& op) {
+  return op.inv().arg(0).AsString();
+}
+
+bool GetIsNone(const Operation& op) {
+  return op.result().is_string() && op.result().AsString() == kNone;
+}
+
+}  // namespace
+
+size_t KvState::Hash() const {
+  size_t h = entries.size();
+  for (const auto& [k, v] : entries) {
+    h = h * 1000003 + std::hash<std::string>()(k) * 31 +
+        std::hash<int64_t>()(v);
+  }
+  return h;
+}
+
+std::string KvState::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [k, v] : entries) {
+    parts.push_back(StrFormat("%s=%lld", k.c_str(),
+                              static_cast<long long>(v)));
+  }
+  std::string out = "{";
+  out += StrJoin(parts, ",");
+  out += "}";
+  return out;
+}
+
+std::vector<std::pair<Value, KvState>> KvStoreSpec::TypedOutcomes(
+    const KvState& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, KvState>> out;
+  switch (inv.code()) {
+    case KvStore::kPut: {
+      KvState next = state;
+      next.entries[inv.arg(0).AsString()] = inv.arg(1).AsInt();
+      out.emplace_back(Value("ok"), std::move(next));
+      break;
+    }
+    case KvStore::kDel: {
+      KvState next = state;
+      next.entries.erase(inv.arg(0).AsString());
+      out.emplace_back(Value("ok"), std::move(next));
+      break;
+    }
+    case KvStore::kGet: {
+      auto it = state.entries.find(inv.arg(0).AsString());
+      if (it == state.entries.end()) {
+        out.emplace_back(Value(kNone), state);
+      } else {
+        out.emplace_back(Value(it->second), state);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+KvStore::KvStore(std::string object_name)
+    : object_name_(std::move(object_name)) {}
+
+Invocation KvStore::PutInv(const std::string& key, int64_t value) const {
+  return Invocation(object_name_, kPut, "put", {Value(key), Value(value)});
+}
+
+Invocation KvStore::DelInv(const std::string& key) const {
+  return Invocation(object_name_, kDel, "del", {Value(key)});
+}
+
+Invocation KvStore::GetInv(const std::string& key) const {
+  return Invocation(object_name_, kGet, "get", {Value(key)});
+}
+
+Operation KvStore::Put(const std::string& key, int64_t value) const {
+  return Operation(PutInv(key, value), Value("ok"));
+}
+
+Operation KvStore::Del(const std::string& key) const {
+  return Operation(DelInv(key), Value("ok"));
+}
+
+Operation KvStore::Get(const std::string& key, int64_t value) const {
+  return Operation(GetInv(key), Value(value));
+}
+
+Operation KvStore::GetNone(const std::string& key) const {
+  return Operation(GetInv(key), Value(kNone));
+}
+
+std::vector<Operation> KvStore::Universe() const {
+  std::vector<Operation> ops;
+  for (const std::string key : {"x", "y"}) {
+    for (int64_t v : {1, 2}) {
+      ops.push_back(Put(key, v));
+      ops.push_back(Get(key, v));
+    }
+    ops.push_back(Del(key));
+    ops.push_back(GetNone(key));
+  }
+  return ops;
+}
+
+bool KvStore::CommuteForward(const Operation& p, const Operation& q) const {
+  if (KeyOf(p) != KeyOf(q)) return true;  // distinct keys always commute
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kPut:
+      switch (b.code()) {
+        case kPut:
+          // Last writer wins: different values leave different states.
+          return a.inv().arg(1).AsInt() == b.inv().arg(1).AsInt();
+        case kDel:
+          return false;  // put·del unbinds, del·put binds
+        case kGet:
+          // After the put, a get must see the put's value.
+          return !GetIsNone(b) &&
+                 b.result().AsInt() == a.inv().arg(1).AsInt();
+      }
+      break;
+    case kDel:
+      switch (b.code()) {
+        case kDel:
+          return true;  // idempotent
+        case kGet:
+          return GetIsNone(b);  // del forces "none" afterwards
+      }
+      break;
+    case kGet:
+      return true;  // observers commute
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool KvStore::RightCommutesBackward(const Operation& p,
+                                    const Operation& q) const {
+  if (KeyOf(p) != KeyOf(q)) return true;
+  switch (p.code()) {
+    case kPut:
+      switch (q.code()) {
+        case kPut:
+          return p.inv().arg(1).AsInt() == q.inv().arg(1).AsInt();
+        case kDel:
+          return false;  // del·put binds; put·del unbinds
+        case kGet:
+          // get(r)·put(v): put-first outlaws observing r unless r == v, in
+          // which case put-first is *more* permissive (legal in all states).
+          return !GetIsNone(q) &&
+                 q.result().AsInt() == p.inv().arg(1).AsInt();
+      }
+      break;
+    case kDel:
+      switch (q.code()) {
+        case kPut:
+          return false;
+        case kDel:
+          return true;
+        case kGet:
+          // get(none)·del: del-first is legal everywhere and equieffective.
+          // get(v)·del: del-first outlaws observing v.
+          return GetIsNone(q);
+      }
+      break;
+    case kGet:
+      switch (q.code()) {
+        case kPut:
+          // put(v)·get(r) is legal iff r == v, in every state; get-first
+          // needs the binding already — fails on some state. get(r != v)
+          // after put(v) is never legal: vacuous.
+          return GetIsNone(p) || p.result().AsInt() != q.inv().arg(1).AsInt();
+        case kDel:
+          // del·get(none) legal everywhere; get(none)-first needs k unbound.
+          // del·get(v) never legal: vacuous.
+          return !GetIsNone(p);
+        case kGet:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool KvStore::IsUpdate(const Operation& op) const {
+  return op.code() == kPut || op.code() == kDel;
+}
+
+std::shared_ptr<KvStore> MakeKvStore(std::string object_name) {
+  return std::make_shared<KvStore>(std::move(object_name));
+}
+
+}  // namespace ccr

@@ -1,0 +1,79 @@
+// Copyright 2026 The ccr Authors.
+//
+// A key-value store mapping string keys to integers — the "object-oriented
+// database" flavor of the framework. Operations on distinct keys always
+// commute; per-key behavior mirrors a last-writer register with a tombstone.
+//
+//   [put(k,v), ok]  : s' = s[k := v]
+//   [del(k), ok]    : s' = s without k
+//   [get(k), v]     : pre s[k] == v      (v an integer)
+//   [get(k), none]  : pre k not bound
+
+#ifndef CCR_ADT_KV_STORE_H_
+#define CCR_ADT_KV_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+struct KvState {
+  std::map<std::string, int64_t> entries;
+
+  bool operator==(const KvState& other) const {
+    return entries == other.entries;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+};
+
+class KvStoreSpec final : public TypedSpecAutomaton<KvState> {
+ public:
+  std::string name() const override { return "KvStore"; }
+  KvState Initial() const override { return KvState{}; }
+  std::vector<std::pair<Value, KvState>> TypedOutcomes(
+      const KvState& state, const Invocation& inv) const override;
+};
+
+class KvStore final : public Adt {
+ public:
+  static constexpr int kPut = 0;
+  static constexpr int kDel = 1;
+  static constexpr int kGet = 2;
+
+  explicit KvStore(std::string object_name = "KV");
+
+  const std::string& object_name() const { return object_name_; }
+
+  Invocation PutInv(const std::string& key, int64_t value) const;
+  Invocation DelInv(const std::string& key) const;
+  Invocation GetInv(const std::string& key) const;
+
+  Operation Put(const std::string& key, int64_t value) const;
+  Operation Del(const std::string& key) const;
+  Operation Get(const std::string& key, int64_t value) const;
+  Operation GetNone(const std::string& key) const;
+
+  std::string name() const override { return "KvStore"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+
+ private:
+  std::string object_name_;
+  KvStoreSpec spec_;
+};
+
+std::shared_ptr<KvStore> MakeKvStore(std::string object_name = "KV");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_KV_STORE_H_

@@ -1,0 +1,114 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/register.h"
+
+#include "common/macros.h"
+
+namespace ccr {
+
+std::vector<std::pair<Value, Int64State>> RegisterSpec::TypedOutcomes(
+    const Int64State& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, Int64State>> out;
+  switch (inv.code()) {
+    case Register::kWrite:
+      out.emplace_back(Value("ok"), Int64State{inv.arg(0).AsInt()});
+      break;
+    case Register::kRead:
+      out.emplace_back(Value(state.v), state);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+Register::Register(std::string object_name)
+    : object_name_(std::move(object_name)) {}
+
+Invocation Register::WriteInv(int64_t value) const {
+  return Invocation(object_name_, kWrite, "write", {Value(value)});
+}
+
+Invocation Register::ReadInv() const {
+  return Invocation(object_name_, kRead, "read", {});
+}
+
+Operation Register::Write(int64_t value) const {
+  return Operation(WriteInv(value), Value("ok"));
+}
+
+Operation Register::Read(int64_t value) const {
+  return Operation(ReadInv(), Value(value));
+}
+
+std::vector<Operation> Register::Universe() const {
+  std::vector<Operation> ops;
+  for (int64_t v : {1, 2}) {
+    ops.push_back(Write(v));
+  }
+  for (int64_t v : {0, 1, 2}) {
+    ops.push_back(Read(v));
+  }
+  return ops;
+}
+
+bool Register::CommuteForward(const Operation& p, const Operation& q) const {
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kWrite:
+      switch (b.code()) {
+        case kWrite:
+          // Last writer wins: distinct values leave distinct states.
+          return a.inv().arg(0).AsInt() == b.inv().arg(0).AsInt();
+        case kRead:
+          // After the write, a read must return the written value.
+          return b.result().AsInt() == a.inv().arg(0).AsInt();
+      }
+      break;
+    case kRead:
+      return true;  // reads commute with reads
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool Register::RightCommutesBackward(const Operation& p,
+                                     const Operation& q) const {
+  switch (p.code()) {
+    case kWrite:
+      switch (q.code()) {
+        case kWrite:
+          return p.inv().arg(0).AsInt() == q.inv().arg(0).AsInt();
+        case kRead:
+          // read(r)·write(v): write-first outlaws the observation unless
+          // r == v, in which case write-first is more permissive.
+          return p.inv().arg(0).AsInt() == q.result().AsInt();
+      }
+      break;
+    case kRead:
+      switch (q.code()) {
+        case kWrite:
+          // write(v)·read(v) is legal in every state; read-first needs the
+          // register to already hold v. Mismatched values are vacuous.
+          return p.result().AsInt() != q.inv().arg(0).AsInt();
+        case kRead:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool Register::IsUpdate(const Operation& op) const {
+  return op.code() == kWrite;
+}
+
+std::shared_ptr<Register> MakeRegister(std::string object_name) {
+  return std::make_shared<Register>(std::move(object_name));
+}
+
+}  // namespace ccr

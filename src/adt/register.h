@@ -1,0 +1,68 @@
+// Copyright 2026 The ccr Authors.
+//
+// An uninterpreted read/write register — the degenerate case the paper's
+// introduction contrasts against ("initial work in the area left the data
+// uninterpreted, or viewed operations as simple reads and writes"). With no
+// algebraic structure to exploit, both NFC and NRBC collapse to (almost)
+// classical read/write conflicts; the only extra concurrency left is
+// same-value absorption (two writes of the same value commute, and a read
+// returning v commutes forward with a write of v).
+//
+//   [write(v), ok] : s' = v
+//   [read, v]      : pre s == v
+
+#ifndef CCR_ADT_REGISTER_H_
+#define CCR_ADT_REGISTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+class RegisterSpec final : public TypedSpecAutomaton<Int64State> {
+ public:
+  std::string name() const override { return "Register"; }
+  Int64State Initial() const override { return Int64State{0}; }
+  std::vector<std::pair<Value, Int64State>> TypedOutcomes(
+      const Int64State& state, const Invocation& inv) const override;
+};
+
+class Register final : public Adt {
+ public:
+  static constexpr int kWrite = 0;
+  static constexpr int kRead = 1;
+
+  explicit Register(std::string object_name = "REG");
+
+  const std::string& object_name() const { return object_name_; }
+
+  Invocation WriteInv(int64_t value) const;
+  Invocation ReadInv() const;
+
+  Operation Write(int64_t value) const;  // [write(v), ok]
+  Operation Read(int64_t value) const;   // [read, v]
+
+  std::string name() const override { return "Register"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+  // Writes are not invertible from the operation alone (the overwritten
+  // value is lost), so UIP recovery uses replay.
+
+ private:
+  std::string object_name_;
+  RegisterSpec spec_;
+};
+
+std::shared_ptr<Register> MakeRegister(std::string object_name = "REG");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_REGISTER_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/registry.h"
+
+#include "adt/bank_account.h"
+#include "adt/bounded_counter.h"
+#include "adt/counter.h"
+#include "adt/fifo_queue.h"
+#include "adt/int_set.h"
+#include "adt/kv_store.h"
+#include "adt/register.h"
+#include "adt/semiqueue.h"
+
+namespace ccr {
+
+std::vector<std::shared_ptr<Adt>> AllAdts() {
+  return {
+      MakeBankAccount(), MakeCounter(),   MakeIntSet(),
+      MakeFifoQueue(),   MakeKvStore(),   MakeSemiqueue(),
+      MakeRegister(),    MakeBoundedCounter(),
+  };
+}
+
+AnalysisOptions AnalysisOptionsFor(const Adt& adt) {
+  AnalysisOptions options;
+  // With universes of ~9-12 operations and reach depth 10, the reachable
+  // abstract states stay small; the caps below are generous.
+  options.max_macro_states = 8192;
+  options.reach_depth = 8;
+  options.probe.depth = 5;
+
+  // Argument-indexed observers over the whole reachable range make bounded
+  // looks-like probing exact: any two distinct abstract states differ in
+  // some observer's legality.
+  const std::string& name = adt.name();
+  if (name == "BankAccount") {
+    const auto& ba = static_cast<const BankAccount&>(adt);
+    // Amounts in the universe are <= 2 and reach depth is 8: balances stay
+    // within [0, 16].
+    options.probe_universe = ba.BalanceProbes(20);
+  } else if (name == "Counter") {
+    const auto& ctr = static_cast<const Counter&>(adt);
+    options.probe_universe = ctr.ReadProbes(20);
+  } else if (name == "IntSet") {
+    const auto& set = static_cast<const IntSet&>(adt);
+    for (int64_t e : {1, 2, 3}) {
+      options.probe_universe.push_back(set.Member(e, true));
+      options.probe_universe.push_back(set.Member(e, false));
+    }
+    for (int64_t n = 0; n <= 4; ++n) {
+      options.probe_universe.push_back(set.Size(n));
+    }
+  } else if (name == "FifoQueue") {
+    const auto& q = static_cast<const FifoQueue&>(adt);
+    for (int64_t n = 0; n <= 12; ++n) {
+      options.probe_universe.push_back(q.Len(n));
+    }
+  } else if (name == "Semiqueue") {
+    const auto& sq = static_cast<const Semiqueue&>(adt);
+    for (int64_t n = 0; n <= 12; ++n) {
+      options.probe_universe.push_back(sq.Count(n));
+    }
+  } else if (name == "BoundedCounter") {
+    const auto& pool = static_cast<const BoundedCounter&>(adt);
+    options.probe_universe = pool.LevelProbes();
+  } else if (name == "Register") {
+    const auto& reg = static_cast<const Register&>(adt);
+    for (int64_t v = 0; v <= 2; ++v) {
+      options.probe_universe.push_back(reg.Read(v));
+    }
+  }
+  // KvStore's universe already contains every observer over its key/value
+  // ranges.
+  return options;
+}
+
+CommutativityAnalyzer MakeAnalyzer(const Adt& adt) {
+  return CommutativityAnalyzer(&adt.spec(), adt.Universe(),
+                               AnalysisOptionsFor(adt));
+}
+
+}  // namespace ccr

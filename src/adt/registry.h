@@ -1,0 +1,31 @@
+// Copyright 2026 The ccr Authors.
+//
+// A registry of every ADT in the library, so tests and benches can sweep
+// "for every ADT" (analyzer-vs-closed-form cross-checks, conflict-density
+// tables, incomparability counts).
+
+#ifndef CCR_ADT_REGISTRY_H_
+#define CCR_ADT_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/commutativity.h"
+
+namespace ccr {
+
+// Fresh instances of every library ADT, with default object names.
+std::vector<std::shared_ptr<Adt>> AllAdts();
+
+// Analysis options appropriate for `adt`: extends the probe universe with
+// the ADT's argument-indexed observers over the reachable range so bounded
+// equieffectiveness probing is exact.
+AnalysisOptions AnalysisOptionsFor(const Adt& adt);
+
+// Convenience: an analyzer over the ADT's declared universe.
+CommutativityAnalyzer MakeAnalyzer(const Adt& adt);
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_REGISTRY_H_

@@ -1,0 +1,195 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/semiqueue.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+size_t BagState::Hash() const {
+  size_t h = counts.size();
+  for (const auto& [e, c] : counts) {
+    h = h * 1000003 + std::hash<int64_t>()(e) * 31 +
+        static_cast<size_t>(c);
+  }
+  return h;
+}
+
+std::string BagState::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [e, c] : counts) {
+    parts.push_back(StrFormat("%lldx%lld", static_cast<long long>(e),
+                              static_cast<long long>(c)));
+  }
+  std::string out = "⟅";
+  out += StrJoin(parts, ",");
+  out += "⟆";
+  return out;
+}
+
+int64_t BagState::Total() const {
+  int64_t total = 0;
+  for (const auto& [e, c] : counts) total += c;
+  return total;
+}
+
+std::vector<std::pair<Value, BagState>> SemiqueueSpec::TypedOutcomes(
+    const BagState& state, const Invocation& inv) const {
+  std::vector<std::pair<Value, BagState>> out;
+  switch (inv.code()) {
+    case Semiqueue::kEnq: {
+      BagState next = state;
+      next.counts[inv.arg(0).AsInt()] += 1;
+      out.emplace_back(Value("ok"), std::move(next));
+      break;
+    }
+    case Semiqueue::kDeq: {
+      // One outcome per distinct element: the nondeterministic choice.
+      for (const auto& [e, c] : state.counts) {
+        BagState next = state;
+        if (c == 1) {
+          next.counts.erase(e);
+        } else {
+          next.counts[e] = c - 1;
+        }
+        out.emplace_back(Value(e), std::move(next));
+      }
+      break;
+    }
+    case Semiqueue::kCount:
+      out.emplace_back(Value(state.Total()), state);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+Semiqueue::Semiqueue(std::string object_name)
+    : object_name_(std::move(object_name)) {}
+
+Invocation Semiqueue::EnqInv(int64_t item) const {
+  return Invocation(object_name_, kEnq, "enq", {Value(item)});
+}
+
+Invocation Semiqueue::DeqInv() const {
+  return Invocation(object_name_, kDeq, "deq", {});
+}
+
+Invocation Semiqueue::CountInv() const {
+  return Invocation(object_name_, kCount, "count", {});
+}
+
+Operation Semiqueue::Enq(int64_t item) const {
+  return Operation(EnqInv(item), Value("ok"));
+}
+
+Operation Semiqueue::Deq(int64_t item) const {
+  return Operation(DeqInv(), Value(item));
+}
+
+Operation Semiqueue::Count(int64_t n) const {
+  return Operation(CountInv(), Value(n));
+}
+
+std::vector<Operation> Semiqueue::Universe() const {
+  std::vector<Operation> ops;
+  for (int64_t item : {1, 2}) {
+    ops.push_back(Enq(item));
+    ops.push_back(Deq(item));
+  }
+  for (int64_t n : {0, 1, 2}) {
+    ops.push_back(Count(n));
+  }
+  return ops;
+}
+
+namespace {
+
+int64_t EnqItem(const Operation& op) { return op.inv().arg(0).AsInt(); }
+int64_t DeqItem(const Operation& op) { return op.result().AsInt(); }
+int64_t CountVal(const Operation& op) { return op.result().AsInt(); }
+
+}  // namespace
+
+bool Semiqueue::CommuteForward(const Operation& p, const Operation& q) const {
+  const Operation& a = p.code() <= q.code() ? p : q;
+  const Operation& b = p.code() <= q.code() ? q : p;
+  switch (a.code()) {
+    case kEnq:
+      switch (b.code()) {
+        case kEnq:
+          return true;  // bag insertion is order-free
+        case kDeq:
+          return true;  // deq enabled beforehand stays enabled after enq
+        case kCount:
+          return false;
+      }
+      break;
+    case kDeq:
+      switch (b.code()) {
+        case kDeq:
+          // Same item: a single occurrence cannot be dequeued twice.
+          return DeqItem(a) != DeqItem(b);
+        case kCount:
+          return CountVal(b) == 0;  // vacuous: deq needs a nonempty bag
+      }
+      break;
+    case kCount:
+      return true;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool Semiqueue::RightCommutesBackward(const Operation& p,
+                                      const Operation& q) const {
+  switch (p.code()) {
+    case kEnq:
+      switch (q.code()) {
+        case kEnq:
+          return true;
+        case kDeq:
+          return true;
+        case kCount:
+          return false;
+      }
+      break;
+    case kDeq:
+      switch (q.code()) {
+        case kEnq:
+          // enq(i)·[deq,i] on an empty bag has no deq-first counterpart.
+          return DeqItem(p) != EnqItem(q);
+        case kDeq:
+          return true;  // both items present either way; same bag results
+        case kCount:
+          return CountVal(q) == 0;  // vacuous
+      }
+      break;
+    case kCount:
+      switch (q.code()) {
+        case kEnq:
+          return CountVal(p) == 0;  // vacuous: enq leaves count >= 1
+        case kDeq:
+          return false;
+        case kCount:
+          return true;
+      }
+      break;
+  }
+  CCR_CHECK_MSG(false, "unknown operation pair (%s, %s)",
+                p.ToString().c_str(), q.ToString().c_str());
+  return false;
+}
+
+bool Semiqueue::IsUpdate(const Operation& op) const {
+  return op.code() == kEnq || op.code() == kDeq;
+}
+
+std::shared_ptr<Semiqueue> MakeSemiqueue(std::string object_name) {
+  return std::make_shared<Semiqueue>(std::move(object_name));
+}
+
+}  // namespace ccr

@@ -1,0 +1,84 @@
+// Copyright 2026 The ccr Authors.
+//
+// A semiqueue (Weihl's classic weak queue): enqueue adds an item to a bag,
+// dequeue removes and returns *some* previously-enqueued item —
+// nondeterministically. This is the library's genuinely nondeterministic
+// specification: a single invocation [deq] has one outcome per distinct
+// element in the bag, so the spec automaton is exercised through the subset
+// construction. Giving up FIFO order buys back almost all concurrency:
+// dequeues of distinct items commute, unlike the FIFO queue's.
+//
+//   [enq(i), ok] : bag' = bag ⊎ {i}
+//   [deq, i]     : pre i ∈ bag, bag' = bag ∖ {i}   (one occurrence)
+//   [count, n]   : pre |bag| == n
+
+#ifndef CCR_ADT_SEMIQUEUE_H_
+#define CCR_ADT_SEMIQUEUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+// Multiset of integers, as element -> positive count.
+struct BagState {
+  std::map<int64_t, int64_t> counts;
+
+  bool operator==(const BagState& other) const {
+    return counts == other.counts;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+  int64_t Total() const;
+};
+
+class SemiqueueSpec final : public TypedSpecAutomaton<BagState> {
+ public:
+  std::string name() const override { return "Semiqueue"; }
+  BagState Initial() const override { return BagState{}; }
+  std::vector<std::pair<Value, BagState>> TypedOutcomes(
+      const BagState& state, const Invocation& inv) const override;
+  bool deterministic() const override { return false; }
+};
+
+class Semiqueue final : public Adt {
+ public:
+  static constexpr int kEnq = 0;
+  static constexpr int kDeq = 1;
+  static constexpr int kCount = 2;
+
+  explicit Semiqueue(std::string object_name = "SQ");
+
+  const std::string& object_name() const { return object_name_; }
+
+  Invocation EnqInv(int64_t item) const;
+  Invocation DeqInv() const;
+  Invocation CountInv() const;
+
+  Operation Enq(int64_t item) const;    // [enq(i), ok]
+  Operation Deq(int64_t item) const;    // [deq, i]
+  Operation Count(int64_t n) const;     // [count, n]
+
+  std::string name() const override { return "Semiqueue"; }
+  const SpecAutomaton& spec() const override { return spec_; }
+  std::vector<Operation> Universe() const override;
+  bool CommuteForward(const Operation& p, const Operation& q) const override;
+  bool RightCommutesBackward(const Operation& p,
+                             const Operation& q) const override;
+  bool IsUpdate(const Operation& op) const override;
+
+ private:
+  std::string object_name_;
+  SemiqueueSpec spec_;
+};
+
+std::shared_ptr<Semiqueue> MakeSemiqueue(std::string object_name = "SQ");
+
+}  // namespace ccr
+
+#endif  // CCR_ADT_SEMIQUEUE_H_

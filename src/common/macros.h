@@ -1,0 +1,39 @@
+// Copyright 2026 The ccr Authors.
+//
+// Assertion and class-annotation macros shared across the library.
+
+#ifndef CCR_COMMON_MACROS_H_
+#define CCR_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a message when `cond` is false. Used for internal
+// invariants that indicate a bug in ccr itself (never for user errors, which
+// are reported through Status).
+#define CCR_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CCR_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Like CCR_CHECK but with a printf-style message appended.
+#define CCR_CHECK_MSG(cond, ...)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CCR_CHECK failed at %s:%d: %s: ", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CCR_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // CCR_COMMON_MACROS_H_

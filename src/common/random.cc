@@ -1,0 +1,101 @@
+// Copyright 2026 The ccr Authors.
+
+#include "common/random.h"
+
+#include <cmath>
+
+namespace ccr {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 seeding so that nearby seeds yield unrelated streams.
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  auto mix = [](uint64_t v) {
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+  };
+  s0_ = mix(z);
+  z += 0x9e3779b97f4a7c15ull;
+  s1_ = mix(z);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  CCR_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias for large n.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return v % n;
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  CCR_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Random::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+size_t Random::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    CCR_CHECK(w >= 0.0);
+    total += w;
+  }
+  CCR_CHECK(total > 0.0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Zipfian::Zipfian(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CCR_CHECK(n > 0);
+  CCR_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+uint64_t Zipfian::Sample(Random* rng) const {
+  const double r = rng->NextDouble();
+  // Binary search the CDF.
+  uint64_t lo = 0;
+  uint64_t hi = n_ - 1;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < r) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ccr

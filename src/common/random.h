@@ -1,0 +1,65 @@
+// Copyright 2026 The ccr Authors.
+//
+// Deterministic pseudo-random utilities for workloads and property tests.
+// A seeded xorshift generator keeps experiments reproducible without the
+// weight (or the platform variance) of <random> engines.
+
+#ifndef CCR_COMMON_RANDOM_H_
+#define CCR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace ccr {
+
+// xorshift128+ generator. Not cryptographic; fast and reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Picks an index according to `weights` (non-negative, not all zero).
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian distribution over [0, n): item i drawn with probability
+// proportional to 1/(i+1)^theta. theta == 0 degenerates to uniform. Used for
+// hot-spot object selection in workloads.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta);
+
+  uint64_t Sample(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_RANDOM_H_

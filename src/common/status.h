@@ -1,0 +1,139 @@
+// Copyright 2026 The ccr Authors.
+//
+// Lightweight Status / StatusOr error model (RocksDB idiom). The library does
+// not throw exceptions across API boundaries; every fallible operation
+// returns a Status or StatusOr<T>.
+
+#ifndef CCR_COMMON_STATUS_H_
+#define CCR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ccr {
+
+// Error taxonomy for the transaction framework. `kConflict` and `kDeadlock`
+// are retryable by re-running the transaction; the rest indicate misuse or a
+// permanent condition.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed request (bad event, unknown operation, ...)
+  kNotFound,          // missing object / transaction
+  kIllegalState,      // violates well-formedness or object protocol
+  kConflict,          // blocked by a concurrency conflict
+  kDeadlock,          // chosen as a deadlock victim
+  kAborted,           // transaction aborted (by user or system)
+  kTimedOut,          // lock wait timed out
+  kNotSupported,      // optional capability (e.g. inverse ops) unavailable
+  kInternal,          // invariant failure surfaced as an error
+};
+
+// Human-readable name of a status code ("Conflict", "Deadlock", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status: a code plus an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IllegalState(std::string msg) {
+    return Status(StatusCode::kIllegalState, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // True for outcomes a transaction runner should retry (conflict victims).
+  bool IsRetryable() const {
+    return code_ == StatusCode::kConflict || code_ == StatusCode::kDeadlock ||
+           code_ == StatusCode::kTimedOut;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A Status or a value of type T. Accessing the value of a non-OK StatusOr is
+// a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    CCR_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CCR_CHECK_MSG(ok(), "value() on error StatusOr: %s",
+                  status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    CCR_CHECK_MSG(ok(), "value() on error StatusOr: %s",
+                  status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    CCR_CHECK_MSG(ok(), "value() on error StatusOr: %s",
+                  status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression.
+#define CCR_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::ccr::Status _ccr_status = (expr);           \
+    if (!_ccr_status.ok()) return _ccr_status;    \
+  } while (0)
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The ccr Authors.
+//
+// Small string helpers: printf-style formatting, joining, and a fixed-width
+// ASCII table printer used by the benchmark binaries to render the paper's
+// figures.
+
+#ifndef CCR_COMMON_STRING_UTIL_H_
+#define CCR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace ccr {
+
+// printf into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+// Renders rows as a fixed-width table with a header row and a separator
+// line, e.g. for the Figure 6-1 / 6-2 commutativity matrices.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // The formatted table, ending with a newline.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_STRING_UTIL_H_

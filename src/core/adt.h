@@ -1,0 +1,63 @@
+// Copyright 2026 The ccr Authors.
+//
+// The abstract-data-type interface. An Adt bundles a serial specification
+// with everything the framework needs around it: a representative finite
+// operation universe for analysis, closed-form commutativity predicates
+// (exact for all argument values — the generalization of the paper's
+// Figures 6-1/6-2), a read/write classification for the classical locking
+// baseline, and optional inverse operations for undo-based UIP recovery.
+
+#ifndef CCR_CORE_ADT_H_
+#define CCR_CORE_ADT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+
+namespace ccr {
+
+class Adt {
+ public:
+  virtual ~Adt() = default;
+
+  virtual std::string name() const = 0;
+  virtual const SpecAutomaton& spec() const = 0;
+
+  // A finite set of representative operations, used by the commutativity
+  // analyzer and the figure benches. Must include the ADT's observers so
+  // bounded looks-like probing can distinguish distinguishable states.
+  virtual std::vector<Operation> Universe() const = 0;
+
+  // Closed-form forward commutativity: FC(p, q). Symmetric.
+  virtual bool CommuteForward(const Operation& p,
+                              const Operation& q) const = 0;
+
+  // Closed-form right backward commutativity: p right-commutes-backward
+  // with q. Not symmetric in general.
+  virtual bool RightCommutesBackward(const Operation& p,
+                                     const Operation& q) const = 0;
+
+  // True if the operation modifies the abstract state — the classification
+  // classical read/write locking uses.
+  virtual bool IsUpdate(const Operation& op) const = 0;
+
+  // Inverse-operation undo: the state obtained by undoing `op` from `state`,
+  // or nullopt if this ADT does not support inverses (then UIP recovery must
+  // use replay). Only meaningful when `op` was the most recent *effect* of
+  // its transaction at this state modulo commutativity — see UipRecovery.
+  virtual std::optional<std::unique_ptr<SpecState>> InverseApply(
+      const SpecState& state, const Operation& op) const {
+    (void)state;
+    (void)op;
+    return std::nullopt;
+  }
+
+  virtual bool supports_inverse() const { return false; }
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_ADT_H_

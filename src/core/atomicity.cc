@@ -1,0 +1,305 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/atomicity.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace ccr {
+
+namespace {
+
+// Per-transaction, per-object operation sequences of a history.
+using TxnOps = std::map<TxnId, std::map<ObjectId, OpSeq>>;
+
+TxnOps SplitOps(const History& h) {
+  TxnOps out;
+  std::map<TxnId, Invocation> pending;
+  for (const Event& e : h.events()) {
+    if (e.is_invoke()) {
+      pending[e.txn()] = e.invocation();
+    } else if (e.is_response()) {
+      auto it = pending.find(e.txn());
+      CCR_CHECK(it != pending.end());
+      out[e.txn()][e.object()].emplace_back(it->second, e.result());
+      pending.erase(it);
+    }
+  }
+  return out;
+}
+
+// The evolving per-object macro-states along a serial order.
+struct ObjectStates {
+  std::map<ObjectId, StateSet> states;
+
+  static ObjectStates Initial(const SpecMap& specs,
+                              const std::set<ObjectId>& objects) {
+    ObjectStates out;
+    for (const ObjectId& obj : objects) {
+      auto it = specs.find(obj);
+      CCR_CHECK_MSG(it != specs.end(), "no spec for object %s", obj.c_str());
+      out.states.emplace(obj,
+                         StateSet::Singleton(it->second->InitialState()));
+    }
+    return out;
+  }
+
+  // Steps all of `txn`'s operations; false if some object's language dies
+  // (the serial prefix is unacceptable).
+  bool StepTxn(const SpecMap& specs, const TxnOps& ops, TxnId txn) {
+    auto txn_it = ops.find(txn);
+    if (txn_it == ops.end()) return true;  // txn executed no operations
+    for (const auto& [obj, seq] : txn_it->second) {
+      auto spec_it = specs.find(obj);
+      CCR_CHECK(spec_it != specs.end());
+      StateSet& set = states.at(obj);
+      set = set.StepSeq(*spec_it->second, seq);
+      if (set.empty()) return false;
+    }
+    return true;
+  }
+};
+
+// Predecessor sets of the precedes relation, restricted to `txns`.
+std::map<TxnId, std::set<TxnId>> PredecessorMap(
+    const std::vector<std::pair<TxnId, TxnId>>& precedes,
+    const std::set<TxnId>& txns) {
+  std::map<TxnId, std::set<TxnId>> preds;
+  for (TxnId t : txns) preds[t];
+  for (const auto& [a, b] : precedes) {
+    if (txns.count(a) > 0 && txns.count(b) > 0) preds[b].insert(a);
+  }
+  return preds;
+}
+
+// DFS looking for a *witness* serial order (serializability).
+struct SerializeSearch {
+  const SpecMap& specs;
+  const TxnOps& ops;
+  std::vector<TxnId> all;
+  size_t max_nodes;
+  size_t nodes = 0;
+  bool exhausted = false;
+  std::vector<TxnId> order;
+
+  bool Dfs(ObjectStates states, std::vector<bool>& used, size_t placed) {
+    if (placed == all.size()) return true;
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return false;
+    }
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (used[i]) continue;
+      ObjectStates next = states;
+      if (!next.StepTxn(specs, ops, all[i])) continue;  // prune
+      used[i] = true;
+      order.push_back(all[i]);
+      if (Dfs(std::move(next), used, placed + 1)) return true;
+      order.pop_back();
+      used[i] = false;
+      if (exhausted) return false;
+    }
+    return false;
+  }
+};
+
+// DFS looking for a *violating* precedes-consistent order: a prefix that is
+// order-consistent and already unacceptable. Any such prefix extends to a
+// full linear extension, so it witnesses non-(dynamic-)atomicity.
+//
+// Visited (placed-set, states) configurations are memoized: two different
+// orders of the same transaction set that reach the same object states have
+// identical futures. Under a correct conflict relation concurrent
+// transactions' effects commute, so the states typically coincide and the
+// search degenerates from all-linear-extensions to near-linear in history
+// length.
+struct ViolationSearch {
+  const SpecMap& specs;
+  const TxnOps& ops;
+  std::vector<TxnId> all;
+  std::map<TxnId, std::set<TxnId>> preds;
+  size_t max_nodes;
+  size_t nodes = 0;
+  bool exhausted = false;
+  std::vector<TxnId> order;
+  std::set<TxnId> placed;
+  // hash -> (placed set, per-object states) configurations already explored.
+  std::unordered_map<size_t,
+                     std::vector<std::pair<std::set<TxnId>,
+                                           std::map<ObjectId, StateSet>>>>
+      visited;
+
+  bool MarkVisited(const ObjectStates& states) {
+    size_t h = placed.size();
+    for (TxnId t : placed) h = h * 1000003 + static_cast<size_t>(t);
+    for (const auto& [obj, set] : states.states) {
+      h ^= std::hash<std::string>()(obj) * 31 + set.Hash();
+    }
+    auto& bucket = visited[h];
+    for (const auto& [vp, vs] : bucket) {
+      if (vp != placed) continue;
+      bool same = true;
+      for (const auto& [obj, set] : states.states) {
+        auto it = vs.find(obj);
+        if (it == vs.end() || !it->second.Equals(set)) {
+          same = false;
+          break;
+        }
+      }
+      if (same) return false;  // already explored
+    }
+    bucket.emplace_back(placed, states.states);
+    return true;
+  }
+
+  bool Available(TxnId t) const {
+    for (TxnId p : preds.at(t)) {
+      if (placed.count(p) == 0) return false;
+    }
+    return true;
+  }
+
+  // Completes `order` to a full linear extension (used once a violating
+  // prefix is found).
+  void CompleteOrder() {
+    while (placed.size() < all.size()) {
+      for (TxnId t : all) {
+        if (placed.count(t) == 0 && Available(t)) {
+          order.push_back(t);
+          placed.insert(t);
+          break;
+        }
+      }
+    }
+  }
+
+  bool Dfs(ObjectStates states) {
+    if (placed.size() == all.size()) return false;
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return false;
+    }
+    for (TxnId t : all) {
+      if (placed.count(t) > 0 || !Available(t)) continue;
+      ObjectStates next = states;
+      order.push_back(t);
+      placed.insert(t);
+      if (!next.StepTxn(specs, ops, t)) {
+        // Unacceptable prefix consistent with precedes: violation found.
+        CompleteOrder();
+        return true;
+      }
+      if (MarkVisited(next) && Dfs(std::move(next))) return true;
+      placed.erase(t);
+      order.pop_back();
+      if (exhausted) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool IsAcceptable(const History& h, const SpecMap& specs) {
+  for (const ObjectId& obj : h.Objects()) {
+    auto it = specs.find(obj);
+    CCR_CHECK_MSG(it != specs.end(), "no spec for object %s", obj.c_str());
+    if (!Legal(*it->second, h.RestrictObject(obj).Opseq())) return false;
+  }
+  return true;
+}
+
+SerializabilityResult CheckSerializable(const History& h, const SpecMap& specs,
+                                        const CheckOptions& options) {
+  const TxnOps ops = SplitOps(h);
+  const std::set<TxnId> txns = h.Transactions();
+  SerializeSearch search{specs,
+                         ops,
+                         std::vector<TxnId>(txns.begin(), txns.end()),
+                         options.max_nodes,
+                         /*nodes=*/0,
+                         /*exhausted=*/false,
+                         /*order=*/{}};
+  std::vector<bool> used(search.all.size(), false);
+  ObjectStates init = ObjectStates::Initial(specs, h.Objects());
+  SerializabilityResult result;
+  result.serializable = search.Dfs(std::move(init), used, 0);
+  result.exhausted = search.exhausted;
+  if (result.serializable) result.order = search.order;
+  return result;
+}
+
+SerializabilityResult CheckAtomic(const History& h, const SpecMap& specs,
+                                  const CheckOptions& options) {
+  return CheckSerializable(h.Permanent(), specs, options);
+}
+
+namespace {
+
+// Shared body: is `k` serializable in every order (over its transactions)
+// consistent with `precedes`?
+DynamicAtomicityResult CheckAllOrders(
+    const History& k, const std::vector<std::pair<TxnId, TxnId>>& precedes,
+    const SpecMap& specs, const CheckOptions& options) {
+  const TxnOps ops = SplitOps(k);
+  const std::set<TxnId> txns = k.Transactions();
+  ViolationSearch search{specs,
+                         ops,
+                         std::vector<TxnId>(txns.begin(), txns.end()),
+                         PredecessorMap(precedes, txns),
+                         options.max_nodes,
+                         /*nodes=*/0,
+                         /*exhausted=*/false,
+                         /*order=*/{},
+                         /*placed=*/{},
+                         /*visited=*/{}};
+  ObjectStates init = ObjectStates::Initial(specs, k.Objects());
+  DynamicAtomicityResult result;
+  const bool violated = search.Dfs(std::move(init));
+  result.exhausted = search.exhausted;
+  result.dynamic_atomic = !violated && !search.exhausted;
+  if (violated) result.violating_order = search.order;
+  return result;
+}
+
+}  // namespace
+
+DynamicAtomicityResult CheckDynamicAtomic(const History& h,
+                                          const SpecMap& specs,
+                                          const CheckOptions& options) {
+  return CheckAllOrders(h.Permanent(), h.Precedes(), specs, options);
+}
+
+DynamicAtomicityResult CheckOnlineDynamicAtomic(const History& h,
+                                                const SpecMap& specs,
+                                                const CheckOptions& options) {
+  const std::set<TxnId> committed = h.Committed();
+  const std::set<TxnId> active = h.Active();
+  const std::vector<TxnId> active_vec(active.begin(), active.end());
+  CCR_CHECK_MSG(active_vec.size() <= 20, "too many active txns (%zu)",
+                active_vec.size());
+  DynamicAtomicityResult result;
+  result.dynamic_atomic = true;
+  for (uint64_t mask = 0; mask < (1ull << active_vec.size()); ++mask) {
+    std::set<TxnId> cs = committed;
+    for (size_t i = 0; i < active_vec.size(); ++i) {
+      if (mask & (1ull << i)) cs.insert(active_vec[i]);
+    }
+    const History k = h.RestrictTxns(cs);
+    DynamicAtomicityResult sub =
+        CheckAllOrders(k, k.Precedes(), specs, options);
+    result.exhausted = result.exhausted || sub.exhausted;
+    if (!sub.dynamic_atomic && !sub.exhausted) {
+      result.dynamic_atomic = false;
+      result.violating_order = sub.violating_order;
+      return result;
+    }
+  }
+  result.dynamic_atomic = !result.exhausted;
+  return result;
+}
+
+}  // namespace ccr

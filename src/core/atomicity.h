@@ -1,0 +1,78 @@
+// Copyright 2026 The ccr Authors.
+//
+// Atomicity checkers (paper Section 3). Given a history and the serial
+// specifications of its objects:
+//
+//   * acceptability — a serial failure-free history is acceptable iff
+//     Opseq(H|X) ∈ Spec(X) for every object X;
+//   * serializability — H is serializable iff some total order T of its
+//     transactions makes Serial(H,T) acceptable;
+//   * atomicity — H is atomic iff permanent(H) is serializable;
+//   * dynamic atomicity — H is dynamic atomic iff permanent(H) is
+//     serializable in *every* total order consistent with precedes(H);
+//   * online dynamic atomicity — the same for H|CS, for every commit set CS
+//     (committed(H) ⊆ CS, CS ∩ aborted(H) = ∅).
+//
+// The searches are exponential in the number of transactions in the worst
+// case; they prune with prefix legality (specification languages are
+// prefix-closed) and honor an explored-node cap, reporting `exhausted`.
+
+#ifndef CCR_CORE_ATOMICITY_H_
+#define CCR_CORE_ATOMICITY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/history.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+// Object name -> serial specification.
+using SpecMap = std::map<ObjectId, std::shared_ptr<const SpecAutomaton>>;
+
+// Search bounds.
+struct CheckOptions {
+  size_t max_nodes = 1u << 20;  // DFS node cap
+};
+
+// Is the serial failure-free history acceptable at every object?
+bool IsAcceptable(const History& h, const SpecMap& specs);
+
+struct SerializabilityResult {
+  bool serializable = false;
+  bool exhausted = false;       // node cap hit before a verdict
+  std::vector<TxnId> order;     // witness order when serializable
+};
+
+// Is `h` (failure-free) serializable? Searches for a witness order.
+SerializabilityResult CheckSerializable(const History& h, const SpecMap& specs,
+                                        const CheckOptions& options = {});
+
+// Is `h` atomic — permanent(h) serializable?
+SerializabilityResult CheckAtomic(const History& h, const SpecMap& specs,
+                                  const CheckOptions& options = {});
+
+struct DynamicAtomicityResult {
+  bool dynamic_atomic = false;
+  bool exhausted = false;
+  // When not dynamic atomic: an order consistent with precedes whose serial
+  // history is unacceptable.
+  std::vector<TxnId> violating_order;
+};
+
+// Is `h` dynamic atomic? Searches for a precedes-consistent order of the
+// committed transactions whose serialization is unacceptable.
+DynamicAtomicityResult CheckDynamicAtomic(const History& h,
+                                          const SpecMap& specs,
+                                          const CheckOptions& options = {});
+
+// Online dynamic atomicity over all commit sets (exponential in |Active|).
+DynamicAtomicityResult CheckOnlineDynamicAtomic(
+    const History& h, const SpecMap& specs, const CheckOptions& options = {});
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_ATOMICITY_H_

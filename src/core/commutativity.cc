@@ -1,0 +1,217 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/commutativity.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+size_t RelationTable::CountUnrelated() const {
+  size_t count = 0;
+  for (const auto& row : related) {
+    for (bool r : row) {
+      if (!r) ++count;
+    }
+  }
+  return count;
+}
+
+bool RelationTable::IsSymmetric() const {
+  for (size_t i = 0; i < related.size(); ++i) {
+    for (size_t j = 0; j < related.size(); ++j) {
+      if (related[i][j] != related[j][i]) return false;
+    }
+  }
+  return true;
+}
+
+std::string RelationTable::ToString(const std::string& marker) const {
+  std::vector<std::string> header{""};
+  for (const Operation& op : ops) header.push_back(op.ToString());
+  TablePrinter printer(std::move(header));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::vector<std::string> row{ops[i].ToString()};
+    for (size_t j = 0; j < ops.size(); ++j) {
+      row.push_back(related[i][j] ? "." : marker);
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+CommutativityAnalyzer::CommutativityAnalyzer(const SpecAutomaton* spec,
+                                             std::vector<Operation> universe,
+                                             AnalysisOptions options)
+    : spec_(spec), universe_(std::move(universe)), options_(options) {
+  CCR_CHECK(spec_ != nullptr);
+  if (options_.probe_universe.empty()) {
+    options_.probe_universe = universe_;
+  } else {
+    // The probe universe extends the analysis universe.
+    for (const Operation& op : universe_) {
+      options_.probe_universe.push_back(op);
+    }
+  }
+}
+
+void CommutativityAnalyzer::EnsureReachable() {
+  if (reachable_computed_) return;
+  reachable_computed_ = true;
+
+  // BFS over macro-states via universe operations, deduped by set equality.
+  std::unordered_map<size_t, std::vector<size_t>> index;  // hash -> positions
+  auto find_or_add = [&](StateSet set, OpSeq path) -> bool {
+    const size_t h = set.Hash();
+    for (size_t pos : index[h]) {
+      if (reachable_[pos].states.Equals(set)) return false;
+    }
+    index[h].push_back(reachable_.size());
+    reachable_.push_back(ReachableState{std::move(set), std::move(path)});
+    return true;
+  };
+
+  find_or_add(StateSet::Singleton(spec_->InitialState()), {});
+  std::deque<size_t> frontier{0};
+  while (!frontier.empty() && reachable_.size() < options_.max_macro_states) {
+    const size_t cur = frontier.front();
+    frontier.pop_front();
+    if (static_cast<int>(reachable_[cur].path.size()) >=
+        options_.reach_depth) {
+      continue;
+    }
+    for (const Operation& op : universe_) {
+      StateSet next = reachable_[cur].states.Step(*spec_, op);
+      if (next.empty()) continue;
+      OpSeq path = reachable_[cur].path;
+      path.push_back(op);
+      if (find_or_add(std::move(next), std::move(path))) {
+        frontier.push_back(reachable_.size() - 1);
+        if (reachable_.size() >= options_.max_macro_states) break;
+      }
+    }
+  }
+}
+
+const std::vector<ReachableState>& CommutativityAnalyzer::Reachable() {
+  EnsureReachable();
+  return reachable_;
+}
+
+bool CommutativityAnalyzer::CommuteForward(const Operation& p,
+                                           const Operation& q) {
+  const PairKey key = Key(p, q);
+  auto it = fc_memo_.find(key);
+  if (it != fc_memo_.end()) return it->second;
+  const bool result = !FindFcViolation(p, q).has_value();
+  fc_memo_[key] = result;
+  fc_memo_[Key(q, p)] = result;  // FC is symmetric (Lemma 8)
+  return result;
+}
+
+bool CommutativityAnalyzer::RightCommutesBackward(const Operation& p,
+                                                  const Operation& q) {
+  const PairKey key = Key(p, q);
+  auto it = rbc_memo_.find(key);
+  if (it != rbc_memo_.end()) return it->second;
+  const bool result = !FindRbcViolation(p, q).has_value();
+  rbc_memo_[key] = result;
+  return result;
+}
+
+std::optional<RbcViolation> CommutativityAnalyzer::FindRbcViolation(
+    const Operation& p, const Operation& q) {
+  EnsureReachable();
+  for (const ReachableState& rs : reachable_) {
+    StateSet after_qp = rs.states.Step(*spec_, q).Step(*spec_, p);
+    if (after_qp.empty()) continue;  // αQP ∉ Spec: vacuous at this α
+    StateSet after_pq = rs.states.Step(*spec_, p).Step(*spec_, q);
+    std::optional<OpSeq> rho = FindDistinguishingFuture(
+        *spec_, after_qp, after_pq, options_.probe_universe, options_.probe);
+    if (rho.has_value()) {
+      return RbcViolation{rs.path, std::move(*rho)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FcViolation> CommutativityAnalyzer::FindFcViolation(
+    const Operation& p, const Operation& q) {
+  EnsureReachable();
+  for (const ReachableState& rs : reachable_) {
+    StateSet after_p = rs.states.Step(*spec_, p);
+    if (after_p.empty()) continue;  // αP ∉ Spec
+    StateSet after_q = rs.states.Step(*spec_, q);
+    if (after_q.empty()) continue;  // αQ ∉ Spec
+    StateSet after_pq = after_p.Step(*spec_, q);
+    if (after_pq.empty()) {
+      // Case 1: αPQ ∉ Spec.
+      FcViolation v;
+      v.alpha = rs.path;
+      v.pq_illegal = true;
+      return v;
+    }
+    StateSet after_qp = after_q.Step(*spec_, p);
+    if (after_qp.empty()) {
+      // αQP ∉ Spec is case 1 with the roles of P and Q swapped; report it in
+      // a canonical direction so callers can swap.
+      FcViolation v;
+      v.alpha = rs.path;
+      v.pq_illegal = true;
+      v.rho_after_pq = false;  // the *QP* side is the illegal one
+      return v;
+    }
+    // Case 2: a future legal after PQ but not after QP, or vice versa.
+    std::optional<OpSeq> rho = FindDistinguishingFuture(
+        *spec_, after_pq, after_qp, options_.probe_universe, options_.probe);
+    if (rho.has_value()) {
+      FcViolation v;
+      v.alpha = rs.path;
+      v.rho = std::move(*rho);
+      v.rho_after_pq = true;  // αPQρ ∈ Spec, αQPρ ∉ Spec
+      return v;
+    }
+    rho = FindDistinguishingFuture(*spec_, after_qp, after_pq,
+                                   options_.probe_universe, options_.probe);
+    if (rho.has_value()) {
+      FcViolation v;
+      v.alpha = rs.path;
+      v.rho = std::move(*rho);
+      v.rho_after_pq = false;  // αQPρ ∈ Spec, αPQρ ∉ Spec
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+RelationTable CommutativityAnalyzer::ComputeFcTable() {
+  RelationTable table;
+  table.ops = universe_;
+  table.related.assign(universe_.size(),
+                       std::vector<bool>(universe_.size(), false));
+  for (size_t i = 0; i < universe_.size(); ++i) {
+    for (size_t j = i; j < universe_.size(); ++j) {
+      const bool fc = CommuteForward(universe_[i], universe_[j]);
+      table.related[i][j] = fc;
+      table.related[j][i] = fc;
+    }
+  }
+  return table;
+}
+
+RelationTable CommutativityAnalyzer::ComputeRbcTable() {
+  RelationTable table;
+  table.ops = universe_;
+  table.related.assign(universe_.size(),
+                       std::vector<bool>(universe_.size(), false));
+  for (size_t i = 0; i < universe_.size(); ++i) {
+    for (size_t j = 0; j < universe_.size(); ++j) {
+      table.related[i][j] = RightCommutesBackward(universe_[i], universe_[j]);
+    }
+  }
+  return table;
+}
+
+}  // namespace ccr

@@ -1,0 +1,145 @@
+// Copyright 2026 The ccr Authors.
+//
+// Commutativity analysis (paper Section 6).
+//
+//   FC(P,Q): P and Q commute forward iff for every α with αP ∈ Spec and
+//            αQ ∈ Spec: αPQ ∈ Spec, αQP ∈ Spec, and αPQ equieffective αQP.
+//   RBC(P,Q): P right-commutes-backward with Q iff for every α,
+//            αQP looks like αPQ. NOT symmetric in general.
+//
+// For an automaton, the ∀α quantifier ranges over macro-states reachable by
+// legal sequences. The analyzer explores the macro-states reachable using a
+// finite operation universe (the same universe the ADT declares for its
+// representative operations), so results are exact relative to that closure;
+// every library ADT chooses a universe that covers its behavior, and tests
+// cross-check the analyzer against the closed-form predicates.
+//
+// The analyzer also produces *witnesses*: the (α, ρ) sequences that the
+// only-if directions of Theorems 9 and 10 turn into non-dynamic-atomic
+// histories.
+
+#ifndef CCR_CORE_COMMUTATIVITY_H_
+#define CCR_CORE_COMMUTATIVITY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/equieffective.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+// Exploration and probing bounds.
+struct AnalysisOptions {
+  size_t max_macro_states = 4096;  // reachable macro-state cap
+  int reach_depth = 10;            // max length of α paths explored
+  ProbeOptions probe;              // bounds for looks-like probing
+  // Operations used as probe futures ρ. Empty means "use the analysis
+  // universe". ADTs whose observers are argument-indexed (balance(j),
+  // size(n), ...) should extend this with observers covering the reachable
+  // range so bounded probing distinguishes all distinguishable states.
+  std::vector<Operation> probe_universe;
+};
+
+// A reachable macro-state together with one access path α.
+struct ReachableState {
+  StateSet states;
+  OpSeq path;
+};
+
+// A witness that RBC(P,Q) fails: αQPρ ∈ Spec but αPQρ ∉ Spec
+// (the raw material of the Theorem 9 only-if construction).
+struct RbcViolation {
+  OpSeq alpha;
+  OpSeq rho;
+};
+
+// A witness that FC(P,Q) fails (Theorem 10 only-if construction). Either
+// case 1: αP, αQ ∈ Spec but αPQ ∉ Spec; or case 2: αPQ and αQP are not
+// equieffective, distinguished by ρ. `rho_after_pq` reports the direction:
+// true means αPQρ ∈ Spec and αQPρ ∉ Spec.
+struct FcViolation {
+  OpSeq alpha;
+  bool pq_illegal = false;
+  OpSeq rho;
+  bool rho_after_pq = true;
+};
+
+// A boolean relation over a finite operation universe, used to render the
+// paper's Figure 6-1 / 6-2 matrices and to count conflicts.
+struct RelationTable {
+  std::vector<Operation> ops;
+  // related[i][j]: ops[i] related to ops[j] (e.g. commutes / right-commutes).
+  std::vector<std::vector<bool>> related;
+
+  // Number of (i,j) pairs with related[i][j] == false (the conflicts).
+  size_t CountUnrelated() const;
+  bool IsSymmetric() const;
+
+  // Matrix with `marker` (default "x") where NOT related, "." elsewhere —
+  // the layout of the paper's figures, which mark non-commuting pairs.
+  std::string ToString(const std::string& marker = "x") const;
+};
+
+// Computes FC / RBC over a finite universe by reachable-macro-state
+// exploration. Results per pair are memoized.
+class CommutativityAnalyzer {
+ public:
+  CommutativityAnalyzer(const SpecAutomaton* spec,
+                        std::vector<Operation> universe,
+                        AnalysisOptions options = {});
+
+  const std::vector<Operation>& universe() const { return universe_; }
+  const SpecAutomaton& spec() const { return *spec_; }
+
+  // Forward commutativity of p and q (symmetric).
+  bool CommuteForward(const Operation& p, const Operation& q);
+  // p right-commutes-backward with q (NOT symmetric).
+  bool RightCommutesBackward(const Operation& p, const Operation& q);
+
+  // The complements: NFC / NRBC membership.
+  bool Nfc(const Operation& p, const Operation& q) {
+    return !CommuteForward(p, q);
+  }
+  bool Nrbc(const Operation& p, const Operation& q) {
+    return !RightCommutesBackward(p, q);
+  }
+
+  // Witness extraction for the only-if constructions; nullopt when the pair
+  // actually commutes (within bounds).
+  std::optional<RbcViolation> FindRbcViolation(const Operation& p,
+                                               const Operation& q);
+  std::optional<FcViolation> FindFcViolation(const Operation& p,
+                                             const Operation& q);
+
+  // Full relation matrices over the universe.
+  RelationTable ComputeFcTable();
+  RelationTable ComputeRbcTable();
+
+  // The macro-states explored (for diagnostics / benches).
+  const std::vector<ReachableState>& Reachable();
+
+ private:
+  using PairKey = std::pair<std::string, std::string>;
+  static PairKey Key(const Operation& p, const Operation& q) {
+    return {p.ToString(), q.ToString()};
+  }
+
+  void EnsureReachable();
+
+  const SpecAutomaton* spec_;
+  std::vector<Operation> universe_;
+  AnalysisOptions options_;
+
+  bool reachable_computed_ = false;
+  std::vector<ReachableState> reachable_;
+
+  std::map<PairKey, bool> fc_memo_;
+  std::map<PairKey, bool> rbc_memo_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_COMMUTATIVITY_H_

@@ -1,0 +1,86 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/conflict_relation.h"
+
+namespace ccr {
+
+std::shared_ptr<ConflictRelation> MakeNfcConflict(
+    std::shared_ptr<const Adt> adt) {
+  return std::make_shared<FunctionConflict>(
+      "NFC(" + adt->name() + ")",
+      [adt](const Operation& requested, const Operation& held) {
+        return !adt->CommuteForward(requested, held);
+      });
+}
+
+std::shared_ptr<ConflictRelation> MakeNrbcConflict(
+    std::shared_ptr<const Adt> adt) {
+  return std::make_shared<FunctionConflict>(
+      "NRBC(" + adt->name() + ")",
+      [adt](const Operation& requested, const Operation& held) {
+        return !adt->RightCommutesBackward(requested, held);
+      });
+}
+
+std::shared_ptr<ConflictRelation> MakeSymmetricNrbcConflict(
+    std::shared_ptr<const Adt> adt) {
+  return std::make_shared<FunctionConflict>(
+      "symNRBC(" + adt->name() + ")",
+      [adt](const Operation& requested, const Operation& held) {
+        return !adt->RightCommutesBackward(requested, held) ||
+               !adt->RightCommutesBackward(held, requested);
+      });
+}
+
+std::shared_ptr<ConflictRelation> MakeReadWriteConflict(
+    std::shared_ptr<const Adt> adt) {
+  return std::make_shared<FunctionConflict>(
+      "RW(" + adt->name() + ")",
+      [adt](const Operation& requested, const Operation& held) {
+        return adt->IsUpdate(requested) || adt->IsUpdate(held);
+      });
+}
+
+std::shared_ptr<ConflictRelation> MakeEmptyConflict() {
+  return std::make_shared<FunctionConflict>(
+      "empty", [](const Operation&, const Operation&) { return false; });
+}
+
+std::shared_ptr<ConflictRelation> MakeTotalConflict() {
+  return std::make_shared<FunctionConflict>(
+      "total", [](const Operation&, const Operation&) { return true; });
+}
+
+std::shared_ptr<ConflictRelation> MakeSymmetricClosure(
+    std::shared_ptr<const ConflictRelation> inner) {
+  return std::make_shared<FunctionConflict>(
+      "sym(" + inner->name() + ")",
+      [inner](const Operation& requested, const Operation& held) {
+        return inner->Conflicts(requested, held) ||
+               inner->Conflicts(held, requested);
+      });
+}
+
+std::shared_ptr<ConflictRelation> MakeExceptPair(
+    std::shared_ptr<const ConflictRelation> inner, Operation p, Operation q) {
+  const std::string name =
+      inner->name() + " \\ (" + p.ToString() + ", " + q.ToString() + ")";
+  return std::make_shared<FunctionConflict>(
+      name, [inner, p = std::move(p), q = std::move(q)](
+                const Operation& requested, const Operation& held) {
+        if (requested == p && held == q) return false;
+        return inner->Conflicts(requested, held);
+      });
+}
+
+std::shared_ptr<ConflictRelation> MakeUnion(
+    std::shared_ptr<const ConflictRelation> a,
+    std::shared_ptr<const ConflictRelation> b) {
+  return std::make_shared<FunctionConflict>(
+      a->name() + " ∪ " + b->name(),
+      [a, b](const Operation& requested, const Operation& held) {
+        return a->Conflicts(requested, held) || b->Conflicts(requested, held);
+      });
+}
+
+}  // namespace ccr

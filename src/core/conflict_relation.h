@@ -1,0 +1,100 @@
+// Copyright 2026 The ccr Authors.
+//
+// Conflict relations — the paper's abstraction of concurrency control.
+// A response for operation `requested` by transaction A is enabled only if
+// (requested, held) ∉ Conflict for every operation `held` already executed
+// by a different active transaction.
+//
+// Orientation matters because NRBC is not symmetric: `requested` is the
+// operation about to respond (the one the serializability argument pushes
+// backward past the held operations of later-serialized transactions).
+
+#ifndef CCR_CORE_CONFLICT_RELATION_H_
+#define CCR_CORE_CONFLICT_RELATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adt.h"
+#include "core/operation.h"
+
+namespace ccr {
+
+class ConflictRelation {
+ public:
+  virtual ~ConflictRelation() = default;
+
+  virtual std::string name() const = 0;
+
+  // True iff `requested` conflicts with `held`.
+  virtual bool Conflicts(const Operation& requested,
+                         const Operation& held) const = 0;
+};
+
+// Wraps an arbitrary predicate.
+class FunctionConflict final : public ConflictRelation {
+ public:
+  using Predicate = std::function<bool(const Operation&, const Operation&)>;
+
+  FunctionConflict(std::string name, Predicate predicate)
+      : name_(std::move(name)), predicate_(std::move(predicate)) {}
+
+  std::string name() const override { return name_; }
+  bool Conflicts(const Operation& requested,
+                 const Operation& held) const override {
+    return predicate_(requested, held);
+  }
+
+ private:
+  std::string name_;
+  Predicate predicate_;
+};
+
+// NFC(Spec): conflicts exactly when the operations do not commute forward.
+// The relation Theorem 10 proves necessary and sufficient for DU recovery.
+std::shared_ptr<ConflictRelation> MakeNfcConflict(
+    std::shared_ptr<const Adt> adt);
+
+// NRBC(Spec): `requested` conflicts with `held` exactly when `requested`
+// does not right-commute-backward with `held`. Necessary and sufficient for
+// UIP recovery (Theorem 9).
+std::shared_ptr<ConflictRelation> MakeNrbcConflict(
+    std::shared_ptr<const Adt> adt);
+
+// The symmetric closure of NRBC — what earlier algorithms (and any framework
+// that insists on symmetric conflict relations) must use with UIP. Strictly
+// more conflicts than NRBC whenever NRBC is asymmetric.
+std::shared_ptr<ConflictRelation> MakeSymmetricNrbcConflict(
+    std::shared_ptr<const Adt> adt);
+
+// Classical read/write locking: conflict unless both operations are
+// read-only. The baseline every type-specific relation is compared against.
+std::shared_ptr<ConflictRelation> MakeReadWriteConflict(
+    std::shared_ptr<const Adt> adt);
+
+// No conflicts at all (maximally permissive, generally incorrect).
+std::shared_ptr<ConflictRelation> MakeEmptyConflict();
+
+// Every pair conflicts (serial execution).
+std::shared_ptr<ConflictRelation> MakeTotalConflict();
+
+// Symmetric closure of an arbitrary relation.
+std::shared_ptr<ConflictRelation> MakeSymmetricClosure(
+    std::shared_ptr<const ConflictRelation> inner);
+
+// `inner` with the single ordered pair (requested==p, held==q) removed —
+// the deficient relations used by the Theorem 9/10 only-if experiments.
+std::shared_ptr<ConflictRelation> MakeExceptPair(
+    std::shared_ptr<const ConflictRelation> inner, Operation p, Operation q);
+
+// Union of two relations.
+std::shared_ptr<ConflictRelation> MakeUnion(
+    std::shared_ptr<const ConflictRelation> a,
+    std::shared_ptr<const ConflictRelation> b);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_CONFLICT_RELATION_H_

@@ -1,0 +1,44 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/counterexample.h"
+
+#include "core/script.h"
+
+namespace ccr {
+
+StatusOr<History> BuildTheorem9History(const ObjectId& x, const Operation& p,
+                                       const Operation& q,
+                                       const RbcViolation& witness) {
+  HistoryScript script;
+  script.ExecSeq(kTxnA, witness.alpha).Commit(kTxnA, x);
+  script.Exec(kTxnB, q);
+  script.Exec(kTxnC, p);
+  script.Commit(kTxnB, x).Commit(kTxnC, x);
+  if (!witness.rho.empty()) {
+    script.ExecSeq(kTxnD, witness.rho).Commit(kTxnD, x);
+  }
+  return script.Build();
+}
+
+StatusOr<History> BuildTheorem10History(const ObjectId& x, const Operation& p,
+                                        const Operation& q,
+                                        const FcViolation& witness) {
+  // Arrange so that the committed order of the two middle transactions is
+  // the *legal* composition under DU: if the witness says ρ is legal after
+  // p·q (or, in case 1, that p·q is the illegal side but no D runs), B
+  // executes p first; otherwise B executes q first.
+  const Operation& first = witness.rho_after_pq || witness.pq_illegal ? p : q;
+  const Operation& second = witness.rho_after_pq || witness.pq_illegal ? q : p;
+
+  HistoryScript script;
+  script.ExecSeq(kTxnA, witness.alpha).Commit(kTxnA, x);
+  script.Exec(kTxnB, first);
+  script.Exec(kTxnC, second);
+  script.Commit(kTxnB, x).Commit(kTxnC, x);
+  if (!witness.pq_illegal && !witness.rho.empty()) {
+    script.ExecSeq(kTxnD, witness.rho).Commit(kTxnD, x);
+  }
+  return script.Build();
+}
+
+}  // namespace ccr

@@ -1,0 +1,45 @@
+// Copyright 2026 The ccr Authors.
+//
+// Constructive "only if" witnesses for Theorems 9 and 10: given an operation
+// pair whose commutativity fails (with the analyzer's (α, ρ) witness), build
+// the exact histories from the paper's proofs. Each history is permitted by
+// the corresponding I(X, Spec, View, Conflict) when the pair is missing from
+// Conflict — ReplayHistory verifies this — yet it is not dynamic atomic.
+
+#ifndef CCR_CORE_COUNTEREXAMPLE_H_
+#define CCR_CORE_COUNTEREXAMPLE_H_
+
+#include "common/status.h"
+#include "core/commutativity.h"
+#include "core/history.h"
+
+namespace ccr {
+
+// Transaction ids used by the constructions (matching the paper's A..D).
+inline constexpr TxnId kTxnA = 1;
+inline constexpr TxnId kTxnB = 2;
+inline constexpr TxnId kTxnC = 3;
+inline constexpr TxnId kTxnD = 4;
+
+// Theorem 9 only-if history for (p, q) ∈ NRBC with witness
+// αqpρ ∈ Spec, αpqρ ∉ Spec:
+//   A executes α; A commits; B executes q; C executes p;
+//   B commits; C commits; D executes ρ; D commits.
+// Permitted by I(X, Spec, UIP, Conflict) whenever (p, q) ∉ Conflict, but not
+// serializable in the precedes-consistent order A-C-B-D.
+StatusOr<History> BuildTheorem9History(const ObjectId& x, const Operation& p,
+                                       const Operation& q,
+                                       const RbcViolation& witness);
+
+// Theorem 10 only-if history for (p, q) ∈ NFC. Case 1 (one of αpq, αqp
+// illegal): A: α; A commits; B: p; C: q; B commits; C commits. Case 2
+// (inequieffective): the same followed by D executing the distinguishing ρ.
+// The roles of p and q are arranged so the history is permitted by
+// I(X, Spec, DU, Conflict) whenever the pair is missing from Conflict.
+StatusOr<History> BuildTheorem10History(const ObjectId& x, const Operation& p,
+                                        const Operation& q,
+                                        const FcViolation& witness);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_COUNTEREXAMPLE_H_

@@ -1,0 +1,99 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/equieffective.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace ccr {
+
+namespace {
+
+// A BFS node: a pair of macro-states and the probe path that reached it.
+struct Node {
+  StateSet a;
+  StateSet b;
+  OpSeq path;
+};
+
+}  // namespace
+
+std::optional<OpSeq> FindDistinguishingFuture(
+    const SpecAutomaton& spec, const StateSet& a, const StateSet& b,
+    const std::vector<Operation>& universe, const ProbeOptions& options) {
+  if (a.empty()) return std::nullopt;  // no futures at all
+  if (b.empty()) return OpSeq{};       // ρ = Λ distinguishes
+
+  std::deque<Node> queue;
+  queue.push_back(Node{a, b, {}});
+
+  // Visited pairs, bucketed by combined hash with exact equality check.
+  std::unordered_map<size_t, std::vector<std::pair<StateSet, StateSet>>>
+      visited;
+  auto mark_visited = [&visited](const StateSet& x, const StateSet& y) {
+    const size_t h = x.Hash() * 31 ^ y.Hash();
+    auto& bucket = visited[h];
+    for (const auto& [vx, vy] : bucket) {
+      if (vx.Equals(x) && vy.Equals(y)) return false;
+    }
+    bucket.emplace_back(x, y);
+    return true;
+  };
+  mark_visited(a, b);
+
+  size_t explored = 0;
+  while (!queue.empty()) {
+    Node node = std::move(queue.front());
+    queue.pop_front();
+    if (static_cast<int>(node.path.size()) >= options.depth) continue;
+    if (++explored > options.max_pairs) break;
+
+    for (const Operation& op : universe) {
+      StateSet next_a = node.a.Step(spec, op);
+      if (next_a.empty()) continue;  // op not a legal future from a
+      StateSet next_b = node.b.Step(spec, op);
+      OpSeq next_path = node.path;
+      next_path.push_back(op);
+      if (next_b.empty()) return next_path;  // legal from a, not from b
+      // If the macro-states coincide, every deeper future behaves the same.
+      if (spec.reduced() && next_a.Equals(next_b)) continue;
+      if (mark_visited(next_a, next_b)) {
+        queue.push_back(Node{std::move(next_a), std::move(next_b),
+                             std::move(next_path)});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool LooksLike(const SpecAutomaton& spec, const StateSet& a,
+               const StateSet& b, const std::vector<Operation>& universe,
+               const ProbeOptions& options) {
+  if (spec.reduced() && a.Equals(b)) return true;
+  return !FindDistinguishingFuture(spec, a, b, universe, options).has_value();
+}
+
+bool Equieffective(const SpecAutomaton& spec, const StateSet& a,
+                   const StateSet& b, const std::vector<Operation>& universe,
+                   const ProbeOptions& options) {
+  if (spec.reduced() && a.Equals(b)) return true;
+  return LooksLike(spec, a, b, universe, options) &&
+         LooksLike(spec, b, a, universe, options);
+}
+
+bool SeqLooksLike(const SpecAutomaton& spec, const OpSeq& alpha,
+                  const OpSeq& beta, const std::vector<Operation>& universe,
+                  const ProbeOptions& options) {
+  return LooksLike(spec, RunSpec(spec, alpha), RunSpec(spec, beta), universe,
+                   options);
+}
+
+bool SeqEquieffective(const SpecAutomaton& spec, const OpSeq& alpha,
+                      const OpSeq& beta,
+                      const std::vector<Operation>& universe,
+                      const ProbeOptions& options) {
+  return Equieffective(spec, RunSpec(spec, alpha), RunSpec(spec, beta),
+                       universe, options);
+}
+
+}  // namespace ccr

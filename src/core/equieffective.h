@@ -1,0 +1,60 @@
+// Copyright 2026 The ccr Authors.
+//
+// "Looks like" and equieffectiveness (paper Section 6.1).
+//
+//   α looks like β   iff for every operation sequence ρ, αρ ∈ Spec ⇒ βρ ∈ Spec
+//   α equieffective β iff each looks like the other.
+//
+// For an automaton, a sequence matters only through the macro-state (set of
+// states) it reaches, so both relations reduce to language containment
+// between macro-states. We decide containment by probing with a finite
+// operation universe up to a bounded depth; this is exact whenever the
+// universe and depth suffice to distinguish any two distinguishable
+// macro-states (true for all library ADTs, whose universes include their
+// observer operations).
+
+#ifndef CCR_CORE_EQUIEFFECTIVE_H_
+#define CCR_CORE_EQUIEFFECTIVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/spec.h"
+
+namespace ccr {
+
+// Bounds for the containment probe.
+struct ProbeOptions {
+  int depth = 6;              // maximum length of probe sequences ρ
+  size_t max_pairs = 100000;  // cap on explored (A,B) macro-state pairs
+};
+
+// Searches for a future ρ (|ρ| <= depth, ops drawn from `universe`) that is
+// legal from `a` but not from `b`; nullopt if none is found within bounds.
+// The empty future counts: if `a` is nonempty and `b` is empty, ρ = Λ.
+std::optional<OpSeq> FindDistinguishingFuture(
+    const SpecAutomaton& spec, const StateSet& a, const StateSet& b,
+    const std::vector<Operation>& universe, const ProbeOptions& options);
+
+// futures(a) ⊆ futures(b), within the probe bounds.
+bool LooksLike(const SpecAutomaton& spec, const StateSet& a,
+               const StateSet& b, const std::vector<Operation>& universe,
+               const ProbeOptions& options);
+
+// Mutual containment.
+bool Equieffective(const SpecAutomaton& spec, const StateSet& a,
+                   const StateSet& b, const std::vector<Operation>& universe,
+                   const ProbeOptions& options);
+
+// Sequence-level wrappers running both sequences from the initial state.
+bool SeqLooksLike(const SpecAutomaton& spec, const OpSeq& alpha,
+                  const OpSeq& beta, const std::vector<Operation>& universe,
+                  const ProbeOptions& options);
+bool SeqEquieffective(const SpecAutomaton& spec, const OpSeq& alpha,
+                      const OpSeq& beta,
+                      const std::vector<Operation>& universe,
+                      const ProbeOptions& options);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_EQUIEFFECTIVE_H_

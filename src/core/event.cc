@@ -1,0 +1,88 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/event.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+std::string TxnName(TxnId txn) {
+  if (txn == kInvalidTxn) return "?";
+  if (txn <= 26) return std::string(1, static_cast<char>('A' + txn - 1));
+  return StrFormat("T%llu", static_cast<unsigned long long>(txn));
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInvoke:
+      return "invoke";
+    case EventKind::kResponse:
+      return "response";
+    case EventKind::kCommit:
+      return "commit";
+    case EventKind::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+Event Event::Invoke(TxnId txn, Invocation inv) {
+  Event e(EventKind::kInvoke, txn, inv.object());
+  e.inv_ = std::move(inv);
+  return e;
+}
+
+Event Event::Response(TxnId txn, ObjectId object, Value result) {
+  Event e(EventKind::kResponse, txn, std::move(object));
+  e.result_ = std::move(result);
+  return e;
+}
+
+Event Event::Commit(TxnId txn, ObjectId object) {
+  return Event(EventKind::kCommit, txn, std::move(object));
+}
+
+Event Event::Abort(TxnId txn, ObjectId object) {
+  return Event(EventKind::kAbort, txn, std::move(object));
+}
+
+const Invocation& Event::invocation() const {
+  CCR_CHECK_MSG(is_invoke(), "invocation() on %s event",
+                EventKindName(kind_));
+  return inv_;
+}
+
+const Value& Event::result() const {
+  CCR_CHECK_MSG(is_response(), "result() on %s event", EventKindName(kind_));
+  return result_;
+}
+
+bool Event::operator==(const Event& other) const {
+  if (kind_ != other.kind_ || txn_ != other.txn_ || object_ != other.object_) {
+    return false;
+  }
+  if (is_invoke()) return inv_ == other.inv_;
+  if (is_response()) return result_ == other.result_;
+  return true;
+}
+
+std::string Event::ToString() const {
+  switch (kind_) {
+    case EventKind::kInvoke:
+      return StrFormat("<%s, %s, %s>", inv_.ToString().c_str(),
+                       object_.c_str(), TxnName(txn_).c_str());
+    case EventKind::kResponse:
+      return StrFormat("<%s, %s, %s>", result_.ToString().c_str(),
+                       object_.c_str(), TxnName(txn_).c_str());
+    case EventKind::kCommit:
+      return StrFormat("<commit, %s, %s>", object_.c_str(),
+                       TxnName(txn_).c_str());
+    case EventKind::kAbort:
+      return StrFormat("<abort, %s, %s>", object_.c_str(),
+                       TxnName(txn_).c_str());
+  }
+  return "<invalid>";
+}
+
+}  // namespace ccr

@@ -1,0 +1,74 @@
+// Copyright 2026 The ccr Authors.
+//
+// Events — the paper's Section 2 vocabulary. A computation is a sequence of
+// invocation, response, commit, and abort events at the interface between
+// transactions and objects.
+
+#ifndef CCR_CORE_EVENT_H_
+#define CCR_CORE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/operation.h"
+
+namespace ccr {
+
+// Transactions are identified by positive integers; 0 is invalid.
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxn = 0;
+
+// Pretty name for a transaction id: "A".."Z" for 1..26, "T<n>" beyond.
+std::string TxnName(TxnId txn);
+
+enum class EventKind {
+  kInvoke,    // <inv, X, A>
+  kResponse,  // <res, X, A>
+  kCommit,    // <commit, X, A>
+  kAbort,     // <abort, X, A>
+};
+
+const char* EventKindName(EventKind kind);
+
+// One event. Invoke events carry the invocation; response events carry the
+// result value; commit/abort carry neither.
+class Event {
+ public:
+  static Event Invoke(TxnId txn, Invocation inv);
+  static Event Response(TxnId txn, ObjectId object, Value result);
+  static Event Commit(TxnId txn, ObjectId object);
+  static Event Abort(TxnId txn, ObjectId object);
+
+  EventKind kind() const { return kind_; }
+  TxnId txn() const { return txn_; }
+  const ObjectId& object() const { return object_; }
+
+  // Valid only for kInvoke events.
+  const Invocation& invocation() const;
+  // Valid only for kResponse events.
+  const Value& result() const;
+
+  bool is_invoke() const { return kind_ == EventKind::kInvoke; }
+  bool is_response() const { return kind_ == EventKind::kResponse; }
+  bool is_commit() const { return kind_ == EventKind::kCommit; }
+  bool is_abort() const { return kind_ == EventKind::kAbort; }
+
+  bool operator==(const Event& other) const;
+
+  // "<withdraw(3), BA, B>" / "<ok, BA, B>" / "<commit, BA, A>".
+  std::string ToString() const;
+
+ private:
+  Event(EventKind kind, TxnId txn, ObjectId object)
+      : kind_(kind), txn_(txn), object_(std::move(object)) {}
+
+  EventKind kind_;
+  TxnId txn_;
+  ObjectId object_;
+  Invocation inv_;  // kInvoke only
+  Value result_;    // kResponse only
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_EVENT_H_

@@ -1,0 +1,265 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/history.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+Status History::Append(const Event& event) {
+  CCR_RETURN_IF_ERROR(Validate(event));
+  events_.push_back(event);
+  ApplyCaches(event);
+  return Status::OK();
+}
+
+StatusOr<History> History::FromEvents(const std::vector<Event>& events) {
+  History h;
+  for (const Event& e : events) {
+    Status s = h.Append(e);
+    if (!s.ok()) return s;
+  }
+  return h;
+}
+
+Status History::Validate(const Event& event) const {
+  const TxnId txn = event.txn();
+  if (txn == kInvalidTxn) {
+    return Status::InvalidArgument("event with invalid transaction id");
+  }
+  const bool committed = committed_.count(txn) > 0;
+  const bool aborted = aborted_.count(txn) > 0;
+  const auto pending_it = pending_.find(txn);
+  const bool has_pending = pending_it != pending_.end();
+
+  switch (event.kind()) {
+    case EventKind::kInvoke:
+      if (committed || aborted) {
+        return Status::IllegalState(StrFormat(
+            "%s invokes after it %s", TxnName(txn).c_str(),
+            committed ? "committed" : "aborted"));
+      }
+      if (has_pending) {
+        return Status::IllegalState(
+            StrFormat("%s already has a pending invocation %s",
+                      TxnName(txn).c_str(),
+                      pending_it->second.ToString().c_str()));
+      }
+      return Status::OK();
+    case EventKind::kResponse:
+      if (!has_pending) {
+        return Status::IllegalState(StrFormat(
+            "response for %s with no pending invocation",
+            TxnName(txn).c_str()));
+      }
+      if (pending_it->second.object() != event.object()) {
+        return Status::IllegalState(StrFormat(
+            "response at %s but %s's pending invocation is at %s",
+            event.object().c_str(), TxnName(txn).c_str(),
+            pending_it->second.object().c_str()));
+      }
+      return Status::OK();
+    case EventKind::kCommit:
+      if (aborted) {
+        return Status::IllegalState(StrFormat(
+            "%s commits after aborting", TxnName(txn).c_str()));
+      }
+      if (has_pending) {
+        return Status::IllegalState(StrFormat(
+            "%s commits while waiting for a response",
+            TxnName(txn).c_str()));
+      }
+      if (commits_at_.count({txn, event.object()}) > 0) {
+        return Status::IllegalState(StrFormat(
+            "%s commits twice at %s", TxnName(txn).c_str(),
+            event.object().c_str()));
+      }
+      return Status::OK();
+    case EventKind::kAbort:
+      if (committed) {
+        return Status::IllegalState(StrFormat(
+            "%s aborts after committing", TxnName(txn).c_str()));
+      }
+      if (aborts_at_.count({txn, event.object()}) > 0) {
+        return Status::IllegalState(StrFormat(
+            "%s aborts twice at %s", TxnName(txn).c_str(),
+            event.object().c_str()));
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown event kind");
+}
+
+void History::ApplyCaches(const Event& event) {
+  const TxnId txn = event.txn();
+  appearing_.insert(txn);
+  switch (event.kind()) {
+    case EventKind::kInvoke:
+      pending_.emplace(txn, event.invocation());
+      break;
+    case EventKind::kResponse:
+      pending_.erase(txn);
+      break;
+    case EventKind::kCommit:
+      committed_.insert(txn);
+      commits_at_.insert({txn, event.object()});
+      break;
+    case EventKind::kAbort:
+      aborted_.insert(txn);
+      aborts_at_.insert({txn, event.object()});
+      // A pending invocation of an aborted transaction is abandoned.
+      pending_.erase(txn);
+      break;
+  }
+}
+
+std::set<TxnId> History::Committed() const { return committed_; }
+std::set<TxnId> History::Aborted() const { return aborted_; }
+
+std::set<TxnId> History::Active() const {
+  std::set<TxnId> out;
+  for (TxnId t : appearing_) {
+    if (committed_.count(t) == 0 && aborted_.count(t) == 0) out.insert(t);
+  }
+  return out;
+}
+
+std::set<TxnId> History::Transactions() const { return appearing_; }
+
+std::optional<Invocation> History::PendingInvocation(TxnId txn) const {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) return std::nullopt;
+  return it->second;
+}
+
+History History::RestrictObject(const ObjectId& object) const {
+  History out;
+  for (const Event& e : events_) {
+    if (e.object() == object) {
+      Status s = out.Append(e);
+      CCR_CHECK_MSG(s.ok(), "projection broke well-formedness: %s",
+                    s.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+History History::RestrictTxns(const std::set<TxnId>& txns) const {
+  History out;
+  for (const Event& e : events_) {
+    if (txns.count(e.txn()) > 0) {
+      Status s = out.Append(e);
+      CCR_CHECK_MSG(s.ok(), "projection broke well-formedness: %s",
+                    s.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+History History::RestrictTxn(TxnId txn) const {
+  return RestrictTxns({txn});
+}
+
+std::set<ObjectId> History::Objects() const {
+  std::set<ObjectId> out;
+  for (const Event& e : events_) out.insert(e.object());
+  return out;
+}
+
+OpSeq History::Opseq() const {
+  OpSeq out;
+  std::map<TxnId, Invocation> pending;
+  for (const Event& e : events_) {
+    if (e.is_invoke()) {
+      pending[e.txn()] = e.invocation();
+    } else if (e.is_response()) {
+      auto it = pending.find(e.txn());
+      CCR_CHECK_MSG(it != pending.end(),
+                    "response without pending invocation in Opseq");
+      out.emplace_back(it->second, e.result());
+      pending.erase(it);
+    }
+  }
+  return out;
+}
+
+OpSeq History::OpseqOfTxn(TxnId txn) const {
+  return RestrictTxn(txn).Opseq();
+}
+
+History History::Permanent() const { return RestrictTxns(committed_); }
+
+History History::Serial(const std::vector<TxnId>& order) const {
+  std::set<TxnId> seen;
+  History out;
+  for (TxnId txn : order) {
+    CCR_CHECK_MSG(seen.insert(txn).second, "duplicate txn %s in order",
+                  TxnName(txn).c_str());
+    History part = RestrictTxn(txn);
+    for (const Event& e : part.events()) {
+      Status s = out.Append(e);
+      CCR_CHECK_MSG(s.ok(), "serialization broke well-formedness: %s",
+                    s.ToString().c_str());
+    }
+  }
+  // Every transaction in the history must be covered by `order`.
+  for (TxnId txn : appearing_) {
+    CCR_CHECK_MSG(seen.count(txn) > 0, "txn %s missing from order",
+                  TxnName(txn).c_str());
+  }
+  return out;
+}
+
+std::vector<std::pair<TxnId, TxnId>> History::Precedes() const {
+  std::set<std::pair<TxnId, TxnId>> pairs;
+  std::set<TxnId> committed_so_far;
+  for (const Event& e : events_) {
+    if (e.is_commit() && committed_so_far.count(e.txn()) == 0) {
+      committed_so_far.insert(e.txn());
+    } else if (e.is_response()) {
+      for (TxnId a : committed_so_far) {
+        if (a != e.txn()) pairs.insert({a, e.txn()});
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::vector<TxnId> History::CommitOrder() const {
+  std::vector<TxnId> order;
+  std::set<TxnId> seen;
+  for (const Event& e : events_) {
+    if (e.is_commit() && seen.insert(e.txn()).second) {
+      order.push_back(e.txn());
+    }
+  }
+  return order;
+}
+
+bool History::IsSerial() const {
+  // Events of different transactions must not interleave: once we move from
+  // transaction A to B, A must never appear again.
+  std::set<TxnId> finished;
+  TxnId current = kInvalidTxn;
+  for (const Event& e : events_) {
+    if (e.txn() != current) {
+      if (finished.count(e.txn()) > 0) return false;
+      if (current != kInvalidTxn) finished.insert(current);
+      current = e.txn();
+    }
+  }
+  return true;
+}
+
+std::string History::ToString() const {
+  std::string out;
+  for (const Event& e : events_) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ccr

@@ -1,0 +1,120 @@
+// Copyright 2026 The ccr Authors.
+//
+// Histories — well-formed finite sequences of events (paper Section 2) —
+// plus the derived notions of Section 3: Committed/Aborted/Active, the
+// projections H|X and H|A, Opseq, permanent(H), Serial(H,T), the precedes
+// relation, and the commit order used by deferred-update recovery.
+
+#ifndef CCR_CORE_HISTORY_H_
+#define CCR_CORE_HISTORY_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/event.h"
+
+namespace ccr {
+
+// A well-formed sequence of events. Append enforces the paper's
+// well-formedness constraints incrementally:
+//   * a transaction has at most one pending invocation, and an object emits
+//     a response only for a pending invocation directed at it;
+//   * a transaction never both commits and aborts (at any objects), commits
+//     at most once per object, and aborts at most once per object;
+//   * a transaction with a pending invocation cannot commit, and a
+//     transaction performs no further invocations after commit or abort.
+class History {
+ public:
+  History() = default;
+
+  // Validates and appends; on error the history is unchanged.
+  Status Append(const Event& event);
+
+  // Builds a history from a full event sequence, validating well-formedness.
+  static StatusOr<History> FromEvents(const std::vector<Event>& events);
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& at(size_t i) const { return events_[i]; }
+
+  // Transactions that commit (at any object) in this history.
+  std::set<TxnId> Committed() const;
+  // Transactions that abort (at any object) in this history.
+  std::set<TxnId> Aborted() const;
+  // Transactions that appear but neither commit nor abort.
+  std::set<TxnId> Active() const;
+  // All transactions that appear in some event.
+  std::set<TxnId> Transactions() const;
+
+  bool IsCommitted(TxnId txn) const { return committed_.count(txn) > 0; }
+  bool IsAborted(TxnId txn) const { return aborted_.count(txn) > 0; }
+  bool IsActive(TxnId txn) const {
+    return appearing_.count(txn) > 0 && !IsCommitted(txn) && !IsAborted(txn);
+  }
+
+  // The pending invocation of `txn`, if any.
+  std::optional<Invocation> PendingInvocation(TxnId txn) const;
+
+  // H|X — the subsequence of events involving `object`.
+  History RestrictObject(const ObjectId& object) const;
+  // H|A for a set of transactions.
+  History RestrictTxns(const std::set<TxnId>& txns) const;
+  // H|A for one transaction.
+  History RestrictTxn(TxnId txn) const;
+
+  // Objects appearing in this history.
+  std::set<ObjectId> Objects() const;
+
+  // Opseq(H): operations (invocation/response pairs) in response order.
+  // Commit/abort events and pending invocations are dropped.
+  OpSeq Opseq() const;
+
+  // Opseq(H|A) — the operations executed by one transaction.
+  OpSeq OpseqOfTxn(TxnId txn) const;
+
+  // permanent(H) = H | Committed(H).
+  History Permanent() const;
+
+  // Serial(H, T) = H|A1 • ... • H|An with transactions in the order `order`.
+  // Transactions appearing in H must all be listed in `order`; extra entries
+  // are ignored.
+  History Serial(const std::vector<TxnId>& order) const;
+
+  // precedes(H): pairs (A,B) such that some operation invoked by B responds
+  // after A's first commit event. A partial order per Lemma 1 of the paper.
+  std::vector<std::pair<TxnId, TxnId>> Precedes() const;
+
+  // Commit-order(H): committed transactions ordered by first commit event.
+  std::vector<TxnId> CommitOrder() const;
+
+  // True if events of different transactions are not interleaved and no
+  // transaction aborts ("serial failure-free" in the paper).
+  bool IsSerial() const;
+  bool IsFailureFree() const { return aborted_.empty(); }
+
+  // Multi-line rendering, one event per line.
+  std::string ToString() const;
+
+ private:
+  Status Validate(const Event& event) const;
+  void ApplyCaches(const Event& event);
+
+  std::vector<Event> events_;
+
+  // Incremental caches (derivable from events_).
+  std::set<TxnId> committed_;
+  std::set<TxnId> aborted_;
+  std::set<TxnId> appearing_;
+  std::map<TxnId, Invocation> pending_;              // one per txn, if any
+  std::set<std::pair<TxnId, ObjectId>> commits_at_;  // txn committed at obj
+  std::set<std::pair<TxnId, ObjectId>> aborts_at_;   // txn aborted at obj
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_HISTORY_H_

@@ -1,0 +1,39 @@
+// Copyright 2026 The ccr Authors.
+//
+// Textual serialization of histories, so recorded executions can be stored,
+// shipped, and audited offline (see examples/history_audit). One event per
+// line, whitespace-separated:
+//
+//   invoke   <txn> <object> <code> <name> [args...]
+//   response <txn> <object> <result>
+//   commit   <txn> <object>
+//   abort    <txn> <object>
+//
+// Values are typed literals: i:42, s:ok, b:true, u: (unit). Object and
+// operation names must not contain whitespace. Lines starting with '#' and
+// blank lines are ignored.
+
+#ifndef CCR_CORE_HISTORY_IO_H_
+#define CCR_CORE_HISTORY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/history.h"
+
+namespace ccr {
+
+// Serializes a history (one event per line, trailing newline).
+std::string SerializeHistory(const History& history);
+
+// Parses the serialization format. Validates well-formedness (the result
+// is a real History). Errors carry the offending line number.
+StatusOr<History> ParseHistory(const std::string& text);
+
+// Typed-literal encoding of one value (i:/s:/b:/u:).
+std::string SerializeValue(const Value& value);
+StatusOr<Value> ParseValue(const std::string& token);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_HISTORY_IO_H_

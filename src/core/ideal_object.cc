@@ -1,0 +1,142 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/ideal_object.h"
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+IdealObject::IdealObject(ObjectId id,
+                         std::shared_ptr<const SpecAutomaton> spec,
+                         std::shared_ptr<const View> view,
+                         std::shared_ptr<const ConflictRelation> conflict)
+    : id_(std::move(id)),
+      spec_(std::move(spec)),
+      view_(std::move(view)),
+      conflict_(std::move(conflict)) {
+  CCR_CHECK(spec_ != nullptr && view_ != nullptr && conflict_ != nullptr);
+}
+
+Status IdealObject::Invoke(TxnId txn, Invocation inv) {
+  if (inv.object() != id_) {
+    return Status::InvalidArgument(
+        StrFormat("invocation for object %s sent to %s",
+                  inv.object().c_str(), id_.c_str()));
+  }
+  return history_.Append(Event::Invoke(txn, std::move(inv)));
+}
+
+Status IdealObject::Commit(TxnId txn) {
+  return history_.Append(Event::Commit(txn, id_));
+}
+
+Status IdealObject::Abort(TxnId txn) {
+  return history_.Append(Event::Abort(txn, id_));
+}
+
+bool IdealObject::HasConflict(TxnId txn, const Operation& candidate) const {
+  for (TxnId other : history_.Active()) {
+    if (other == txn) continue;
+    for (const Operation& held : history_.OpseqOfTxn(other)) {
+      if (conflict_->Conflicts(candidate, held)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Value> IdealObject::EnabledResponses(TxnId txn) const {
+  std::vector<Value> enabled;
+  const std::optional<Invocation> pending = history_.PendingInvocation(txn);
+  if (!pending.has_value()) return enabled;
+
+  const OpSeq serial_state = view_->Compute(history_, txn);
+  const StateSet states = RunSpec(*spec_, serial_state);
+  for (const Value& result : states.EnabledResults(*spec_, *pending)) {
+    const Operation candidate(*pending, result);
+    if (!HasConflict(txn, candidate)) enabled.push_back(result);
+  }
+  return enabled;
+}
+
+StatusOr<Value> IdealObject::Respond(TxnId txn) {
+  const std::optional<Invocation> pending = history_.PendingInvocation(txn);
+  if (!pending.has_value()) {
+    return Status::IllegalState(StrFormat(
+        "%s has no pending invocation at %s", TxnName(txn).c_str(),
+        id_.c_str()));
+  }
+  const OpSeq serial_state = view_->Compute(history_, txn);
+  const StateSet states = RunSpec(*spec_, serial_state);
+  const std::vector<Value> legal = states.EnabledResults(*spec_, *pending);
+  if (legal.empty()) {
+    return Status::IllegalState(StrFormat(
+        "no legal result for %s by %s after view %s",
+        pending->ToString().c_str(), TxnName(txn).c_str(),
+        OpSeqToString(serial_state).c_str()));
+  }
+  bool all_conflicted = true;
+  for (const Value& result : legal) {
+    const Operation candidate(*pending, result);
+    if (!HasConflict(txn, candidate)) {
+      CCR_RETURN_IF_ERROR(
+          history_.Append(Event::Response(txn, id_, result)));
+      return result;
+    }
+    all_conflicted = all_conflicted && true;
+  }
+  return Status::Conflict(StrFormat(
+      "%s blocked by conflicts at %s for %s", TxnName(txn).c_str(),
+      id_.c_str(), pending->ToString().c_str()));
+}
+
+Status IdealObject::RespondWith(TxnId txn, const Value& result) {
+  const std::optional<Invocation> pending = history_.PendingInvocation(txn);
+  if (!pending.has_value()) {
+    return Status::IllegalState(StrFormat(
+        "%s has no pending invocation at %s", TxnName(txn).c_str(),
+        id_.c_str()));
+  }
+  const Operation candidate(*pending, result);
+  if (HasConflict(txn, candidate)) {
+    return Status::Conflict(StrFormat(
+        "%s conflicts with an active transaction", candidate.ToString().c_str()));
+  }
+  const OpSeq serial_state = view_->Compute(history_, txn);
+  OpSeq extended = serial_state;
+  extended.push_back(candidate);
+  if (!Legal(*spec_, extended)) {
+    return Status::IllegalState(StrFormat(
+        "%s is not legal after view %s", candidate.ToString().c_str(),
+        OpSeqToString(serial_state).c_str()));
+  }
+  return history_.Append(Event::Response(txn, id_, result));
+}
+
+Status ReplayHistory(IdealObject* object, const History& history) {
+  for (const Event& e : history.events()) {
+    switch (e.kind()) {
+      case EventKind::kInvoke:
+        CCR_RETURN_IF_ERROR(object->Invoke(e.txn(), e.invocation()));
+        break;
+      case EventKind::kResponse: {
+        Status s = object->RespondWith(e.txn(), e.result());
+        if (!s.ok()) {
+          return Status(s.code(),
+                        StrFormat("event %s not permitted: %s",
+                                  e.ToString().c_str(),
+                                  s.message().c_str()));
+        }
+        break;
+      }
+      case EventKind::kCommit:
+        CCR_RETURN_IF_ERROR(object->Commit(e.txn()));
+        break;
+      case EventKind::kAbort:
+        CCR_RETURN_IF_ERROR(object->Abort(e.txn()));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ccr

@@ -1,0 +1,79 @@
+// Copyright 2026 The ccr Authors.
+//
+// The paper's abstract object implementation I(X, Spec, View, Conflict)
+// (Section 4): an I/O automaton whose state is the history of events so far.
+// A response event <R, X, A> is enabled iff
+//   (1) A has a pending invocation I,
+//   (2) the operation X:[I,R] conflicts with no operation already executed
+//       by another active transaction, and
+//   (3) View(s, A) · X:[I,R] ∈ Spec(X).
+//
+// This class is the executable form of that automaton. It powers the random
+// schedule generators, the Theorem 9/10 experiments, and differential tests
+// against the concrete engine in src/txn.
+
+#ifndef CCR_CORE_IDEAL_OBJECT_H_
+#define CCR_CORE_IDEAL_OBJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/conflict_relation.h"
+#include "core/history.h"
+#include "core/spec.h"
+#include "core/view.h"
+
+namespace ccr {
+
+class IdealObject {
+ public:
+  IdealObject(ObjectId id, std::shared_ptr<const SpecAutomaton> spec,
+              std::shared_ptr<const View> view,
+              std::shared_ptr<const ConflictRelation> conflict);
+
+  const ObjectId& id() const { return id_; }
+  const History& history() const { return history_; }
+  const SpecAutomaton& spec() const { return *spec_; }
+  const View& view() const { return *view_; }
+  const ConflictRelation& conflict() const { return *conflict_; }
+
+  // Input actions — always enabled subject to well-formedness.
+  Status Invoke(TxnId txn, Invocation inv);
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  // Results R for which the response event is enabled right now (empty when
+  // the transaction is blocked by a conflict or no result is legal).
+  std::vector<Value> EnabledResponses(TxnId txn) const;
+
+  // Appends a response event with the first enabled result. kConflict when
+  // blocked by a concurrency conflict, kIllegalState when there is no
+  // pending invocation or no legal result.
+  StatusOr<Value> Respond(TxnId txn);
+
+  // Appends a response event with a specific result if enabled.
+  Status RespondWith(TxnId txn, const Value& result);
+
+  // True if the candidate operation conflicts with an operation executed by
+  // a different active transaction (precondition (2) above).
+  bool HasConflict(TxnId txn, const Operation& candidate) const;
+
+ private:
+  ObjectId id_;
+  std::shared_ptr<const SpecAutomaton> spec_;
+  std::shared_ptr<const View> view_;
+  std::shared_ptr<const ConflictRelation> conflict_;
+  History history_;
+};
+
+// Feeds `events` into `object`, verifying that every event is permitted —
+// in particular that every response is enabled (conflict-free and
+// spec-legal) when it occurs. Used to check that a constructed history is
+// in L(I(X, Spec, View, Conflict)).
+Status ReplayHistory(IdealObject* object, const History& history);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_IDEAL_OBJECT_H_

@@ -1,0 +1,111 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/lock_modes.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+std::string LockModeOf(const Operation& op,
+                       const std::vector<Operation>& universe) {
+  bool multi_result = false;
+  for (const Operation& other : universe) {
+    if (other.name() == op.name() && other.result() != op.result() &&
+        !other.result().is_int() && !op.result().is_int()) {
+      multi_result = true;
+      break;
+    }
+  }
+  if (multi_result) return op.name() + "/" + op.result().ToString();
+  return op.name();
+}
+
+LockModeTable LockModeTable::Compile(const ConflictRelation& relation,
+                                     const std::vector<Operation>& universe,
+                                     std::string name) {
+  LockModeTable table;
+  table.name_ = std::move(name);
+  for (const Operation& op : universe) {
+    const std::string mode = LockModeOf(op, universe);
+    if (table.index_.emplace(mode, table.modes_.size()).second) {
+      table.modes_.push_back(mode);
+    }
+  }
+  const size_t n = table.modes_.size();
+  table.conflicts_.assign(n, std::vector<bool>(n, false));
+  for (const Operation& requested : universe) {
+    for (const Operation& held : universe) {
+      if (relation.Conflicts(requested, held)) {
+        table.conflicts_[table.index_.at(LockModeOf(requested, universe))]
+                        [table.index_.at(LockModeOf(held, universe))] = true;
+      }
+    }
+  }
+  return table;
+}
+
+bool LockModeTable::Conflicts(const std::string& requested_mode,
+                              const std::string& held_mode) const {
+  auto r = index_.find(requested_mode);
+  auto h = index_.find(held_mode);
+  if (r == index_.end() || h == index_.end()) return true;  // conservative
+  return conflicts_[r->second][h->second];
+}
+
+std::string LockModeTable::ToString() const {
+  std::vector<std::string> header{name_};
+  for (const std::string& mode : modes_) header.push_back(mode);
+  TablePrinter printer(std::move(header));
+  for (size_t i = 0; i < modes_.size(); ++i) {
+    std::vector<std::string> row{modes_[i]};
+    for (size_t j = 0; j < modes_.size(); ++j) {
+      row.push_back(conflicts_[i][j] ? "x" : "+");
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+size_t LockModeTable::ConflictingPairs() const {
+  size_t count = 0;
+  for (const auto& row : conflicts_) {
+    for (bool c : row) count += c;
+  }
+  return count;
+}
+
+namespace {
+
+class TableConflict final : public ConflictRelation {
+ public:
+  TableConflict(std::shared_ptr<const LockModeTable> table,
+                std::vector<Operation> universe)
+      : table_(std::move(table)), universe_(std::move(universe)) {}
+
+  std::string name() const override {
+    return "table(" + table_->name() + ")";
+  }
+
+  bool Conflicts(const Operation& requested,
+                 const Operation& held) const override {
+    return table_->Conflicts(LockModeOf(requested, universe_),
+                             LockModeOf(held, universe_));
+  }
+
+ private:
+  std::shared_ptr<const LockModeTable> table_;
+  std::vector<Operation> universe_;
+};
+
+}  // namespace
+
+std::shared_ptr<ConflictRelation> MakeTableConflict(
+    std::shared_ptr<const LockModeTable> table,
+    std::vector<Operation> universe) {
+  CCR_CHECK(table != nullptr);
+  return std::make_shared<TableConflict>(std::move(table),
+                                         std::move(universe));
+}
+
+}  // namespace ccr

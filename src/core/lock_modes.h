@@ -1,0 +1,79 @@
+// Copyright 2026 The ccr Authors.
+//
+// Lock-mode compilation. Real systems do not evaluate a commutativity
+// predicate per operation pair at runtime; they classify operations into a
+// small set of *lock modes* and consult a compatibility matrix (Korth's
+// locking primitives — the paper's reference [9]). This module derives that
+// matrix from a conflict relation over a representative operation universe:
+//
+//   * every operation is classified by its *kind* — operation name plus
+//     distinguished non-numeric result (withdraw/ok vs withdraw/no);
+//   * two kinds are compatible iff NO pair of universe instantiations
+//     conflicts.
+//
+// The induced table-driven relation is conservative: it conflicts whenever
+// some instantiation would (so it contains the exact relation and remains
+// sufficient for Theorems 9/10), at the cost of the argument-dependent
+// concurrency the exact predicates admit (e.g. [withdraw(5),ok] vs
+// [balance,3] never co-occur, which the exact relation exploits and a mode
+// table cannot).
+
+#ifndef CCR_CORE_LOCK_MODES_H_
+#define CCR_CORE_LOCK_MODES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conflict_relation.h"
+
+namespace ccr {
+
+// The mode (kind) of an operation: "name" alone, or "name/result" when the
+// universe shows several non-numeric results for that name. Numeric results
+// (balance values, sizes) parameterize a single mode.
+std::string LockModeOf(const Operation& op,
+                       const std::vector<Operation>& universe);
+
+// A compiled lock-compatibility matrix.
+class LockModeTable {
+ public:
+  // Compiles the matrix for `relation` over `universe`. `oriented` keeps
+  // the (requested, held) orientation (NRBC); when false the matrix is
+  // symmetrized by construction.
+  static LockModeTable Compile(const ConflictRelation& relation,
+                               const std::vector<Operation>& universe,
+                               std::string name);
+
+  const std::vector<std::string>& modes() const { return modes_; }
+  const std::string& name() const { return name_; }
+
+  // Does requesting `requested_mode` conflict with held `held_mode`?
+  // Unknown modes conservatively conflict with everything.
+  bool Conflicts(const std::string& requested_mode,
+                 const std::string& held_mode) const;
+
+  // The matrix in the classical compatibility layout ('+' compatible,
+  // 'x' conflicting).
+  std::string ToString() const;
+
+  size_t ConflictingPairs() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> modes_;
+  std::map<std::string, size_t> index_;
+  std::vector<std::vector<bool>> conflicts_;
+};
+
+// A ConflictRelation driven by a compiled mode table: classifies each
+// operation by mode (against the compile-time universe's naming scheme) and
+// consults the matrix. Conservative superset of the compiled relation.
+std::shared_ptr<ConflictRelation> MakeTableConflict(
+    std::shared_ptr<const LockModeTable> table,
+    std::vector<Operation> universe);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_LOCK_MODES_H_

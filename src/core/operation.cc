@@ -1,0 +1,57 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/operation.h"
+
+#include <functional>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+const Value& Invocation::arg(size_t i) const {
+  CCR_CHECK_MSG(i < args_.size(), "arg %zu out of range (%zu args) for %s", i,
+                args_.size(), name_.c_str());
+  return args_[i];
+}
+
+bool Invocation::operator==(const Invocation& other) const {
+  return code_ == other.code_ && object_ == other.object_ &&
+         name_ == other.name_ && args_ == other.args_;
+}
+
+size_t Invocation::Hash() const {
+  size_t h = std::hash<std::string>()(object_);
+  h = h * 31 + static_cast<size_t>(code_);
+  h = h * 31 + std::hash<std::string>()(name_);
+  h = h * 31 + HashValues(args_);
+  return h;
+}
+
+std::string Invocation::ToString() const {
+  if (args_.empty()) return name_;
+  return StrFormat("%s(%s)", name_.c_str(), ValuesToString(args_).c_str());
+}
+
+bool Operation::operator==(const Operation& other) const {
+  return inv_ == other.inv_ && result_ == other.result_;
+}
+
+size_t Operation::Hash() const {
+  return inv_.Hash() * 31 + result_.Hash();
+}
+
+std::string Operation::ToString() const {
+  return StrFormat("%s:[%s,%s]", object().c_str(), inv_.ToString().c_str(),
+                   result_.ToString().c_str());
+}
+
+std::string OpSeqToString(const OpSeq& seq) {
+  if (seq.empty()) return "Λ";
+  std::vector<std::string> parts;
+  parts.reserve(seq.size());
+  for (const Operation& op : seq) parts.push_back(op.ToString());
+  return StrJoin(parts, " . ");
+}
+
+}  // namespace ccr

@@ -1,0 +1,104 @@
+// Copyright 2026 The ccr Authors.
+//
+// Invocation and Operation: the paper's basic vocabulary. An invocation is
+// an operation name plus arguments directed at an object; an operation is an
+// invocation paired with the response it received — written X:[I,R] in the
+// paper. Conflict relations and serial specifications are defined over
+// operations (so a lock may depend on an operation's *result*, e.g.
+// withdraw/OK vs withdraw/NO).
+
+#ifndef CCR_CORE_OPERATION_H_
+#define CCR_CORE_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace ccr {
+
+// Objects are named by strings in the formal model; the runtime engine keeps
+// object pointers and uses the name only for history recording.
+using ObjectId = std::string;
+
+// An operation name + argument list directed at an object. `code` is an
+// ADT-local small integer for the operation name, assigned by the ADT, so
+// closed-form conflict predicates can switch() instead of comparing strings.
+class Invocation {
+ public:
+  Invocation() : code_(-1) {}
+  Invocation(ObjectId object, int code, std::string name,
+             std::vector<Value> args)
+      : object_(std::move(object)),
+        code_(code),
+        name_(std::move(name)),
+        args_(std::move(args)) {}
+
+  const ObjectId& object() const { return object_; }
+  int code() const { return code_; }
+  const std::string& name() const { return name_; }
+  const std::vector<Value>& args() const { return args_; }
+
+  // Argument accessor with bounds check.
+  const Value& arg(size_t i) const;
+
+  bool operator==(const Invocation& other) const;
+  bool operator!=(const Invocation& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  // "withdraw(3)" — object not included.
+  std::string ToString() const;
+
+ private:
+  ObjectId object_;
+  int code_;
+  std::string name_;
+  std::vector<Value> args_;
+};
+
+// An invocation together with its response: the paper's X:[I,R].
+class Operation {
+ public:
+  Operation() = default;
+  Operation(Invocation inv, Value result)
+      : inv_(std::move(inv)), result_(std::move(result)) {}
+
+  const Invocation& inv() const { return inv_; }
+  const Value& result() const { return result_; }
+  const ObjectId& object() const { return inv_.object(); }
+  int code() const { return inv_.code(); }
+  const std::string& name() const { return inv_.name(); }
+  const std::vector<Value>& args() const { return inv_.args(); }
+
+  bool operator==(const Operation& other) const;
+  bool operator!=(const Operation& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  // "BA:[withdraw(3),ok]" in the paper's notation.
+  std::string ToString() const;
+
+ private:
+  Invocation inv_;
+  Value result_;
+};
+
+// An operation sequence — the element type of serial specifications.
+using OpSeq = std::vector<Operation>;
+
+// Renders "op1 . op2 . ..." ("Λ" for the empty sequence).
+std::string OpSeqToString(const OpSeq& seq);
+
+struct OperationHash {
+  size_t operator()(const Operation& op) const { return op.Hash(); }
+};
+
+struct InvocationHash {
+  size_t operator()(const Invocation& inv) const { return inv.Hash(); }
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_OPERATION_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/script.h"
+
+namespace ccr {
+
+HistoryScript& HistoryScript::Exec(TxnId txn, const Operation& op) {
+  if (!status_.ok()) return *this;
+  status_ = history_.Append(Event::Invoke(txn, op.inv()));
+  if (!status_.ok()) return *this;
+  status_ = history_.Append(Event::Response(txn, op.object(), op.result()));
+  return *this;
+}
+
+HistoryScript& HistoryScript::ExecSeq(TxnId txn, const OpSeq& seq) {
+  for (const Operation& op : seq) Exec(txn, op);
+  return *this;
+}
+
+HistoryScript& HistoryScript::Commit(TxnId txn, const ObjectId& object) {
+  if (!status_.ok()) return *this;
+  status_ = history_.Append(Event::Commit(txn, object));
+  return *this;
+}
+
+HistoryScript& HistoryScript::Abort(TxnId txn, const ObjectId& object) {
+  if (!status_.ok()) return *this;
+  status_ = history_.Append(Event::Abort(txn, object));
+  return *this;
+}
+
+HistoryScript& HistoryScript::Invoke(TxnId txn, const Invocation& inv) {
+  if (!status_.ok()) return *this;
+  status_ = history_.Append(Event::Invoke(txn, inv));
+  return *this;
+}
+
+StatusOr<History> HistoryScript::Build() const {
+  if (!status_.ok()) return status_;
+  return history_;
+}
+
+}  // namespace ccr

@@ -1,0 +1,43 @@
+// Copyright 2026 The ccr Authors.
+//
+// HistoryScript: a small builder for constructing well-formed histories from
+// transaction scripts ("A executes α at X; A commits; B executes Q; ...").
+// Used by tests and by the Theorem 9/10 counterexample constructions.
+
+#ifndef CCR_CORE_SCRIPT_H_
+#define CCR_CORE_SCRIPT_H_
+
+#include "common/status.h"
+#include "core/history.h"
+
+namespace ccr {
+
+class HistoryScript {
+ public:
+  HistoryScript() = default;
+
+  // Appends invoke + response events for one operation.
+  HistoryScript& Exec(TxnId txn, const Operation& op);
+
+  // Appends invoke + response events for a whole sequence.
+  HistoryScript& ExecSeq(TxnId txn, const OpSeq& seq);
+
+  // Appends a commit / abort event at `object`.
+  HistoryScript& Commit(TxnId txn, const ObjectId& object);
+  HistoryScript& Abort(TxnId txn, const ObjectId& object);
+
+  // Appends a lone invocation (leaves it pending).
+  HistoryScript& Invoke(TxnId txn, const Invocation& inv);
+
+  // The accumulated history; kIllegalState if any step broke
+  // well-formedness (the first error is latched).
+  StatusOr<History> Build() const;
+
+ private:
+  History history_;
+  Status status_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_SCRIPT_H_

@@ -1,0 +1,126 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/spec.h"
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+std::vector<std::unique_ptr<SpecState>> SpecAutomaton::Next(
+    const SpecState& state, const Operation& op) const {
+  std::vector<std::unique_ptr<SpecState>> out;
+  for (Outcome& outcome : Outcomes(state, op.inv())) {
+    if (outcome.result == op.result()) {
+      out.push_back(std::move(outcome.next));
+    }
+  }
+  return out;
+}
+
+StateSet::StateSet(const StateSet& other) {
+  states_.reserve(other.states_.size());
+  for (const auto& s : other.states_) states_.push_back(s->Clone());
+}
+
+StateSet& StateSet::operator=(const StateSet& other) {
+  if (this == &other) return *this;
+  states_.clear();
+  states_.reserve(other.states_.size());
+  for (const auto& s : other.states_) states_.push_back(s->Clone());
+  return *this;
+}
+
+StateSet StateSet::Singleton(std::unique_ptr<SpecState> state) {
+  StateSet out;
+  out.Insert(std::move(state));
+  return out;
+}
+
+bool StateSet::Insert(std::unique_ptr<SpecState> state) {
+  if (Contains(*state)) return false;
+  states_.push_back(std::move(state));
+  return true;
+}
+
+bool StateSet::Contains(const SpecState& state) const {
+  for (const auto& s : states_) {
+    if (s->Equals(state)) return true;
+  }
+  return false;
+}
+
+bool StateSet::Equals(const StateSet& other) const {
+  if (states_.size() != other.states_.size()) return false;
+  for (const auto& s : states_) {
+    if (!other.Contains(*s)) return false;
+  }
+  return true;
+}
+
+size_t StateSet::Hash() const {
+  // Order-insensitive combination.
+  size_t h = 0;
+  for (const auto& s : states_) h ^= s->Hash() * 0x9e3779b97f4a7c15ull;
+  return h ^ states_.size();
+}
+
+StateSet StateSet::Step(const SpecAutomaton& spec, const Operation& op) const {
+  StateSet out;
+  for (const auto& s : states_) {
+    for (auto& next : spec.Next(*s, op)) {
+      out.Insert(std::move(next));
+    }
+  }
+  return out;
+}
+
+StateSet StateSet::StepSeq(const SpecAutomaton& spec, const OpSeq& seq) const {
+  StateSet cur = *this;
+  for (const Operation& op : seq) {
+    cur = cur.Step(spec, op);
+    if (cur.empty()) break;
+  }
+  return cur;
+}
+
+std::vector<Value> StateSet::EnabledResults(const SpecAutomaton& spec,
+                                            const Invocation& inv) const {
+  std::vector<Value> results;
+  for (const auto& s : states_) {
+    for (const Outcome& outcome : spec.Outcomes(*s, inv)) {
+      bool seen = false;
+      for (const Value& r : results) {
+        if (r == outcome.result) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) results.push_back(outcome.result);
+    }
+  }
+  return results;
+}
+
+std::string StateSet::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(states_.size());
+  for (const auto& s : states_) parts.push_back(s->ToString());
+  std::string out = "{";
+  out += StrJoin(parts, ", ");
+  out += "}";
+  return out;
+}
+
+StateSet RunSpec(const SpecAutomaton& spec, const OpSeq& seq) {
+  return StateSet::Singleton(spec.InitialState()).StepSeq(spec, seq);
+}
+
+bool Legal(const SpecAutomaton& spec, const OpSeq& seq) {
+  return !RunSpec(spec, seq).empty();
+}
+
+std::string Int64State::ToString() const {
+  return StrFormat("%lld", static_cast<long long>(v));
+}
+
+}  // namespace ccr

@@ -1,0 +1,198 @@
+// Copyright 2026 The ccr Authors.
+//
+// Serial specifications (paper Section 3.2) modeled as I/O automata whose
+// actions are operations, exactly like the paper's M(BA). A specification is
+// the prefix-closed language of the automaton. Automata may be
+// nondeterministic (several next states for one operation) and partial (an
+// invocation may be disabled, or only some results enabled, in a state).
+//
+// The generic machinery (membership, equieffectiveness, commutativity)
+// manipulates *sets* of states — the subset construction — so sequences map
+// to macro-states even for nondeterministic specifications.
+
+#ifndef CCR_CORE_SPEC_H_
+#define CCR_CORE_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/operation.h"
+
+namespace ccr {
+
+// Type-erased automaton state. Concrete ADTs use TypedState<S> below.
+class SpecState {
+ public:
+  virtual ~SpecState() = default;
+
+  virtual std::unique_ptr<SpecState> Clone() const = 0;
+  virtual bool Equals(const SpecState& other) const = 0;
+  virtual size_t Hash() const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+// One enabled outcome of an invocation: the result returned and the state
+// reached.
+struct Outcome {
+  Value result;
+  std::unique_ptr<SpecState> next;
+};
+
+// A serial specification. `Outcomes` defines the transition relation; the
+// language of the automaton (all operation sequences with a run) is the
+// specification in the paper's sense.
+class SpecAutomaton {
+ public:
+  virtual ~SpecAutomaton() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<SpecState> InitialState() const = 0;
+
+  // All (result, next-state) pairs enabled for `inv` in `state`. Empty when
+  // the invocation is disabled (partial operations).
+  virtual std::vector<Outcome> Outcomes(const SpecState& state,
+                                        const Invocation& inv) const = 0;
+
+  // Next states for the full operation `op` — Outcomes filtered by result.
+  std::vector<std::unique_ptr<SpecState>> Next(const SpecState& state,
+                                               const Operation& op) const;
+
+  // True if for every state and operation there is at most one next state.
+  // Deterministic ADTs (all of ours except the nondeterministic choice
+  // object) may override to enable fast paths in analysis.
+  virtual bool deterministic() const { return true; }
+
+  // True if distinct states are distinguishable by some operation sequence —
+  // "reduced" automata, for which state-set equality implies
+  // equieffectiveness. All library ADTs are reduced.
+  virtual bool reduced() const { return true; }
+};
+
+// A deduplicated set of states — a macro-state of the subset construction.
+// Small by construction (singletons for deterministic specs), so membership
+// is a linear scan with hash prefilter.
+class StateSet {
+ public:
+  StateSet() = default;
+  StateSet(const StateSet& other);
+  StateSet& operator=(const StateSet& other);
+  StateSet(StateSet&&) = default;
+  StateSet& operator=(StateSet&&) = default;
+
+  // Builds the singleton {state}.
+  static StateSet Singleton(std::unique_ptr<SpecState> state);
+
+  // Inserts a state if not already present. Returns true if inserted.
+  bool Insert(std::unique_ptr<SpecState> state);
+
+  bool empty() const { return states_.empty(); }
+  size_t size() const { return states_.size(); }
+  const SpecState& at(size_t i) const { return *states_[i]; }
+
+  bool Contains(const SpecState& state) const;
+
+  // Set equality (order-insensitive).
+  bool Equals(const StateSet& other) const;
+
+  // Order-insensitive hash.
+  size_t Hash() const;
+
+  // The macro-step: union of Next(s, op) over all members.
+  StateSet Step(const SpecAutomaton& spec, const Operation& op) const;
+
+  // Macro-step over a whole sequence.
+  StateSet StepSeq(const SpecAutomaton& spec, const OpSeq& seq) const;
+
+  // All (result, next-state-set grouped by result) outcomes of `inv` from
+  // this macro-state: the results some member state enables.
+  std::vector<Value> EnabledResults(const SpecAutomaton& spec,
+                                    const Invocation& inv) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<SpecState>> states_;
+};
+
+// Runs `seq` from the initial state: the macro-state reached (empty iff the
+// sequence is not in the specification).
+StateSet RunSpec(const SpecAutomaton& spec, const OpSeq& seq);
+
+// Membership in the specification's language: Legal(seq) iff seq ∈ Spec.
+bool Legal(const SpecAutomaton& spec, const OpSeq& seq);
+
+// ---------------------------------------------------------------------------
+// Typed helpers: ADTs define a value-type state S with
+//   bool operator==(const S&) const; size_t Hash() const;
+//   std::string ToString() const;
+// and derive from TypedSpecAutomaton<S>.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+class TypedState final : public SpecState {
+ public:
+  explicit TypedState(S value) : value_(std::move(value)) {}
+
+  const S& value() const { return value_; }
+
+  std::unique_ptr<SpecState> Clone() const override {
+    return std::make_unique<TypedState<S>>(value_);
+  }
+  bool Equals(const SpecState& other) const override {
+    const auto* o = dynamic_cast<const TypedState<S>*>(&other);
+    return o != nullptr && value_ == o->value_;
+  }
+  size_t Hash() const override { return value_.Hash(); }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  S value_;
+};
+
+template <typename S>
+class TypedSpecAutomaton : public SpecAutomaton {
+ public:
+  // Typed transition function supplied by the ADT.
+  virtual S Initial() const = 0;
+  virtual std::vector<std::pair<Value, S>> TypedOutcomes(
+      const S& state, const Invocation& inv) const = 0;
+
+  std::unique_ptr<SpecState> InitialState() const final {
+    return std::make_unique<TypedState<S>>(Initial());
+  }
+
+  std::vector<Outcome> Outcomes(const SpecState& state,
+                                const Invocation& inv) const final {
+    const S& s = Unwrap(state);
+    std::vector<Outcome> out;
+    for (auto& [result, next] : TypedOutcomes(s, inv)) {
+      out.push_back(Outcome{
+          result, std::make_unique<TypedState<S>>(std::move(next))});
+    }
+    return out;
+  }
+
+  // Extracts the typed state; checked fatal error on foreign states.
+  static const S& Unwrap(const SpecState& state) {
+    const auto* typed = dynamic_cast<const TypedState<S>*>(&state);
+    CCR_CHECK_MSG(typed != nullptr, "state of wrong type: %s",
+                  state.ToString().c_str());
+    return typed->value();
+  }
+};
+
+// Convenience state wrapper for ADTs whose abstract state is one integer
+// (counter, bank account).
+struct Int64State {
+  int64_t v = 0;
+
+  bool operator==(const Int64State& other) const { return v == other.v; }
+  size_t Hash() const { return std::hash<int64_t>()(v); }
+  std::string ToString() const;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_SPEC_H_

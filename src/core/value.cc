@@ -1,0 +1,69 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/value.h"
+
+#include <functional>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace ccr {
+
+int64_t Value::AsInt() const {
+  CCR_CHECK_MSG(is_int(), "Value is not an int: %s", ToString().c_str());
+  return std::get<int64_t>(rep_);
+}
+
+bool Value::AsBool() const {
+  CCR_CHECK_MSG(is_bool(), "Value is not a bool: %s", ToString().c_str());
+  return std::get<bool>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  CCR_CHECK_MSG(is_string(), "Value is not a string: %s", ToString().c_str());
+  return std::get<std::string>(rep_);
+}
+
+size_t Value::Hash() const {
+  const size_t tag = rep_.index();
+  size_t h = 0;
+  switch (tag) {
+    case 0:
+      h = 0;
+      break;
+    case 1:
+      h = std::hash<int64_t>()(std::get<int64_t>(rep_));
+      break;
+    case 2:
+      h = std::hash<bool>()(std::get<bool>(rep_));
+      break;
+    case 3:
+      h = std::hash<std::string>()(std::get<std::string>(rep_));
+      break;
+  }
+  return h * 4u + tag;
+}
+
+std::string Value::ToString() const {
+  if (is_unit()) return "()";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(AsInt()));
+  if (is_bool()) return AsBool() ? "true" : "false";
+  return AsString();
+}
+
+size_t HashValues(const std::vector<Value>& values) {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : values) {
+    h ^= v.Hash() + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string ValuesToString(const std::vector<Value>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const Value& v : values) parts.push_back(v.ToString());
+  return StrJoin(parts, ",");
+}
+
+}  // namespace ccr

@@ -1,0 +1,64 @@
+// Copyright 2026 The ccr Authors.
+//
+// Value: the dynamically-typed argument/result type for ADT operations.
+// Keeping arguments and results in a small variant lets the formal machinery
+// (histories, specs, commutativity analysis) stay generic over ADTs.
+
+#ifndef CCR_CORE_VALUE_H_
+#define CCR_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ccr {
+
+// A unit/int64/bool/string value. `Unit` is the result of operations that
+// return nothing interesting beyond "ok" semantics carried by the operation
+// name itself.
+class Value {
+ public:
+  struct Unit {
+    bool operator==(const Unit&) const { return true; }
+  };
+
+  Value() : rep_(Unit{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(bool v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value MakeUnit() { return Value(); }
+
+  bool is_unit() const { return std::holds_alternative<Unit>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  // Typed accessors; checked fatal error on type mismatch.
+  int64_t AsInt() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  // "()" for unit, decimal for ints, "true"/"false", quoted-less strings.
+  std::string ToString() const;
+
+ private:
+  std::variant<Unit, int64_t, bool, std::string> rep_;
+};
+
+// Hashes a list of values (order-sensitive).
+size_t HashValues(const std::vector<Value>& values);
+
+// Renders "v1,v2,...".
+std::string ValuesToString(const std::vector<Value>& values);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_VALUE_H_

@@ -1,0 +1,31 @@
+// Copyright 2026 The ccr Authors.
+
+#include "core/view.h"
+
+namespace ccr {
+
+OpSeq UipView::Compute(const History& h, TxnId txn) const {
+  (void)txn;  // UIP's serial state does not depend on the transaction.
+  std::set<TxnId> keep;
+  const std::set<TxnId> aborted = h.Aborted();
+  for (TxnId t : h.Transactions()) {
+    if (aborted.count(t) == 0) keep.insert(t);
+  }
+  return h.RestrictTxns(keep).Opseq();
+}
+
+OpSeq DuView::Compute(const History& h, TxnId txn) const {
+  const History committed = h.Permanent();
+  OpSeq out = committed.Serial(committed.CommitOrder()).Opseq();
+  const OpSeq own = h.OpseqOfTxn(txn);
+  out.insert(out.end(), own.begin(), own.end());
+  return out;
+}
+
+std::shared_ptr<const View> MakeUipView() {
+  return std::make_shared<UipView>();
+}
+
+std::shared_ptr<const View> MakeDuView() { return std::make_shared<DuView>(); }
+
+}  // namespace ccr

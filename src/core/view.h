@@ -1,0 +1,51 @@
+// Copyright 2026 The ccr Authors.
+//
+// View functions — the paper's abstraction of recovery (Section 5). A View
+// maps a history and an active transaction to the "serial state" (an
+// operation sequence) used to determine the legal responses to the
+// transaction's pending invocation.
+
+#ifndef CCR_CORE_VIEW_H_
+#define CCR_CORE_VIEW_H_
+
+#include <memory>
+#include <string>
+
+#include "core/history.h"
+
+namespace ccr {
+
+class View {
+ public:
+  virtual ~View() = default;
+
+  virtual std::string name() const = 0;
+
+  // The serial state for active transaction `txn` in history `h`.
+  virtual OpSeq Compute(const History& h, TxnId txn) const = 0;
+};
+
+// Update-in-place: UIP(H,A) = Opseq(H | ACT − Aborted(H)) — every operation
+// of every non-aborted transaction, in response order. The same for every
+// transaction: there is one "current" state.
+class UipView final : public View {
+ public:
+  std::string name() const override { return "UIP"; }
+  OpSeq Compute(const History& h, TxnId txn) const override;
+};
+
+// Deferred update: DU(H,A) = Opseq(Serial(H|Committed, CommitOrder)) ·
+// Opseq(H|A) — committed transactions' operations in commit order, then A's
+// own operations (A's private workspace / intentions list).
+class DuView final : public View {
+ public:
+  std::string name() const override { return "DU"; }
+  OpSeq Compute(const History& h, TxnId txn) const override;
+};
+
+std::shared_ptr<const View> MakeUipView();
+std::shared_ptr<const View> MakeDuView();
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_VIEW_H_

@@ -1,0 +1,73 @@
+// Copyright 2026 The ccr Authors.
+
+#include "sim/driver.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+std::string DriverResult::ToString() const {
+  return StrFormat(
+      "committed=%llu retries=%llu throughput=%.0f txn/s "
+      "p50=%lluus p99=%lluus mean=%.1fus",
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(retries), throughput,
+      static_cast<unsigned long long>(p50_us),
+      static_cast<unsigned long long>(p99_us), mean_us);
+}
+
+DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
+                         const DriverOptions& options) {
+  std::vector<LatencyRecorder> recorders(options.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+
+  const uint64_t retries_before = manager->stats().retries;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < options.threads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(options.seed * 1000003 + static_cast<uint64_t>(w));
+      LatencyRecorder& lat = recorders[w];
+      for (int i = 0; i < options.txns_per_thread; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Status s = manager->RunTransaction([&](Transaction* txn) {
+          return body(manager, txn, &rng);
+        });
+        // kAborted is a legitimate outcome for bodies that inject aborts;
+        // anything else non-OK is a workload bug.
+        CCR_CHECK_MSG(s.ok() || s.code() == StatusCode::kAborted,
+                      "workload transaction failed: %s",
+                      s.ToString().c_str());
+        const auto t1 = std::chrono::steady_clock::now();
+        lat.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  LatencyRecorder merged;
+  for (const LatencyRecorder& r : recorders) merged.Merge(r);
+
+  DriverResult result;
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  result.committed = static_cast<uint64_t>(options.threads) *
+                     static_cast<uint64_t>(options.txns_per_thread);
+  result.retries = manager->stats().retries - retries_before;
+  result.throughput =
+      result.seconds > 0 ? result.committed / result.seconds : 0;
+  result.p50_us = merged.Percentile(50);
+  result.p99_us = merged.Percentile(99);
+  result.mean_us = merged.Mean();
+  return result;
+}
+
+}  // namespace ccr

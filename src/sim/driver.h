@@ -1,0 +1,52 @@
+// Copyright 2026 The ccr Authors.
+//
+// Multithreaded workload driver over the transaction engine: runs a
+// user-supplied transaction body from N worker threads and reports
+// throughput, retry counts, and latency percentiles. The benches use this
+// for every PERF-* experiment.
+
+#ifndef CCR_SIM_DRIVER_H_
+#define CCR_SIM_DRIVER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "sim/stats.h"
+#include "txn/txn_manager.h"
+
+namespace ccr {
+
+struct DriverOptions {
+  int threads = 4;
+  int txns_per_thread = 500;
+  uint64_t seed = 42;
+};
+
+struct DriverResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t retries = 0;
+  double throughput = 0;  // committed transactions per second
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  double mean_us = 0;
+
+  std::string ToString() const;
+};
+
+// The transaction body: executes operations via `txn` against the manager's
+// objects. `rng` is a per-thread deterministic stream. Return OK to commit;
+// a retryable status aborts and retries; any other status aborts and stops
+// that worker's current transaction.
+using TxnBody = std::function<Status(TxnManager* manager, Transaction* txn,
+                                     Random* rng)>;
+
+// Runs `body` options.txns_per_thread times on each of options.threads
+// worker threads and reports aggregate results.
+DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
+                         const DriverOptions& options = {});
+
+}  // namespace ccr
+
+#endif  // CCR_SIM_DRIVER_H_

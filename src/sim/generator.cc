@@ -1,0 +1,108 @@
+// Copyright 2026 The ccr Authors.
+
+#include "sim/generator.h"
+
+#include <map>
+
+namespace ccr {
+
+std::vector<Invocation> UniverseInvocations(const Adt& adt) {
+  std::vector<Invocation> pool;
+  for (const Operation& op : adt.Universe()) {
+    bool seen = false;
+    for (const Invocation& inv : pool) {
+      if (inv == op.inv()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) pool.push_back(op.inv());
+  }
+  return pool;
+}
+
+History GenerateSchedule(IdealObject* object,
+                         const std::vector<Invocation>& pool, Random* rng,
+                         const ScheduleOptions& options) {
+  CCR_CHECK(!pool.empty());
+
+  struct TxnState {
+    TxnId id;
+    size_t ops_done = 0;
+    bool pending = false;
+    bool finished = false;
+  };
+  std::vector<TxnState> txns;
+  txns.reserve(options.num_txns);
+  for (size_t i = 0; i < options.num_txns; ++i) {
+    txns.push_back(TxnState{static_cast<TxnId>(i + 1)});
+  }
+
+  size_t live = txns.size();
+  for (size_t step = 0; step < options.max_steps && live > 0; ++step) {
+    TxnState& t = txns[rng->Uniform(txns.size())];
+    if (t.finished) continue;
+
+    if (t.pending) {
+      // Try to respond; a conflict just means "delayed" — try again later.
+      StatusOr<Value> r = object->Respond(t.id);
+      if (r.ok()) {
+        t.pending = false;
+        ++t.ops_done;
+      } else if (r.status().code() == StatusCode::kIllegalState) {
+        // No legal result in this view (partial op currently disabled, or a
+        // degenerate invocation): give up on this transaction's invocation
+        // by aborting the whole transaction.
+        CCR_CHECK(object->Abort(t.id).ok());
+        t.finished = true;
+        --live;
+      }
+      continue;
+    }
+
+    if (t.ops_done >= options.max_ops_per_txn ||
+        (t.ops_done > 0 && rng->Bernoulli(0.25))) {
+      // Finish: commit or abort.
+      if (rng->Bernoulli(options.abort_prob)) {
+        CCR_CHECK(object->Abort(t.id).ok());
+      } else {
+        CCR_CHECK(object->Commit(t.id).ok());
+      }
+      t.finished = true;
+      --live;
+      continue;
+    }
+
+    const Invocation& inv = pool[rng->Uniform(pool.size())];
+    CCR_CHECK(object->Invoke(t.id, inv).ok());
+    t.pending = true;
+  }
+
+  // Drain: finish the remaining transactions (any still-blocked one is
+  // aborted), occasionally leaving one active so the resulting history has
+  // a non-trivial commit-set structure.
+  for (TxnState& t : txns) {
+    if (t.finished) continue;
+    if (t.pending) {
+      StatusOr<Value> r = object->Respond(t.id);
+      if (!r.ok()) {
+        CCR_CHECK(object->Abort(t.id).ok());
+        t.finished = true;
+        continue;
+      }
+    }
+    if (rng->Bernoulli(options.leave_active_prob)) {
+      t.finished = true;  // left active in the history
+      continue;
+    }
+    if (rng->Bernoulli(options.abort_prob)) {
+      CCR_CHECK(object->Abort(t.id).ok());
+    } else {
+      CCR_CHECK(object->Commit(t.id).ok());
+    }
+    t.finished = true;
+  }
+  return object->history();
+}
+
+}  // namespace ccr

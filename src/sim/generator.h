@@ -1,0 +1,45 @@
+// Copyright 2026 The ccr Authors.
+//
+// Random schedule generation through the reference object
+// I(X, Spec, View, Conflict). Every history produced is by construction in
+// the automaton's language L(I(...)), which is exactly what Theorems 9/10
+// quantify over — so feeding these histories to the dynamic-atomicity
+// checker is a direct experimental test of the theorems' "if" directions.
+
+#ifndef CCR_SIM_GENERATOR_H_
+#define CCR_SIM_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/adt.h"
+#include "core/ideal_object.h"
+
+namespace ccr {
+
+struct ScheduleOptions {
+  size_t num_txns = 6;         // logical transactions to drive
+  size_t max_ops_per_txn = 4;  // operations each tries to execute
+  double abort_prob = 0.15;    // chance a transaction aborts instead of
+                               // committing
+  size_t max_steps = 400;      // scheduler step budget (progress bound)
+  // Chance that a drained transaction is left active (neither committed nor
+  // aborted) so histories exercise *online* dynamic atomicity with
+  // non-trivial commit sets.
+  double leave_active_prob = 0.2;
+};
+
+// The distinct invocations of an ADT's universe (results stripped) — the
+// invocation pool the generator draws from.
+std::vector<Invocation> UniverseInvocations(const Adt& adt);
+
+// Drives random transactions through `object` and returns its history.
+// Responses blocked by conflicts are simply retried later or given up on —
+// like a pessimistic scheduler delaying conflicting operations.
+History GenerateSchedule(IdealObject* object,
+                         const std::vector<Invocation>& pool, Random* rng,
+                         const ScheduleOptions& options = {});
+
+}  // namespace ccr
+
+#endif  // CCR_SIM_GENERATOR_H_

@@ -1,0 +1,137 @@
+// Copyright 2026 The ccr Authors.
+
+#include "sim/multi_generator.h"
+
+#include <set>
+
+namespace ccr {
+
+namespace {
+
+// Per-transaction bookkeeping for the multi-object scheduler.
+struct TxnState {
+  TxnId id;
+  size_t ops_done = 0;
+  bool finished = false;
+  // Index of the object holding this transaction's pending invocation, or
+  // SIZE_MAX when none.
+  size_t pending_at = SIZE_MAX;
+  std::set<size_t> touched;
+};
+
+}  // namespace
+
+History GenerateMultiSchedule(const std::vector<ObjectSetup>& objects,
+                              Random* rng, const ScheduleOptions& options) {
+  CCR_CHECK(!objects.empty());
+  for (const ObjectSetup& setup : objects) {
+    CCR_CHECK(setup.object != nullptr && !setup.pool.empty());
+  }
+
+  History global;
+  auto mirror = [&global](const Event& e) {
+    Status s = global.Append(e);
+    CCR_CHECK_MSG(s.ok(), "global history broke well-formedness: %s",
+                  s.ToString().c_str());
+  };
+
+  std::vector<TxnState> txns;
+  txns.reserve(options.num_txns);
+  for (size_t i = 0; i < options.num_txns; ++i) {
+    txns.push_back(TxnState{static_cast<TxnId>(i + 1), 0, false, SIZE_MAX,
+                            {}});
+  }
+
+  auto commit_everywhere = [&](TxnState& t) {
+    for (size_t idx : t.touched) {
+      CCR_CHECK(objects[idx].object->Commit(t.id).ok());
+      mirror(Event::Commit(t.id, objects[idx].object->id()));
+    }
+    // A transaction that touched nothing still commits "at" the first
+    // object so the global history records its fate.
+    if (t.touched.empty()) {
+      CCR_CHECK(objects[0].object->Commit(t.id).ok());
+      mirror(Event::Commit(t.id, objects[0].object->id()));
+    }
+    t.finished = true;
+  };
+  auto abort_everywhere = [&](TxnState& t) {
+    for (size_t idx : t.touched) {
+      CCR_CHECK(objects[idx].object->Abort(t.id).ok());
+      mirror(Event::Abort(t.id, objects[idx].object->id()));
+    }
+    if (t.touched.empty()) {
+      CCR_CHECK(objects[0].object->Abort(t.id).ok());
+      mirror(Event::Abort(t.id, objects[0].object->id()));
+    }
+    t.finished = true;
+  };
+
+  size_t live = txns.size();
+  for (size_t step = 0; step < options.max_steps && live > 0; ++step) {
+    TxnState& t = txns[rng->Uniform(txns.size())];
+    if (t.finished) continue;
+
+    if (t.pending_at != SIZE_MAX) {
+      IdealObject* obj = objects[t.pending_at].object;
+      StatusOr<Value> r = obj->Respond(t.id);
+      if (r.ok()) {
+        mirror(Event::Response(t.id, obj->id(), *r));
+        t.pending_at = SIZE_MAX;
+        ++t.ops_done;
+      } else if (r.status().code() == StatusCode::kIllegalState) {
+        abort_everywhere(t);
+        --live;
+      }
+      // kConflict: delayed; retried on a later step.
+      continue;
+    }
+
+    if (t.ops_done >= options.max_ops_per_txn ||
+        (t.ops_done > 0 && rng->Bernoulli(0.25))) {
+      if (rng->Bernoulli(options.abort_prob)) {
+        abort_everywhere(t);
+      } else {
+        commit_everywhere(t);
+      }
+      --live;
+      continue;
+    }
+
+    const size_t idx = rng->Uniform(objects.size());
+    const ObjectSetup& setup = objects[idx];
+    const Invocation& inv = setup.pool[rng->Uniform(setup.pool.size())];
+    CCR_CHECK(setup.object->Invoke(t.id, inv).ok());
+    mirror(Event::Invoke(t.id, inv));
+    t.pending_at = idx;
+    t.touched.insert(idx);
+  }
+
+  // Drain.
+  for (TxnState& t : txns) {
+    if (t.finished) continue;
+    if (t.pending_at != SIZE_MAX) {
+      IdealObject* obj = objects[t.pending_at].object;
+      StatusOr<Value> r = obj->Respond(t.id);
+      if (r.ok()) {
+        mirror(Event::Response(t.id, obj->id(), *r));
+        t.pending_at = SIZE_MAX;
+      } else {
+        abort_everywhere(t);
+        continue;
+      }
+    }
+    if (rng->Bernoulli(options.leave_active_prob)) {
+      t.finished = true;  // left active
+      continue;
+    }
+    if (rng->Bernoulli(options.abort_prob)) {
+      abort_everywhere(t);
+    } else {
+      commit_everywhere(t);
+    }
+  }
+  return global;
+}
+
+}  // namespace ccr

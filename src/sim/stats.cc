@@ -1,0 +1,34 @@
+// Copyright 2026 The ccr Authors.
+
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace ccr {
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+uint64_t LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const size_t idx = static_cast<size_t>(p / 100.0 * (samples_.size() - 1));
+  return samples_[idx];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (uint64_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace ccr

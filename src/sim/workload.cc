@@ -1,0 +1,66 @@
+// Copyright 2026 The ccr Authors.
+
+#include "sim/workload.h"
+
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+CounterWorkload::CounterWorkload(
+    TxnManager* manager, const CounterWorkloadSpec& spec,
+    const std::function<std::shared_ptr<const ConflictRelation>(
+        std::shared_ptr<Counter>)>& conflict_factory,
+    const std::function<std::unique_ptr<RecoveryManager>(
+        std::shared_ptr<Counter>)>& recovery_factory)
+    : manager_(manager), spec_(spec) {
+  CCR_CHECK(manager != nullptr);
+  CCR_CHECK(spec.num_objects > 0);
+  zipf_ = std::make_shared<Zipfian>(
+      static_cast<uint64_t>(spec.num_objects), spec.zipf_theta);
+  for (int i = 0; i < spec.num_objects; ++i) {
+    auto ctr = MakeCounter(StrFormat("CTR%d", i));
+    counters_.push_back(ctr);
+    manager->AddObject(ctr->object_name(), ctr, conflict_factory(ctr),
+                       recovery_factory(ctr));
+  }
+}
+
+TxnBody CounterWorkload::Body() const {
+  // Copies keep the body self-contained (the workload object may outlive
+  // neither the driver nor the manager otherwise).
+  auto counters = counters_;
+  auto zipf = zipf_;
+  const CounterWorkloadSpec spec = spec_;
+  return [counters, zipf, spec](TxnManager* manager, Transaction* txn,
+                                Random* rng) -> Status {
+    for (int i = 0; i < spec.ops_per_txn; ++i) {
+      const auto& ctr = counters[zipf->Sample(rng)];
+      const size_t pick = rng->Weighted(
+          {spec.inc_weight, spec.dec_weight, spec.read_weight});
+      Invocation inv = pick == 0   ? ctr->IncInv(rng->UniformRange(1, 3))
+                       : pick == 1 ? ctr->DecInv(1)
+                                   : ctr->ReadInv();
+      StatusOr<Value> r = manager->Execute(txn, inv);
+      if (!r.ok()) return r.status();
+      if (spec.hold_per_op.count() > 0) {
+        std::this_thread::sleep_for(spec.hold_per_op);
+      }
+    }
+    return Status::OK();
+  };
+}
+
+int64_t CounterWorkload::TotalCommitted() const {
+  int64_t total = 0;
+  for (const auto& ctr : counters_) {
+    AtomicObject* obj = manager_->object(ctr->object_name());
+    CCR_CHECK(obj != nullptr);
+    total +=
+        TypedSpecAutomaton<Int64State>::Unwrap(*obj->CommittedState()).v;
+  }
+  return total;
+}
+
+}  // namespace ccr

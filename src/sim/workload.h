@@ -1,0 +1,69 @@
+// Copyright 2026 The ccr Authors.
+//
+// Declarative workloads over a bank of counter objects: a transaction
+// performs a fixed number of operations, each drawn from a weighted op mix
+// and directed at an object chosen by a Zipfian distribution — the standard
+// way to dial contention (skew concentrates traffic on a few hot objects).
+
+#ifndef CCR_SIM_WORKLOAD_H_
+#define CCR_SIM_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/counter.h"
+#include "common/random.h"
+#include "sim/driver.h"
+#include "txn/txn_manager.h"
+
+namespace ccr {
+
+// Which conflict relation / recovery method a workload bank runs under is
+// the caller's choice; the workload itself only fixes shape.
+struct CounterWorkloadSpec {
+  int num_objects = 16;
+  double zipf_theta = 0.0;  // 0 = uniform; ~0.99 = classic YCSB skew
+  int ops_per_txn = 2;
+  // Operation mix weights: increment / (blocking) decrement / read.
+  double inc_weight = 0.7;
+  double dec_weight = 0.0;
+  double read_weight = 0.3;
+  // Simulated per-operation lock-hold time (sleep; see bench_util.h
+  // rationale — this is what makes conflicts visible on any host).
+  std::chrono::microseconds hold_per_op{200};
+};
+
+// A bank of counter objects registered to a manager, plus the transaction
+// body implementing the spec. Create one per experiment cell.
+class CounterWorkload {
+ public:
+  // Registers `spec.num_objects` counters named CTR0.. on `manager`, each
+  // with the given conflict/recovery factory.
+  CounterWorkload(
+      TxnManager* manager, const CounterWorkloadSpec& spec,
+      const std::function<std::shared_ptr<const ConflictRelation>(
+          std::shared_ptr<Counter>)>& conflict_factory,
+      const std::function<std::unique_ptr<RecoveryManager>(
+          std::shared_ptr<Counter>)>& recovery_factory);
+
+  // The driver body: one transaction of the spec's shape.
+  TxnBody Body() const;
+
+  // Sum of committed counter values across the bank.
+  int64_t TotalCommitted() const;
+
+  const std::vector<std::shared_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+
+ private:
+  TxnManager* manager_;
+  CounterWorkloadSpec spec_;
+  std::vector<std::shared_ptr<Counter>> counters_;
+  std::shared_ptr<Zipfian> zipf_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_SIM_WORKLOAD_H_

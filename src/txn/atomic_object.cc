@@ -1,0 +1,186 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/atomic_object.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+namespace {
+
+// Waits are sliced so that a kill flag set by deadlock resolution on
+// another object is observed within a bounded delay without cross-object
+// condition-variable wiring (which would create lock-order cycles).
+constexpr std::chrono::milliseconds kWaitSlice{2};
+
+}  // namespace
+
+AtomicObject::AtomicObject(ObjectId id, std::shared_ptr<const Adt> adt,
+                           std::shared_ptr<const ConflictRelation> conflict,
+                           std::unique_ptr<RecoveryManager> recovery,
+                           AtomicObjectOptions options)
+    : id_(std::move(id)),
+      adt_(std::move(adt)),
+      conflict_(std::move(conflict)),
+      recovery_(std::move(recovery)),
+      options_(options),
+      choice_rng_(options.choice_seed) {
+  CCR_CHECK(adt_ != nullptr && conflict_ != nullptr && recovery_ != nullptr);
+}
+
+std::vector<TxnId> AtomicObject::Blockers(TxnId txn,
+                                          const Operation& candidate) const {
+  std::vector<TxnId> blockers;
+  for (const auto& [holder, ops] : held_) {
+    if (holder == txn) continue;
+    for (const Operation& held_op : ops) {
+      if (conflict_->Conflicts(candidate, held_op)) {
+        blockers.push_back(holder);
+        break;
+      }
+    }
+  }
+  return blockers;
+}
+
+StatusOr<Value> AtomicObject::Execute(Transaction* txn,
+                                      const Invocation& inv) {
+  CCR_CHECK(txn != nullptr);
+  if (inv.object() != id_) {
+    return Status::InvalidArgument(
+        StrFormat("invocation for %s sent to %s", inv.object().c_str(),
+                  id_.c_str()));
+  }
+  if (!txn->active()) {
+    return Status::IllegalState("transaction is not active");
+  }
+  txn->Touch(this);
+  if (recorder_ != nullptr) recorder_->Record(Event::Invoke(txn->id(), inv));
+
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.lock_timeout;
+  bool waited = false;
+
+  for (;;) {
+    if (txn->killed()) {
+      if (detector_ != nullptr) detector_->RemoveWait(txn->id());
+      ++stats_.deadlock_victims;
+      return Status::Deadlock(
+          StrFormat("%s chosen as deadlock victim", TxnName(txn->id()).c_str()));
+    }
+
+    std::vector<Outcome> candidates = recovery_->Candidates(txn->id(), inv);
+    // For nondeterministic outcomes, rotate the starting point so choices
+    // are spread (seeded, hence reproducible).
+    size_t start = 0;
+    if (candidates.size() > 1) {
+      start = choice_rng_.Uniform(candidates.size());
+    }
+
+    std::vector<TxnId> blockers;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      Outcome& outcome = candidates[(start + k) % candidates.size()];
+      const Operation candidate(inv, outcome.result);
+      std::vector<TxnId> b = Blockers(txn->id(), candidate);
+      if (b.empty()) {
+        // Enabled and conflict-free: execute.
+        recovery_->Apply(txn->id(), candidate, std::move(outcome.next));
+        held_[txn->id()].push_back(candidate);
+        ++stats_.executes;
+        if (detector_ != nullptr) detector_->RemoveWait(txn->id());
+        if (recorder_ != nullptr) {
+          recorder_->Record(
+              Event::Response(txn->id(), id_, candidate.result()));
+        }
+        // Executing an operation can enable waiters' partial operations.
+        cv_.notify_all();
+        return candidate.result();
+      }
+      blockers.insert(blockers.end(), b.begin(), b.end());
+    }
+
+    // Blocked: either every enabled outcome conflicts, or the invocation is
+    // disabled in this view (blockers empty — a partial operation).
+    if (!blockers.empty()) ++stats_.conflicts;
+    std::sort(blockers.begin(), blockers.end());
+    blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                   blockers.end());
+
+    if (options_.policy == DeadlockPolicy::kDetect && detector_ != nullptr &&
+        !blockers.empty()) {
+      const TxnId victim = detector_->AddWait(txn->id(), blockers);
+      if (victim == txn->id()) {
+        detector_->RemoveWait(txn->id());
+        ++stats_.deadlock_victims;
+        return Status::Deadlock(StrFormat(
+            "%s chosen as deadlock victim at %s",
+            TxnName(txn->id()).c_str(), id_.c_str()));
+      }
+      if (victim != kInvalidTxn && kill_fn_) kill_fn_(victim);
+    } else if (options_.policy == DeadlockPolicy::kWoundWait && kill_fn_) {
+      // An older waiter wounds younger holders; a younger waiter just waits.
+      for (TxnId holder : blockers) {
+        if (holder > txn->id()) kill_fn_(holder);
+      }
+    }
+
+    if (!waited) {
+      waited = true;
+      ++stats_.waits;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      if (detector_ != nullptr) detector_->RemoveWait(txn->id());
+      ++stats_.timeouts;
+      return Status::TimedOut(StrFormat(
+          "%s timed out waiting at %s for %s", TxnName(txn->id()).c_str(),
+          id_.c_str(), inv.ToString().c_str()));
+    }
+    cv_.wait_until(lk, std::min(deadline, now + kWaitSlice));
+  }
+}
+
+void AtomicObject::Commit(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recovery_->Commit(txn);
+    held_.erase(txn);
+    // Recorded under mu_ so the object-local event order matches effect
+    // order — dynamic atomicity is a local property (Lemma 1), so per-object
+    // order is exactly what the offline checkers rely on.
+    if (recorder_ != nullptr) recorder_->Record(Event::Commit(txn, id_));
+  }
+  if (detector_ != nullptr) detector_->Forget(txn);
+  cv_.notify_all();
+}
+
+void AtomicObject::Abort(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recovery_->Abort(txn);
+    held_.erase(txn);
+    if (recorder_ != nullptr) recorder_->Record(Event::Abort(txn, id_));
+  }
+  if (detector_ != nullptr) detector_->Forget(txn);
+  cv_.notify_all();
+}
+
+std::unique_ptr<SpecState> AtomicObject::CommittedState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_->CommittedState();
+}
+
+ObjectStats AtomicObject::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+RecoveryStats AtomicObject::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_->stats();
+}
+
+}  // namespace ccr

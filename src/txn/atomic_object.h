@@ -1,0 +1,125 @@
+// Copyright 2026 The ccr Authors.
+//
+// AtomicObject: the runtime counterpart of the paper's
+// I(X, Spec, View, Conflict) — an object that owns a serial specification
+// (via its Adt), a conflict relation, and a recovery manager, and executes
+// operations for concurrent transactions under conflict-based locking.
+//
+// Locks are implicit, exactly as in the paper: the operations a transaction
+// has executed *are* its locks. A new operation may respond only when it
+// conflicts with no operation held by a different active transaction;
+// otherwise the caller blocks until the holders finish (or deadlock
+// resolution / timeout intervenes). Partial operations (queue dequeue on
+// empty, counter decrement below the floor) also block, waiting for the
+// view to enable them.
+
+#ifndef CCR_TXN_ATOMIC_OBJECT_H_
+#define CCR_TXN_ATOMIC_OBJECT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/adt.h"
+#include "core/conflict_relation.h"
+#include "txn/deadlock.h"
+#include "txn/history_recorder.h"
+#include "txn/recovery_manager.h"
+#include "txn/transaction.h"
+
+namespace ccr {
+
+// How lock waits are resolved.
+enum class DeadlockPolicy {
+  kDetect,     // waits-for graph; youngest on the cycle dies
+  kTimeout,    // no graph; waits give up after the lock timeout
+  kWoundWait,  // an older waiter wounds (kills) younger holders
+};
+
+struct AtomicObjectOptions {
+  std::chrono::milliseconds lock_timeout{500};
+  DeadlockPolicy policy = DeadlockPolicy::kDetect;
+  // For nondeterministic specs: pick among enabled outcomes at random
+  // (seeded) instead of always the first.
+  uint64_t choice_seed = 1;
+};
+
+// Per-object contention counters.
+struct ObjectStats {
+  uint64_t executes = 0;       // operations executed successfully
+  uint64_t conflicts = 0;      // times a request found a conflicting holder
+  uint64_t waits = 0;          // times a request actually slept
+  uint64_t deadlock_victims = 0;
+  uint64_t timeouts = 0;
+};
+
+class AtomicObject {
+ public:
+  AtomicObject(ObjectId id, std::shared_ptr<const Adt> adt,
+               std::shared_ptr<const ConflictRelation> conflict,
+               std::unique_ptr<RecoveryManager> recovery,
+               AtomicObjectOptions options = {});
+
+  CCR_DISALLOW_COPY_AND_ASSIGN(AtomicObject);
+
+  const ObjectId& id() const { return id_; }
+  const Adt& adt() const { return *adt_; }
+  const ConflictRelation& conflict() const { return *conflict_; }
+  RecoveryManager& recovery() { return *recovery_; }
+
+  // Wires (set once, before use; both optional).
+  void set_recorder(HistoryRecorder* recorder) { recorder_ = recorder; }
+  void set_detector(DeadlockDetector* detector) { detector_ = detector; }
+  void set_kill_fn(std::function<void(TxnId)> kill_fn) {
+    kill_fn_ = std::move(kill_fn);
+  }
+
+  // Executes one operation for `txn`, blocking on conflicts and disabled
+  // partial operations. Errors:
+  //   kDeadlock — `txn` was chosen as a victim (caller must abort it),
+  //   kTimedOut — the lock timeout elapsed,
+  //   kInvalidArgument — invocation addressed to a different object.
+  StatusOr<Value> Execute(Transaction* txn, const Invocation& inv);
+
+  // Commit/abort this transaction's work at this object: release its
+  // operation locks and let recovery finalize or undo. Called by the
+  // manager for each touched object.
+  void Commit(TxnId txn);
+  void Abort(TxnId txn);
+
+  // Committed-state snapshot, for invariant checks outside any transaction.
+  std::unique_ptr<SpecState> CommittedState() const;
+
+  ObjectStats stats() const;
+  RecoveryStats recovery_stats() const;
+
+ private:
+  // Transactions (other than `txn`) holding operations that conflict with
+  // `candidate`. Caller holds mu_.
+  std::vector<TxnId> Blockers(TxnId txn, const Operation& candidate) const;
+
+  const ObjectId id_;
+  std::shared_ptr<const Adt> adt_;
+  std::shared_ptr<const ConflictRelation> conflict_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  AtomicObjectOptions options_;
+
+  HistoryRecorder* recorder_ = nullptr;
+  DeadlockDetector* detector_ = nullptr;
+  std::function<void(TxnId)> kill_fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<TxnId, OpSeq> held_;  // operation locks of active transactions
+  Random choice_rng_;
+  ObjectStats stats_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_ATOMIC_OBJECT_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/deadlock.h"
+
+#include <algorithm>
+
+namespace ccr {
+
+TxnId DeadlockDetector::AddWait(TxnId waiter,
+                                const std::vector<TxnId>& holders) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& edges = waits_for_[waiter];
+  edges.clear();
+  for (TxnId h : holders) {
+    if (h != waiter) edges.insert(h);
+  }
+  const std::vector<TxnId> cycle = FindCycle(waiter);
+  if (cycle.empty()) return kInvalidTxn;
+  ++cycles_resolved_;
+  // Victim: the youngest transaction (largest id) on the cycle.
+  return *std::max_element(cycle.begin(), cycle.end());
+}
+
+void DeadlockDetector::RemoveWait(TxnId waiter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waits_for_.erase(waiter);
+}
+
+void DeadlockDetector::Forget(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waits_for_.erase(txn);
+  for (auto& [waiter, holders] : waits_for_) {
+    holders.erase(txn);
+  }
+}
+
+uint64_t DeadlockDetector::cycles_resolved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycles_resolved_;
+}
+
+std::vector<TxnId> DeadlockDetector::FindCycle(TxnId start) const {
+  // Iterative DFS from `start`, looking for a path back to `start`.
+  std::vector<TxnId> path{start};
+  std::set<TxnId> visited{start};
+
+  // Each frame: the node and an iterator position into its successors.
+  struct Frame {
+    TxnId node;
+    std::set<TxnId>::const_iterator next;
+    std::set<TxnId>::const_iterator end;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](TxnId node) {
+    auto it = waits_for_.find(node);
+    if (it == waits_for_.end()) {
+      stack.push_back(Frame{node, {}, {}});
+      stack.back().next = stack.back().end;
+    } else {
+      stack.push_back(Frame{node, it->second.begin(), it->second.end()});
+    }
+  };
+  push(start);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next == frame.end) {
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    const TxnId succ = *frame.next++;
+    if (succ == start) {
+      return path;  // cycle closed
+    }
+    if (visited.insert(succ).second) {
+      path.push_back(succ);
+      push(succ);
+    }
+  }
+  return {};
+}
+
+}  // namespace ccr

@@ -1,0 +1,48 @@
+// Copyright 2026 The ccr Authors.
+//
+// Global waits-for graph with cycle detection. Objects report "waiter W is
+// blocked on holders H1..Hn" edges before sleeping and retract them on
+// wake-up; an edge insertion that closes a cycle nominates a victim (the
+// youngest transaction on the cycle, i.e. the largest id, so long-running
+// work is preserved).
+
+#ifndef CCR_TXN_DEADLOCK_H_
+#define CCR_TXN_DEADLOCK_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/event.h"
+
+namespace ccr {
+
+class DeadlockDetector {
+ public:
+  // Replaces `waiter`'s outgoing edges with `holders` and checks for a
+  // cycle through `waiter`. Returns the chosen victim (kInvalidTxn if no
+  // cycle). The victim may be `waiter` itself.
+  TxnId AddWait(TxnId waiter, const std::vector<TxnId>& holders);
+
+  // Retracts `waiter`'s outgoing edges (call on wake-up or when giving up).
+  void RemoveWait(TxnId waiter);
+
+  // Drops a finished transaction from the graph entirely.
+  void Forget(TxnId txn);
+
+  // Number of cycles resolved so far.
+  uint64_t cycles_resolved() const;
+
+ private:
+  // Finds a cycle through `start`; returns its members (empty if acyclic).
+  std::vector<TxnId> FindCycle(TxnId start) const;
+
+  mutable std::mutex mu_;
+  std::map<TxnId, std::set<TxnId>> waits_for_;
+  uint64_t cycles_resolved_ = 0;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_DEADLOCK_H_

@@ -1,0 +1,26 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/history_recorder.h"
+
+#include "common/macros.h"
+
+namespace ccr {
+
+void HistoryRecorder::Record(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = history_.Append(event);
+  CCR_CHECK_MSG(s.ok(), "engine produced ill-formed history: %s appending %s",
+                s.ToString().c_str(), event.ToString().c_str());
+}
+
+History HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+}  // namespace ccr

@@ -1,0 +1,35 @@
+// Copyright 2026 The ccr Authors.
+//
+// Thread-safe event recorder. The engine appends every invocation,
+// response, commit, and abort event here (in real-time order), producing a
+// core::History that the offline checkers can audit — the bridge between
+// the runtime engine and the paper's formal model.
+
+#ifndef CCR_TXN_HISTORY_RECORDER_H_
+#define CCR_TXN_HISTORY_RECORDER_H_
+
+#include <mutex>
+
+#include "core/history.h"
+
+namespace ccr {
+
+class HistoryRecorder {
+ public:
+  // Appends an event; a well-formedness violation here is an engine bug and
+  // aborts the process.
+  void Record(const Event& event);
+
+  // A consistent copy of the history so far.
+  History Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  History history_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_HISTORY_RECORDER_H_

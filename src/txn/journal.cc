@@ -1,0 +1,48 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/journal.h"
+
+#include "common/macros.h"
+
+namespace ccr {
+
+void Journal::AppendCommit(TxnId txn, OpSeq ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(CommitRecord{txn, std::move(ops)});
+}
+
+std::vector<Journal::CommitRecord> Journal::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+Journal Journal::Prefix(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommitRecord> kept;
+  for (size_t i = 0; i < n && i < records_.size(); ++i) {
+    kept.push_back(records_[i]);
+  }
+  return Journal(std::move(kept));
+}
+
+std::unique_ptr<SpecState> RecoverState(const Adt& adt,
+                                        const Journal& journal) {
+  std::unique_ptr<SpecState> state = adt.spec().InitialState();
+  for (const Journal::CommitRecord& record : journal.Records()) {
+    for (const Operation& op : record.ops) {
+      auto nexts = adt.spec().Next(*state, op);
+      CCR_CHECK_MSG(nexts.size() == 1,
+                    "journal replay stuck at %s of %s",
+                    op.ToString().c_str(), TxnName(record.txn).c_str());
+      state = std::move(nexts[0]);
+    }
+  }
+  return state;
+}
+
+}  // namespace ccr

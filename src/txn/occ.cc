@@ -1,0 +1,137 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/occ.h"
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+OptimisticObject::OptimisticObject(
+    ObjectId id, std::shared_ptr<const Adt> adt,
+    std::shared_ptr<const ConflictRelation> conflict)
+    : id_(std::move(id)), adt_(std::move(adt)), conflict_(std::move(conflict)) {
+  CCR_CHECK(adt_ != nullptr && conflict_ != nullptr);
+  base_ = adt_->spec().InitialState();
+}
+
+OptimisticObject::Workspace& OptimisticObject::GetWorkspace(TxnId txn) {
+  auto it = workspaces_.find(txn);
+  if (it != workspaces_.end()) return it->second;
+  Workspace ws;
+  ws.snapshot_version = version_;
+  ws.state = base_->Clone();
+  return workspaces_.emplace(txn, std::move(ws)).first->second;
+}
+
+StatusOr<Value> OptimisticObject::Execute(TxnId txn, const Invocation& inv) {
+  if (inv.object() != id_) {
+    return Status::InvalidArgument(
+        StrFormat("invocation for %s sent to %s", inv.object().c_str(),
+                  id_.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Workspace& ws = GetWorkspace(txn);
+  std::vector<Outcome> outcomes = adt_->spec().Outcomes(*ws.state, inv);
+  if (outcomes.empty()) {
+    return Status::IllegalState(
+        StrFormat("%s disabled in %s's snapshot view",
+                  inv.ToString().c_str(), TxnName(txn).c_str()));
+  }
+  Outcome& chosen = outcomes.front();
+  const Operation op(inv, chosen.result);
+  ws.intentions.push_back(op);
+  ws.state = std::move(chosen.next);
+  ++stats_.executes;
+  if (recorder_ != nullptr) {
+    recorder_->Record(Event::Invoke(txn, inv));
+    recorder_->Record(Event::Response(txn, id_, op.result()));
+  }
+  return op.result();
+}
+
+Status OptimisticObject::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workspaces_.find(txn);
+  if (it == workspaces_.end()) {
+    // Read-free at this object: nothing to validate or apply.
+    ++stats_.commits;
+    if (recorder_ != nullptr) recorder_->Record(Event::Commit(txn, id_));
+    return Status::OK();
+  }
+  Workspace& ws = it->second;
+
+  // Backward validation: against every transaction committed after the
+  // snapshot was taken.
+  for (const CommittedRecord& record : committed_) {
+    if (record.version <= ws.snapshot_version) continue;
+    for (const Operation& theirs : record.ops) {
+      for (const Operation& ours : ws.intentions) {
+        if (conflict_->Conflicts(ours, theirs)) {
+          ++stats_.validation_failures;
+          // Compose the message before the workspace (and `ours`) dies.
+          Status failure = Status::Conflict(StrFormat(
+              "%s failed validation: %s conflicts with committed %s",
+              TxnName(txn).c_str(), ours.ToString().c_str(),
+              theirs.ToString().c_str()));
+          workspaces_.erase(it);
+          if (recorder_ != nullptr) {
+            recorder_->Record(Event::Abort(txn, id_));
+          }
+          return failure;
+        }
+      }
+    }
+  }
+
+  // Apply the intentions to the base, as deferred-update commit does. This
+  // always succeeds when validation passed: every operation committed since
+  // the snapshot commutes forward with ours, so our intentions remain
+  // applicable.
+  for (const Operation& op : ws.intentions) {
+    auto nexts = adt_->spec().Next(*base_, op);
+    CCR_CHECK_MSG(nexts.size() == 1, "OCC apply stuck at %s",
+                  op.ToString().c_str());
+    base_ = std::move(nexts[0]);
+  }
+  ++version_;
+  committed_.push_back(CommittedRecord{version_, std::move(ws.intentions)});
+  workspaces_.erase(it);
+  ++stats_.commits;
+
+  // Trim the validation window: records older than every live snapshot can
+  // never be consulted again.
+  uint64_t oldest = version_;
+  for (const auto& [live_txn, live_ws] : workspaces_) {
+    (void)live_txn;
+    if (live_ws.snapshot_version < oldest) oldest = live_ws.snapshot_version;
+  }
+  size_t keep_from = 0;
+  while (keep_from < committed_.size() &&
+         committed_[keep_from].version <= oldest) {
+    ++keep_from;
+  }
+  committed_.erase(committed_.begin(),
+                   committed_.begin() + static_cast<long>(keep_from));
+
+  if (recorder_ != nullptr) recorder_->Record(Event::Commit(txn, id_));
+  return Status::OK();
+}
+
+void OptimisticObject::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workspaces_.erase(txn);
+  ++stats_.aborts;
+  if (recorder_ != nullptr) recorder_->Record(Event::Abort(txn, id_));
+}
+
+std::unique_ptr<SpecState> OptimisticObject::CommittedState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_->Clone();
+}
+
+OccStats OptimisticObject::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ccr

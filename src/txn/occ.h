@@ -1,0 +1,104 @@
+// Copyright 2026 The ccr Authors.
+//
+// Optimistic concurrency control. The paper (Section 3.4) notes that
+// dynamic atomicity characterizes optimistic protocols too: instead of
+// delaying conflicting operations, they "allow conflicts to occur, but
+// abort conflicting transactions when they try to commit to prevent
+// conflicts among committed transactions."
+//
+// This is Kung-Robinson backward validation with *commutativity-based*
+// validation over deferred-update recovery:
+//   * Execute never blocks: a transaction runs against a private snapshot
+//     (the committed base as of its first operation) plus its own
+//     intentions;
+//   * Commit validates the transaction's operations against the operations
+//     of every transaction that committed after its snapshot: any pair in
+//     the conflict relation (NFC for correctness, per Theorem 10's reading)
+//     aborts the committer;
+//   * on success the intentions are applied to the base, exactly as in
+//     DuRecovery.
+//
+// Locking pessimism turns into validation aborts: the same NFC relation
+// decides both, so the theory's conflict accounting carries over unchanged.
+
+#ifndef CCR_TXN_OCC_H_
+#define CCR_TXN_OCC_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/adt.h"
+#include "core/conflict_relation.h"
+#include "txn/history_recorder.h"
+
+namespace ccr {
+
+struct OccStats {
+  uint64_t executes = 0;
+  uint64_t commits = 0;
+  uint64_t validation_failures = 0;
+  uint64_t aborts = 0;  // user aborts (not validation failures)
+};
+
+class OptimisticObject {
+ public:
+  OptimisticObject(ObjectId id, std::shared_ptr<const Adt> adt,
+                   std::shared_ptr<const ConflictRelation> conflict);
+
+  CCR_DISALLOW_COPY_AND_ASSIGN(OptimisticObject);
+
+  const ObjectId& id() const { return id_; }
+
+  void set_recorder(HistoryRecorder* recorder) { recorder_ = recorder; }
+
+  // Executes one operation for `txn` against its snapshot + intentions.
+  // Never blocks on other transactions. kIllegalState when the invocation
+  // is disabled in the transaction's view (partial operations do not wait
+  // under OCC — the caller should abort and retry).
+  StatusOr<Value> Execute(TxnId txn, const Invocation& inv);
+
+  // Backward validation + apply. kAborted (with the transaction's state
+  // discarded) when a committed-since-snapshot operation conflicts.
+  Status Commit(TxnId txn);
+
+  // Discards the transaction's workspace.
+  void Abort(TxnId txn);
+
+  std::unique_ptr<SpecState> CommittedState() const;
+
+  OccStats stats() const;
+
+ private:
+  struct Workspace {
+    uint64_t snapshot_version = 0;
+    std::unique_ptr<SpecState> state;  // snapshot ⊕ intentions
+    OpSeq intentions;
+  };
+
+  struct CommittedRecord {
+    uint64_t version;  // version assigned by this commit
+    OpSeq ops;
+  };
+
+  // Caller holds mu_. Creates the workspace on first use.
+  Workspace& GetWorkspace(TxnId txn);
+
+  const ObjectId id_;
+  std::shared_ptr<const Adt> adt_;
+  std::shared_ptr<const ConflictRelation> conflict_;
+  HistoryRecorder* recorder_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<SpecState> base_;
+  uint64_t version_ = 0;
+  std::map<TxnId, Workspace> workspaces_;
+  std::vector<CommittedRecord> committed_;  // validation window
+  OccStats stats_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_OCC_H_

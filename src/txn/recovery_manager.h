@@ -1,0 +1,81 @@
+// Copyright 2026 The ccr Authors.
+//
+// Recovery managers — concrete implementations of the paper's two View
+// functions (Section 5) for the runtime engine. A recovery manager owns the
+// representation of one object's state and answers three questions: what
+// outcomes are possible for an invocation in a transaction's view, how to
+// record a chosen operation, and what to do at commit/abort.
+//
+// Managers are not thread-safe; the owning AtomicObject's mutex guards them.
+
+#ifndef CCR_TXN_RECOVERY_MANAGER_H_
+#define CCR_TXN_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/spec.h"
+
+namespace ccr {
+
+// Operation counters for the PERF-ABORT experiment: where each recovery
+// method pays — UIP pays on abort (undo/replay), DU pays on commit
+// (intention application).
+struct RecoveryStats {
+  uint64_t applies = 0;          // operations executed
+  uint64_t commits = 0;          // transactions committed
+  uint64_t aborts = 0;           // transactions aborted
+  uint64_t replay_ops = 0;       // ops re-applied during UIP abort replay
+  uint64_t inverse_ops = 0;      // inverse ops applied during UIP abort
+  uint64_t intention_ops = 0;    // intentions applied at DU commit
+  uint64_t workspace_rebuilds = 0;  // DU workspace recomputations
+};
+
+class Journal;
+
+class RecoveryManager {
+ public:
+  virtual ~RecoveryManager() = default;
+
+  virtual std::string name() const = 0;
+
+  // Attaches a redo journal: from now on, every commit appends the
+  // transaction's operations as one commit record (crash-recovery support;
+  // see txn/journal.h). Optional; set before first use.
+  void set_journal(Journal* journal) { journal_ = journal; }
+  Journal* journal() const { return journal_; }
+
+  // The outcomes (result, next view state) enabled for `inv` in `txn`'s
+  // current view. Empty when the invocation is disabled there (partial
+  // operations): the caller may block until the view changes.
+  virtual std::vector<Outcome> Candidates(TxnId txn,
+                                          const Invocation& inv) = 0;
+
+  // Records the chosen operation; `next` must be the matching Candidates
+  // outcome's state.
+  virtual void Apply(TxnId txn, const Operation& op,
+                     std::unique_ptr<SpecState> next) = 0;
+
+  virtual void Commit(TxnId txn) = 0;
+  virtual void Abort(TxnId txn) = 0;
+
+  // Snapshot of the state all *non-aborted* work yields under this method's
+  // view semantics (UIP: the single current state; DU: the committed base).
+  virtual std::unique_ptr<SpecState> CurrentState() const = 0;
+
+  // Snapshot of the state reflecting committed transactions only.
+  virtual std::unique_ptr<SpecState> CommittedState() const = 0;
+
+  const RecoveryStats& stats() const { return stats_; }
+
+ protected:
+  RecoveryStats stats_;
+  Journal* journal_ = nullptr;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_RECOVERY_MANAGER_H_

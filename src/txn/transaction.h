@@ -1,0 +1,62 @@
+// Copyright 2026 The ccr Authors.
+//
+// Transaction handles. A transaction is driven by exactly one client thread
+// (the paper's model allows no intra-transaction concurrency); the only
+// cross-thread interaction is the `killed` flag, set by deadlock resolution
+// and read by the owner thread at its next blocking point.
+
+#ifndef CCR_TXN_TRANSACTION_H_
+#define CCR_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/event.h"
+
+namespace ccr {
+
+class AtomicObject;
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  CCR_DISALLOW_COPY_AND_ASSIGN(Transaction);
+
+  TxnId id() const { return id_; }
+
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  // Deadlock-victim flag; set by the manager, possibly from another thread.
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+  void Kill() { killed_.store(true, std::memory_order_release); }
+
+  // Objects this transaction executed operations at (commit/abort scope).
+  const std::vector<AtomicObject*>& touched() const { return touched_; }
+
+ private:
+  friend class TxnManager;
+  friend class AtomicObject;
+
+  void Touch(AtomicObject* object) {
+    for (AtomicObject* o : touched_) {
+      if (o == object) return;
+    }
+    touched_.push_back(object);
+  }
+
+  void set_state(TxnState state) { state_ = state; }
+
+  const TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  std::atomic<bool> killed_{false};
+  std::vector<AtomicObject*> touched_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_TRANSACTION_H_

@@ -1,0 +1,146 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/txn_manager.h"
+
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+TxnManager::TxnManager(TxnManagerOptions options) : options_(options) {}
+
+AtomicObject* TxnManager::AddObject(
+    ObjectId id, std::shared_ptr<const Adt> adt,
+    std::shared_ptr<const ConflictRelation> conflict,
+    std::unique_ptr<RecoveryManager> recovery) {
+  AtomicObjectOptions obj_options;
+  obj_options.lock_timeout = options_.lock_timeout;
+  obj_options.policy = options_.policy;
+  auto object = std::make_unique<AtomicObject>(
+      id, std::move(adt), std::move(conflict), std::move(recovery),
+      obj_options);
+  if (options_.record_history) object->set_recorder(&recorder_);
+  if (options_.policy == DeadlockPolicy::kDetect) {
+    object->set_detector(&detector_);
+  }
+  object->set_kill_fn([this](TxnId victim) { Kill(victim); });
+  AtomicObject* raw = object.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  CCR_CHECK_MSG(objects_.emplace(id, std::move(object)).second,
+                "duplicate object id %s", id.c_str());
+  return raw;
+}
+
+AtomicObject* TxnManager::object(const ObjectId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<Transaction> TxnManager::Begin() {
+  auto txn = std::make_shared<Transaction>(
+      next_txn_.fetch_add(1, std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.emplace(txn->id(), txn);
+  ++stats_.begun;
+  return txn;
+}
+
+StatusOr<Value> TxnManager::Execute(Transaction* txn, const Invocation& inv) {
+  AtomicObject* obj = object(inv.object());
+  if (obj == nullptr) {
+    return Status::NotFound(
+        StrFormat("no object named %s", inv.object().c_str()));
+  }
+  return obj->Execute(txn, inv);
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  CCR_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::IllegalState("commit of a finished transaction");
+  }
+  if (txn->killed()) {
+    // A deadlock victim must abort; committing would violate the victim
+    // choice another waiter depends on.
+    Status s = Abort(txn);
+    (void)s;
+    return Status::Deadlock(StrFormat(
+        "%s was killed before commit", TxnName(txn->id()).c_str()));
+  }
+  // Atomic commitment: commit at every touched object (single-process, so
+  // no prepare phase is needed — there is no partial failure mode).
+  for (AtomicObject* obj : txn->touched()) {
+    obj->Commit(txn->id());
+  }
+  txn->set_state(TxnState::kCommitted);
+  detector_.Forget(txn->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(txn->id());
+  ++stats_.committed;
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  CCR_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::IllegalState("abort of a finished transaction");
+  }
+  for (AtomicObject* obj : txn->touched()) {
+    obj->Abort(txn->id());
+  }
+  txn->set_state(TxnState::kAborted);
+  detector_.Forget(txn->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(txn->id());
+  ++stats_.aborted;
+  return Status::OK();
+}
+
+Status TxnManager::RunTransaction(
+    const std::function<Status(Transaction*)>& body) {
+  Random backoff_rng(next_txn_.load(std::memory_order_relaxed) * 7919 + 17);
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    std::shared_ptr<Transaction> txn = Begin();
+    Status s = body(txn.get());
+    if (s.ok()) {
+      s = Commit(txn.get());
+      if (s.ok()) return s;
+    } else if (txn->active()) {
+      Abort(txn.get());
+    }
+    if (!s.IsRetryable()) return s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    // Randomized bounded backoff to break livelock among symmetric retriers.
+    const int shift = std::min(attempt, 8);
+    const uint64_t max_us = 32ull << shift;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(backoff_rng.Uniform(max_us) + 1));
+  }
+  return Status::Aborted("transaction retry budget exhausted");
+}
+
+void TxnManager::Kill(TxnId txn) {
+  std::shared_ptr<Transaction> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(txn);
+    if (it == live_.end()) return;  // already finished
+    victim = it->second;
+    ++stats_.kills;
+  }
+  victim->Kill();
+}
+
+History TxnManager::SnapshotHistory() const { return recorder_.Snapshot(); }
+
+ManagerStats TxnManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ccr

@@ -1,0 +1,92 @@
+// Copyright 2026 The ccr Authors.
+//
+// TxnManager: transaction lifecycle, atomic commitment across objects (the
+// paper's "commit at one or more objects, never commit-and-abort"), deadlock
+// victim handling, and the retry loop client code uses.
+//
+// Contract: a transaction is driven by one thread. After Execute returns a
+// retryable error (kConflict / kDeadlock / kTimedOut), the transaction MUST
+// be aborted, not reused; RunTransaction handles this (abort + fresh
+// transaction + backoff).
+
+#ifndef CCR_TXN_TXN_MANAGER_H_
+#define CCR_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "txn/atomic_object.h"
+
+namespace ccr {
+
+struct TxnManagerOptions {
+  bool record_history = true;
+  DeadlockPolicy policy = DeadlockPolicy::kDetect;
+  std::chrono::milliseconds lock_timeout{500};
+  int max_retries = 1000;
+};
+
+// Aggregate outcome counters.
+struct ManagerStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t retries = 0;     // retryable failures that were retried
+  uint64_t kills = 0;       // deadlock wounds/victims issued
+};
+
+class TxnManager {
+ public:
+  explicit TxnManager(TxnManagerOptions options = {});
+
+  CCR_DISALLOW_COPY_AND_ASSIGN(TxnManager);
+
+  // Creates and registers an object with this manager's recorder, detector,
+  // kill function, lock timeout, and policy.
+  AtomicObject* AddObject(ObjectId id, std::shared_ptr<const Adt> adt,
+                          std::shared_ptr<const ConflictRelation> conflict,
+                          std::unique_ptr<RecoveryManager> recovery);
+
+  AtomicObject* object(const ObjectId& id) const;
+
+  // Transaction lifecycle.
+  std::shared_ptr<Transaction> Begin();
+  StatusOr<Value> Execute(Transaction* txn, const Invocation& inv);
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  // Runs `body` in a fresh transaction, committing on success and retrying
+  // on retryable failures (with randomized backoff) up to
+  // options.max_retries times. `body` returning a non-retryable error
+  // aborts and returns that error.
+  Status RunTransaction(const std::function<Status(Transaction*)>& body);
+
+  // Marks a transaction as a deadlock victim.
+  void Kill(TxnId txn);
+
+  // History recorded so far (empty when record_history is false).
+  History SnapshotHistory() const;
+  bool recording() const { return options_.record_history; }
+
+  ManagerStats stats() const;
+  DeadlockDetector* detector() { return &detector_; }
+
+ private:
+  TxnManagerOptions options_;
+  HistoryRecorder recorder_;
+  DeadlockDetector detector_;
+
+  std::atomic<TxnId> next_txn_{1};
+
+  mutable std::mutex mu_;
+  std::map<ObjectId, std::unique_ptr<AtomicObject>> objects_;
+  std::map<TxnId, std::shared_ptr<Transaction>> live_;
+  ManagerStats stats_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_TXN_MANAGER_H_

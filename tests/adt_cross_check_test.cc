@@ -1,0 +1,151 @@
+// Copyright 2026 The ccr Authors.
+//
+// Parameterized cross-checks over the whole ADT registry: for every ADT, the
+// generic commutativity analyzer (which knows nothing but the serial
+// specification) must agree with the ADT's closed-form FC/RBC predicates on
+// every pair of universe operations, and the structural lemmas of the paper
+// (FC symmetric, observers self-commuting) must hold.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "adt/registry.h"
+#include "core/commutativity.h"
+
+namespace ccr {
+namespace {
+
+class AdtCrossCheckTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  AdtCrossCheckTest() {
+    adt_ = AllAdts()[GetParam()];
+    analyzer_ = std::make_unique<CommutativityAnalyzer>(
+        &adt_->spec(), adt_->Universe(), AnalysisOptionsFor(*adt_));
+  }
+
+  std::shared_ptr<Adt> adt_;
+  std::unique_ptr<CommutativityAnalyzer> analyzer_;
+};
+
+TEST_P(AdtCrossCheckTest, AnalyzerMatchesClosedFormFc) {
+  for (const Operation& p : adt_->Universe()) {
+    for (const Operation& q : adt_->Universe()) {
+      EXPECT_EQ(analyzer_->CommuteForward(p, q), adt_->CommuteForward(p, q))
+          << adt_->name() << ": FC mismatch for (" << p.ToString() << ", "
+          << q.ToString() << ")";
+    }
+  }
+}
+
+TEST_P(AdtCrossCheckTest, AnalyzerMatchesClosedFormRbc) {
+  for (const Operation& p : adt_->Universe()) {
+    for (const Operation& q : adt_->Universe()) {
+      EXPECT_EQ(analyzer_->RightCommutesBackward(p, q),
+                adt_->RightCommutesBackward(p, q))
+          << adt_->name() << ": RBC mismatch for (" << p.ToString() << ", "
+          << q.ToString() << ")";
+    }
+  }
+}
+
+TEST_P(AdtCrossCheckTest, ClosedFormFcIsSymmetric) {
+  for (const Operation& p : adt_->Universe()) {
+    for (const Operation& q : adt_->Universe()) {
+      EXPECT_EQ(adt_->CommuteForward(p, q), adt_->CommuteForward(q, p))
+          << adt_->name() << ": (" << p.ToString() << ", " << q.ToString()
+          << ")";
+    }
+  }
+}
+
+// Every operation right-commutes backward with itself: swapping two
+// executions of the same operation is the identity.
+TEST_P(AdtCrossCheckTest, SelfRbcHolds)
+{
+  for (const Operation& p : adt_->Universe()) {
+    EXPECT_TRUE(adt_->RightCommutesBackward(p, p)) << p.ToString();
+    EXPECT_TRUE(analyzer_->RightCommutesBackward(p, p)) << p.ToString();
+  }
+}
+
+// Read-only operations (per the ADT's own classification) never change the
+// abstract state: stepping any reachable state by the operation either
+// fails or returns the same state.
+TEST_P(AdtCrossCheckTest, ObserversDoNotChangeState) {
+  for (const ReachableState& rs : analyzer_->Reachable()) {
+    for (const Operation& op : adt_->Universe()) {
+      if (adt_->IsUpdate(op)) continue;
+      StateSet next = rs.states.Step(adt_->spec(), op);
+      if (next.empty()) continue;
+      EXPECT_TRUE(next.Equals(rs.states) ||
+                  (next.size() <= rs.states.size()))
+          << adt_->name() << ": observer " << op.ToString()
+          << " changed state " << rs.states.ToString() << " -> "
+          << next.ToString();
+      // Each state in `next` must already be in the source set.
+      for (size_t i = 0; i < next.size(); ++i) {
+        EXPECT_TRUE(rs.states.Contains(next.at(i)));
+      }
+    }
+  }
+}
+
+// The spec's deterministic() flag is truthful: deterministic specs never
+// produce more than one next state for a full operation.
+TEST_P(AdtCrossCheckTest, DeterminismFlagIsTruthful) {
+  if (!adt_->spec().deterministic()) return;
+  for (const ReachableState& rs : analyzer_->Reachable()) {
+    for (const Operation& op : adt_->Universe()) {
+      EXPECT_LE(rs.states.Step(adt_->spec(), op).size(), rs.states.size());
+    }
+  }
+}
+
+// Operations must be result-deterministic even for nondeterministic specs:
+// a (state, operation) pair has at most one successor. The recovery
+// managers rely on this for replay.
+TEST_P(AdtCrossCheckTest, ResultDeterministic) {
+  for (const ReachableState& rs : analyzer_->Reachable()) {
+    for (size_t i = 0; i < rs.states.size(); ++i) {
+      for (const Operation& op : adt_->Universe()) {
+        EXPECT_LE(adt_->spec().Next(rs.states.at(i), op).size(), 1u)
+            << adt_->name() << ": " << op.ToString() << " at "
+            << rs.states.at(i).ToString();
+      }
+    }
+  }
+}
+
+// Inverse support is truthful: undoing the most recent operation restores
+// the predecessor state exactly.
+TEST_P(AdtCrossCheckTest, InverseUndoesApply) {
+  if (!adt_->supports_inverse()) return;
+  for (const ReachableState& rs : analyzer_->Reachable()) {
+    for (size_t i = 0; i < rs.states.size(); ++i) {
+      const SpecState& before = rs.states.at(i);
+      for (const Operation& op : adt_->Universe()) {
+        auto nexts = adt_->spec().Next(before, op);
+        if (nexts.empty()) continue;
+        auto undone = adt_->InverseApply(*nexts[0], op);
+        ASSERT_TRUE(undone.has_value())
+            << adt_->name() << ": no inverse for " << op.ToString();
+        EXPECT_TRUE((*undone)->Equals(before))
+            << adt_->name() << ": inverse of " << op.ToString()
+            << " from " << nexts[0]->ToString() << " gave "
+            << (*undone)->ToString() << ", want " << before.ToString();
+      }
+    }
+  }
+}
+
+std::string AdtTestName(const ::testing::TestParamInfo<size_t>& info) {
+  return AllAdts()[info.param]->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdts, AdtCrossCheckTest,
+                         ::testing::Range<size_t>(0, AllAdts().size()),
+                         AdtTestName);
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,180 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for the serializability / atomicity / dynamic-atomicity checkers,
+// built around the paper's Section 3.3 / 3.4 worked examples.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "core/atomicity.h"
+#include "core/script.h"
+
+namespace ccr {
+namespace {
+
+class AtomicityTest : public ::testing::Test {
+ protected:
+  AtomicityTest() : ba_(MakeBankAccount()) {
+    specs_["BA"] = std::shared_ptr<const SpecAutomaton>(
+        ba_, &ba_->spec());
+  }
+
+  std::shared_ptr<BankAccount> ba_;
+  SpecMap specs_;
+};
+
+// The paper's Section 3.3 example history: serializable in A-B-C and atomic;
+// the interleaving makes A-B-C the only precedes-consistent order, so it is
+// also dynamic atomic.
+History PaperAtomicHistory(const BankAccount& ba) {
+  History h;
+  CCR_CHECK(h.Append(Event::Invoke(1, ba.DepositInv(3))).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(2, ba.WithdrawInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(1, ba.BalanceInv())).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value(int64_t{3}))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(2, ba.BalanceInv())).ok());
+  CCR_CHECK(h.Append(Event::Commit(1, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value(int64_t{1}))).ok());
+  CCR_CHECK(h.Append(Event::Commit(2, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Invoke(3, ba.WithdrawInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(3, "BA", Value("no"))).ok());
+  CCR_CHECK(h.Append(Event::Commit(3, "BA")).ok());
+  return h;
+}
+
+TEST_F(AtomicityTest, PaperExampleIsSerializableInABC) {
+  History h = PaperAtomicHistory(*ba_);
+  SerializabilityResult r = CheckSerializable(h, specs_);
+  ASSERT_TRUE(r.serializable);
+  EXPECT_EQ(r.order, (std::vector<TxnId>{1, 2, 3}));
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST_F(AtomicityTest, PaperExampleIsAtomic) {
+  History h = PaperAtomicHistory(*ba_);
+  EXPECT_TRUE(CheckAtomic(h, specs_).serializable);
+}
+
+TEST_F(AtomicityTest, PaperExampleIsDynamicAtomic) {
+  History h = PaperAtomicHistory(*ba_);
+  DynamicAtomicityResult r = CheckDynamicAtomic(h, specs_);
+  EXPECT_TRUE(r.dynamic_atomic);
+  EXPECT_FALSE(r.exhausted);
+}
+
+// Section 3.4's twist: if B's last response occurred *before* A's commit,
+// (A,B) leaves precedes(H), order B-A-C becomes admissible, and the history
+// is no longer dynamic atomic (B's balance of 1 is wrong if B runs first) —
+// though it is still atomic.
+History PaperNonDynamicHistory(const BankAccount& ba) {
+  History h;
+  CCR_CHECK(h.Append(Event::Invoke(1, ba.DepositInv(3))).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(2, ba.WithdrawInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(1, ba.BalanceInv())).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value(int64_t{3}))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(2, ba.BalanceInv())).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value(int64_t{1}))).ok());
+  CCR_CHECK(h.Append(Event::Commit(1, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Commit(2, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Invoke(3, ba.WithdrawInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(3, "BA", Value("no"))).ok());
+  CCR_CHECK(h.Append(Event::Commit(3, "BA")).ok());
+  return h;
+}
+
+TEST_F(AtomicityTest, PaperVariantIsAtomicButNotDynamicAtomic) {
+  History h = PaperNonDynamicHistory(*ba_);
+  EXPECT_TRUE(CheckAtomic(h, specs_).serializable);
+  DynamicAtomicityResult r = CheckDynamicAtomic(h, specs_);
+  ASSERT_FALSE(r.dynamic_atomic);
+  // The violating order must start with B (running B first is inconsistent
+  // with B's observed balance).
+  ASSERT_FALSE(r.violating_order.empty());
+  EXPECT_EQ(r.violating_order.front(), 2u);
+}
+
+TEST_F(AtomicityTest, EmptyHistoryIsDynamicAtomic) {
+  History h;
+  EXPECT_TRUE(CheckDynamicAtomic(h, specs_).dynamic_atomic);
+  EXPECT_TRUE(CheckSerializable(h, specs_).serializable);
+}
+
+TEST_F(AtomicityTest, NonSerializableHistoryDetected) {
+  // A and B both observe balance 0 and then deposit: every serial order
+  // makes the second observer see a positive balance.
+  History h;
+  CCR_CHECK(h.Append(Event::Invoke(1, ba_->BalanceInv())).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value(int64_t{0}))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(2, ba_->BalanceInv())).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value(int64_t{0}))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(1, ba_->DepositInv(1))).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(2, ba_->DepositInv(1))).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Commit(1, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Commit(2, "BA")).ok());
+  SerializabilityResult r = CheckSerializable(h, specs_);
+  EXPECT_FALSE(r.serializable);
+  EXPECT_FALSE(CheckDynamicAtomic(h, specs_).dynamic_atomic);
+}
+
+TEST_F(AtomicityTest, AbortedTransactionsAreInvisible) {
+  // B's aborted overdraft does not count against atomicity.
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(3)).Commit(1, "BA");
+  script.Exec(2, ba_->WithdrawOk(3)).Abort(2, "BA");
+  script.Exec(3, ba_->Balance(3)).Commit(3, "BA");
+  History h = script.Build().value();
+  EXPECT_TRUE(CheckAtomic(h, specs_).serializable);
+  EXPECT_TRUE(CheckDynamicAtomic(h, specs_).dynamic_atomic);
+}
+
+TEST_F(AtomicityTest, MultiObjectSerialization) {
+  // Two accounts; A transfers from BA to BB, B observes a consistent
+  // snapshot only in one order.
+  BankAccount bb("BB");
+  specs_["BB"] = std::make_shared<BankAccountSpec>("BB");
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5));
+  script.Exec(1, bb.Deposit(7)).Commit(1, "BA").Commit(1, "BB");
+  script.Exec(2, ba_->Balance(5));
+  script.Exec(2, bb.Balance(7)).Commit(2, "BA").Commit(2, "BB");
+  History h = script.Build().value();
+  SerializabilityResult r = CheckSerializable(h, specs_);
+  ASSERT_TRUE(r.serializable);
+  EXPECT_EQ(r.order, (std::vector<TxnId>{1, 2}));
+  EXPECT_TRUE(CheckDynamicAtomic(h, specs_).dynamic_atomic);
+}
+
+TEST_F(AtomicityTest, OnlineDynamicAtomicityCatchesDoomedActives) {
+  // A (active) withdrew 2 from an account whose only deposit came from B
+  // (also active): if A commits without B, no serial order explains it.
+  History h;
+  CCR_CHECK(h.Append(Event::Invoke(2, ba_->DepositInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value("ok"))).ok());
+  CCR_CHECK(h.Append(Event::Invoke(1, ba_->WithdrawInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(1, "BA", Value("ok"))).ok());
+  // Neither commits: plain dynamic atomicity holds vacuously...
+  EXPECT_TRUE(CheckDynamicAtomic(h, specs_).dynamic_atomic);
+  // ...but the commit set {A} is unserializable, which online dynamic
+  // atomicity rejects.
+  EXPECT_FALSE(CheckOnlineDynamicAtomic(h, specs_).dynamic_atomic);
+}
+
+TEST_F(AtomicityTest, IsAcceptableChecksEveryObject) {
+  BankAccount bb("BB");
+  specs_["BB"] = std::make_shared<BankAccountSpec>("BB");
+  HistoryScript good;
+  good.Exec(1, ba_->Deposit(1)).Exec(1, bb.Balance(0)).Commit(1, "BA");
+  EXPECT_TRUE(IsAcceptable(good.Build().value(), specs_));
+  HistoryScript bad;
+  bad.Exec(1, ba_->Deposit(1)).Exec(1, bb.Balance(9));
+  EXPECT_FALSE(IsAcceptable(bad.Build().value(), specs_));
+}
+
+}  // namespace
+}  // namespace ccr

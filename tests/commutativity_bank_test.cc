@@ -1,0 +1,222 @@
+// Copyright 2026 The ccr Authors.
+//
+// Reproduces Figures 6-1 and 6-2 of the paper from first principles: the
+// generic commutativity analyzer, run on the bank-account serial
+// specification, must produce exactly the paper's forward- and
+// right-backward-commutativity matrices, and the closed-form predicates
+// must agree with the analyzer on every concrete operation pair.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/registry.h"
+#include "core/commutativity.h"
+
+namespace ccr {
+namespace {
+
+// Symbolic operation kinds of the paper's figures.
+enum class Kind { kDep, kWok, kWno, kBal };
+
+Kind KindOf(const Operation& op) {
+  switch (op.code()) {
+    case BankAccount::kDeposit:
+      return Kind::kDep;
+    case BankAccount::kWithdraw:
+      return op.result().AsString() == "ok" ? Kind::kWok : Kind::kWno;
+    default:
+      return Kind::kBal;
+  }
+}
+
+// Figure 6-1: "x indicates that the operations for the given row and column
+// do not commute forward" — aggregated over all amounts i, j.
+const std::map<std::pair<Kind, Kind>, bool> kFig61NonCommuting = {
+    {{Kind::kDep, Kind::kDep}, false}, {{Kind::kDep, Kind::kWok}, false},
+    {{Kind::kDep, Kind::kWno}, true},  {{Kind::kDep, Kind::kBal}, true},
+    {{Kind::kWok, Kind::kDep}, false}, {{Kind::kWok, Kind::kWok}, true},
+    {{Kind::kWok, Kind::kWno}, false}, {{Kind::kWok, Kind::kBal}, true},
+    {{Kind::kWno, Kind::kDep}, true},  {{Kind::kWno, Kind::kWok}, false},
+    {{Kind::kWno, Kind::kWno}, false}, {{Kind::kWno, Kind::kBal}, false},
+    {{Kind::kBal, Kind::kDep}, true},  {{Kind::kBal, Kind::kWok}, true},
+    {{Kind::kBal, Kind::kWno}, false}, {{Kind::kBal, Kind::kBal}, false},
+};
+
+// Figure 6-2: "x indicates that the operation for the given row does not
+// right commute backward with the operation for the column."
+const std::map<std::pair<Kind, Kind>, bool> kFig62NonCommuting = {
+    {{Kind::kDep, Kind::kDep}, false}, {{Kind::kDep, Kind::kWok}, false},
+    {{Kind::kDep, Kind::kWno}, true},  {{Kind::kDep, Kind::kBal}, true},
+    {{Kind::kWok, Kind::kDep}, true},  {{Kind::kWok, Kind::kWok}, false},
+    {{Kind::kWok, Kind::kWno}, false}, {{Kind::kWok, Kind::kBal}, true},
+    {{Kind::kWno, Kind::kDep}, false}, {{Kind::kWno, Kind::kWok}, true},
+    {{Kind::kWno, Kind::kWno}, false}, {{Kind::kWno, Kind::kBal}, false},
+    {{Kind::kBal, Kind::kDep}, true},  {{Kind::kBal, Kind::kWok}, true},
+    {{Kind::kBal, Kind::kWno}, false}, {{Kind::kBal, Kind::kBal}, false},
+};
+
+class BankCommutativityTest : public ::testing::Test {
+ protected:
+  BankCommutativityTest()
+      : ba_(MakeBankAccount()), analyzer_(MakeAnalyzer(*ba_)) {}
+
+  std::shared_ptr<BankAccount> ba_;
+  CommutativityAnalyzer analyzer_;
+};
+
+TEST_F(BankCommutativityTest, AnalyzerMatchesClosedFormOnUniverse) {
+  const std::vector<Operation> universe = ba_->Universe();
+  for (const Operation& p : universe) {
+    for (const Operation& q : universe) {
+      EXPECT_EQ(analyzer_.CommuteForward(p, q), ba_->CommuteForward(p, q))
+          << "FC mismatch for (" << p.ToString() << ", " << q.ToString()
+          << ")";
+      EXPECT_EQ(analyzer_.RightCommutesBackward(p, q),
+                ba_->RightCommutesBackward(p, q))
+          << "RBC mismatch for (" << p.ToString() << ", " << q.ToString()
+          << ")";
+    }
+  }
+}
+
+// Aggregates a relation over amounts: the paper's cell is "x" iff SOME
+// concrete argument pair fails to commute.
+template <typename Pred>
+std::map<std::pair<Kind, Kind>, bool> Aggregate(
+    const std::vector<Operation>& universe, Pred commutes) {
+  std::map<std::pair<Kind, Kind>, bool> non_commuting;
+  for (const Operation& p : universe) {
+    for (const Operation& q : universe) {
+      const auto key = std::make_pair(KindOf(p), KindOf(q));
+      if (!commutes(p, q)) non_commuting[key] = true;
+      non_commuting.emplace(key, false);
+    }
+  }
+  return non_commuting;
+}
+
+TEST_F(BankCommutativityTest, Figure61ForwardCommutativity) {
+  const auto actual =
+      Aggregate(ba_->Universe(), [&](const Operation& p, const Operation& q) {
+        return analyzer_.CommuteForward(p, q);
+      });
+  EXPECT_EQ(actual, kFig61NonCommuting);
+}
+
+TEST_F(BankCommutativityTest, Figure62RightBackwardCommutativity) {
+  const auto actual =
+      Aggregate(ba_->Universe(), [&](const Operation& p, const Operation& q) {
+        return analyzer_.RightCommutesBackward(p, q);
+      });
+  EXPECT_EQ(actual, kFig62NonCommuting);
+}
+
+// Section 6.3's worked example: a deposit right-commutes backward with a
+// successful withdrawal, but not vice versa — NRBC is asymmetric.
+TEST_F(BankCommutativityTest, Section63DepositWithdrawAsymmetry) {
+  const Operation dep = ba_->Deposit(1);
+  const Operation wok = ba_->WithdrawOk(1);
+  EXPECT_TRUE(analyzer_.RightCommutesBackward(dep, wok));
+  EXPECT_FALSE(analyzer_.RightCommutesBackward(wok, dep));
+  EXPECT_TRUE(ba_->RightCommutesBackward(dep, wok));
+  EXPECT_FALSE(ba_->RightCommutesBackward(wok, dep));
+}
+
+// Section 6.4: NFC and NRBC are incomparable. Concurrent successful
+// withdrawals are in NFC but not NRBC; a withdrawal against a deposit is in
+// NRBC but not NFC.
+TEST_F(BankCommutativityTest, NfcAndNrbcIncomparable) {
+  const Operation dep = ba_->Deposit(1);
+  const Operation wok = ba_->WithdrawOk(1);
+  // (wok, wok) ∈ NFC \ NRBC.
+  EXPECT_TRUE(analyzer_.Nfc(wok, wok));
+  EXPECT_FALSE(analyzer_.Nrbc(wok, wok));
+  // (wok, dep) ∈ NRBC \ NFC.
+  EXPECT_TRUE(analyzer_.Nrbc(wok, dep));
+  EXPECT_FALSE(analyzer_.Nfc(wok, dep));
+}
+
+// The RBC table is genuinely asymmetric; the FC table is symmetric (Lemma 8).
+TEST_F(BankCommutativityTest, TableSymmetry) {
+  RelationTable fc = analyzer_.ComputeFcTable();
+  RelationTable rbc = analyzer_.ComputeRbcTable();
+  EXPECT_TRUE(fc.IsSymmetric());
+  EXPECT_FALSE(rbc.IsSymmetric());
+}
+
+// Witness extraction: every NRBC pair yields (α, ρ) with αqpρ legal and
+// αpqρ illegal.
+TEST_F(BankCommutativityTest, RbcViolationWitnessesAreSound) {
+  const std::vector<Operation> universe = ba_->Universe();
+  int checked = 0;
+  for (const Operation& p : universe) {
+    for (const Operation& q : universe) {
+      auto witness = analyzer_.FindRbcViolation(p, q);
+      ASSERT_EQ(witness.has_value(), analyzer_.Nrbc(p, q));
+      if (!witness.has_value()) continue;
+      OpSeq qp_rho = witness->alpha;
+      qp_rho.push_back(q);
+      qp_rho.push_back(p);
+      qp_rho.insert(qp_rho.end(), witness->rho.begin(), witness->rho.end());
+      OpSeq pq_rho = witness->alpha;
+      pq_rho.push_back(p);
+      pq_rho.push_back(q);
+      pq_rho.insert(pq_rho.end(), witness->rho.begin(), witness->rho.end());
+      EXPECT_TRUE(Legal(ba_->spec(), qp_rho))
+          << "witness α·q·p·ρ illegal for (" << p.ToString() << ", "
+          << q.ToString() << ")";
+      EXPECT_FALSE(Legal(ba_->spec(), pq_rho))
+          << "witness α·p·q·ρ legal for (" << p.ToString() << ", "
+          << q.ToString() << ")";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// Witness extraction for NFC pairs: either αpq (or αqp) is illegal with both
+// αp, αq legal, or ρ distinguishes the two compositions.
+TEST_F(BankCommutativityTest, FcViolationWitnessesAreSound) {
+  const std::vector<Operation> universe = ba_->Universe();
+  for (const Operation& p : universe) {
+    for (const Operation& q : universe) {
+      auto witness = analyzer_.FindFcViolation(p, q);
+      ASSERT_EQ(witness.has_value(), analyzer_.Nfc(p, q));
+      if (!witness.has_value()) continue;
+      OpSeq alpha_p = witness->alpha;
+      alpha_p.push_back(p);
+      OpSeq alpha_q = witness->alpha;
+      alpha_q.push_back(q);
+      EXPECT_TRUE(Legal(ba_->spec(), alpha_p));
+      EXPECT_TRUE(Legal(ba_->spec(), alpha_q));
+      OpSeq pq = witness->alpha;
+      pq.push_back(p);
+      pq.push_back(q);
+      OpSeq qp = witness->alpha;
+      qp.push_back(q);
+      qp.push_back(p);
+      if (witness->pq_illegal) {
+        if (witness->rho_after_pq) {
+          EXPECT_FALSE(Legal(ba_->spec(), pq));
+        } else {
+          EXPECT_FALSE(Legal(ba_->spec(), qp));
+        }
+      } else {
+        OpSeq legal_side = witness->rho_after_pq ? pq : qp;
+        OpSeq illegal_side = witness->rho_after_pq ? qp : pq;
+        legal_side.insert(legal_side.end(), witness->rho.begin(),
+                          witness->rho.end());
+        illegal_side.insert(illegal_side.end(), witness->rho.begin(),
+                            witness->rho.end());
+        EXPECT_TRUE(Legal(ba_->spec(), legal_side));
+        EXPECT_FALSE(Legal(ba_->spec(), illegal_side));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,113 @@
+// Copyright 2026 The ccr Authors.
+//
+// Unit tests for conflict-relation combinators and orientation: NRBC is
+// used *oriented* (requested vs held), the symmetric closure is its
+// two-sided widening, ExceptPair removes exactly one ordered pair, and the
+// unions/empty/total relations behave as advertised.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "core/conflict_relation.h"
+
+namespace ccr {
+namespace {
+
+class ConflictRelationTest : public ::testing::Test {
+ protected:
+  ConflictRelationTest()
+      : ba_(MakeBankAccount()),
+        dep_(ba_->Deposit(1)),
+        wok_(ba_->WithdrawOk(1)),
+        bal_(ba_->Balance(0)) {}
+
+  std::shared_ptr<BankAccount> ba_;
+  Operation dep_;
+  Operation wok_;
+  Operation bal_;
+};
+
+TEST_F(ConflictRelationTest, NrbcIsOriented) {
+  auto nrbc = MakeNrbcConflict(ba_);
+  // A requested withdraw conflicts with a held deposit, not vice versa.
+  EXPECT_TRUE(nrbc->Conflicts(wok_, dep_));
+  EXPECT_FALSE(nrbc->Conflicts(dep_, wok_));
+  // Withdraw/ok against withdraw/ok: no conflict under NRBC.
+  EXPECT_FALSE(nrbc->Conflicts(wok_, wok_));
+}
+
+TEST_F(ConflictRelationTest, NfcIsSymmetric) {
+  auto nfc = MakeNfcConflict(ba_);
+  for (const Operation& p : ba_->Universe()) {
+    for (const Operation& q : ba_->Universe()) {
+      EXPECT_EQ(nfc->Conflicts(p, q), nfc->Conflicts(q, p))
+          << p.ToString() << " vs " << q.ToString();
+    }
+  }
+  EXPECT_TRUE(nfc->Conflicts(wok_, wok_));
+  EXPECT_FALSE(nfc->Conflicts(dep_, wok_));
+}
+
+TEST_F(ConflictRelationTest, SymmetricNrbcClosesBothDirections) {
+  auto sym = MakeSymmetricNrbcConflict(ba_);
+  EXPECT_TRUE(sym->Conflicts(wok_, dep_));
+  EXPECT_TRUE(sym->Conflicts(dep_, wok_));  // widened
+  EXPECT_FALSE(sym->Conflicts(wok_, wok_));
+}
+
+TEST_F(ConflictRelationTest, SymmetricClosureOfArbitraryRelation) {
+  auto one_way = std::make_shared<FunctionConflict>(
+      "oneway", [this](const Operation& a, const Operation& b) {
+        return a == dep_ && b == bal_;
+      });
+  auto sym = MakeSymmetricClosure(one_way);
+  EXPECT_TRUE(sym->Conflicts(dep_, bal_));
+  EXPECT_TRUE(sym->Conflicts(bal_, dep_));
+  EXPECT_FALSE(sym->Conflicts(dep_, wok_));
+}
+
+TEST_F(ConflictRelationTest, ExceptPairRemovesExactlyOneOrderedPair) {
+  auto nrbc = MakeNrbcConflict(ba_);
+  auto weakened = MakeExceptPair(nrbc, wok_, dep_);
+  EXPECT_FALSE(weakened->Conflicts(wok_, dep_));  // removed
+  // Different arguments, same kinds: still present.
+  EXPECT_TRUE(weakened->Conflicts(ba_->WithdrawOk(2), dep_));
+  // Reverse direction untouched (it was not in NRBC anyway).
+  EXPECT_FALSE(weakened->Conflicts(dep_, wok_));
+  // Other pairs untouched.
+  EXPECT_TRUE(weakened->Conflicts(ba_->Balance(1), dep_));
+}
+
+TEST_F(ConflictRelationTest, EmptyAndTotal) {
+  auto none = MakeEmptyConflict();
+  auto all = MakeTotalConflict();
+  EXPECT_FALSE(none->Conflicts(wok_, wok_));
+  EXPECT_TRUE(all->Conflicts(bal_, bal_));
+}
+
+TEST_F(ConflictRelationTest, UnionCombines) {
+  auto u = MakeUnion(MakeNrbcConflict(ba_), MakeNfcConflict(ba_));
+  // In NFC only.
+  EXPECT_TRUE(u->Conflicts(wok_, wok_));
+  // In NRBC only.
+  EXPECT_TRUE(u->Conflicts(wok_, dep_));
+  // In neither.
+  EXPECT_FALSE(u->Conflicts(dep_, dep_));
+}
+
+TEST_F(ConflictRelationTest, ReadWriteUsesInvocationClassification) {
+  auto rw = MakeReadWriteConflict(ba_);
+  // A failed withdraw is still a writer classically.
+  EXPECT_TRUE(rw->Conflicts(ba_->WithdrawNo(5), bal_));
+  EXPECT_TRUE(rw->Conflicts(dep_, dep_));
+  EXPECT_FALSE(rw->Conflicts(bal_, ba_->Balance(7)));
+}
+
+TEST_F(ConflictRelationTest, NamesAreDescriptive) {
+  EXPECT_EQ(MakeNrbcConflict(ba_)->name(), "NRBC(BankAccount)");
+  EXPECT_EQ(MakeNfcConflict(ba_)->name(), "NFC(BankAccount)");
+  EXPECT_EQ(MakeReadWriteConflict(ba_)->name(), "RW(BankAccount)");
+}
+
+}  // namespace
+}  // namespace ccr

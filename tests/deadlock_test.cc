@@ -1,0 +1,83 @@
+// Copyright 2026 The ccr Authors.
+//
+// Unit tests for the waits-for graph: cycle shapes, victim selection
+// (youngest on the cycle), edge replacement, and cleanup.
+
+#include <gtest/gtest.h>
+
+#include "txn/deadlock.h"
+
+namespace ccr {
+namespace {
+
+TEST(DeadlockTest, NoCycleNoVictim) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {2}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(2, {3}), kInvalidTxn);
+  EXPECT_EQ(d.cycles_resolved(), 0u);
+}
+
+TEST(DeadlockTest, TwoCycleVictimIsYoungest) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {2}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(2, {1}), 2u);  // cycle 1<->2, youngest = 2
+  EXPECT_EQ(d.cycles_resolved(), 1u);
+}
+
+TEST(DeadlockTest, LongCycleDetected) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(3, {1}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(1, {5}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(5, {2}), kInvalidTxn);
+  // 2 -> 3 closes 3 -> 1 -> 5 -> 2 -> 3: youngest on the cycle is 5.
+  EXPECT_EQ(d.AddWait(2, {3}), 5u);
+}
+
+TEST(DeadlockTest, SelfEdgesIgnored) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {1}), kInvalidTxn);
+}
+
+TEST(DeadlockTest, MultiHolderEdges) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {2, 3}), kInvalidTxn);
+  // 3 -> 1 closes a cycle through one of the parallel edges.
+  EXPECT_EQ(d.AddWait(3, {1}), 3u);
+}
+
+TEST(DeadlockTest, AddWaitReplacesOldEdges) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {2}), kInvalidTxn);
+  // 1 stops waiting on 2 and waits on 4 instead.
+  EXPECT_EQ(d.AddWait(1, {4}), kInvalidTxn);
+  // 2 -> 1 is now safe: the 1 -> 2 edge is gone.
+  EXPECT_EQ(d.AddWait(2, {1}), kInvalidTxn);
+}
+
+TEST(DeadlockTest, RemoveWaitClearsEdges) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {2}), kInvalidTxn);
+  d.RemoveWait(1);
+  EXPECT_EQ(d.AddWait(2, {1}), kInvalidTxn);
+}
+
+TEST(DeadlockTest, ForgetRemovesBothDirections) {
+  DeadlockDetector d;
+  EXPECT_EQ(d.AddWait(1, {2}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(3, {1}), kInvalidTxn);
+  d.Forget(1);
+  // Neither 1's outgoing nor incoming edges survive.
+  EXPECT_EQ(d.AddWait(2, {3}), kInvalidTxn);
+}
+
+TEST(DeadlockTest, DiamondNoFalsePositive) {
+  DeadlockDetector d;
+  // 1 -> {2,3}, 2 -> 4, 3 -> 4: a DAG, no cycle.
+  EXPECT_EQ(d.AddWait(1, {2, 3}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(2, {4}), kInvalidTxn);
+  EXPECT_EQ(d.AddWait(3, {4}), kInvalidTxn);
+  EXPECT_EQ(d.cycles_resolved(), 0u);
+}
+
+}  // namespace
+}  // namespace ccr

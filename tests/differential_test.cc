@@ -1,0 +1,153 @@
+// Copyright 2026 The ccr Authors.
+//
+// Differential tests: the runtime engine is a faithful implementation of
+// the paper's abstract object. Every history the engine records (for a
+// single object) must be in L(I(X, Spec, View, Conflict)) for the matching
+// view and conflict relation — verified by replaying it through the
+// reference object, which re-checks every response's three preconditions.
+// Also: conflict-relation monotonicity — any random superset of NRBC (resp.
+// NFC) remains correct for UIP (resp. DU).
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/registry.h"
+#include "common/random.h"
+#include "core/atomicity.h"
+#include "core/ideal_object.h"
+#include "sim/generator.h"
+#include "txn/du_recovery.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+namespace ccr {
+namespace {
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  DifferentialTest() : ba_(MakeBankAccount()) {}
+
+  // Runs a random workload through the engine and returns its history.
+  History RunEngine(std::shared_ptr<const ConflictRelation> conflict,
+                    std::unique_ptr<RecoveryManager> recovery, int threads,
+                    uint64_t seed) {
+    TxnManagerOptions options;
+    options.lock_timeout = std::chrono::milliseconds(2000);
+    TxnManager manager(options);
+    manager.AddObject("BA", ba_, std::move(conflict), std::move(recovery));
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        Random rng(seed * 100 + w);
+        for (int i = 0; i < 40; ++i) {
+          Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+            const int64_t amount = rng.UniformRange(1, 5);
+            const Invocation inv = rng.Bernoulli(0.6)
+                                       ? ba_->DepositInv(amount)
+                                       : ba_->WithdrawInv(amount);
+            StatusOr<Value> r = manager.Execute(txn, inv);
+            if (!r.ok()) return r.status();
+            if (rng.Bernoulli(0.15)) return Status::Aborted("injected");
+            return Status::OK();
+          });
+          EXPECT_TRUE(s.ok() || s.code() == StatusCode::kAborted);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    return manager.SnapshotHistory();
+  }
+
+  std::shared_ptr<BankAccount> ba_;
+};
+
+// The UIP engine's histories are in L(I(BA, Spec, UIP, NRBC)).
+TEST_F(DifferentialTest, UipEngineHistoriesAreInTheIdealLanguage) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    History h = RunEngine(MakeNrbcConflict(ba_),
+                          std::make_unique<UipRecovery>(ba_), 4, seed);
+    IdealObject ideal("BA",
+                      std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                      MakeUipView(), MakeNrbcConflict(ba_));
+    Status s = ReplayHistory(&ideal, h);
+    EXPECT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+  }
+}
+
+// The DU engine's histories are in L(I(BA, Spec, DU, NFC)).
+TEST_F(DifferentialTest, DuEngineHistoriesAreInTheIdealLanguage) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    History h = RunEngine(MakeNfcConflict(ba_),
+                          std::make_unique<DuRecovery>(ba_), 4, seed);
+    IdealObject ideal("BA",
+                      std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                      MakeDuView(), MakeNfcConflict(ba_));
+    Status s = ReplayHistory(&ideal, h);
+    EXPECT_TRUE(s.ok()) << "seed " << seed << ": " << s.ToString();
+  }
+}
+
+// Conflict-relation monotonicity (implicit in Theorems 9/10: the
+// characterizations are "contains NRBC/NFC"): adding arbitrary extra
+// conflicts never breaks correctness, only concurrency.
+class MonotonicityTest : public ::testing::TestWithParam<size_t> {};
+
+std::shared_ptr<ConflictRelation> RandomSuperset(
+    std::shared_ptr<const ConflictRelation> base,
+    const std::vector<Operation>& universe, uint64_t seed) {
+  // A deterministic pseudo-random extra-conflict predicate.
+  return std::make_shared<FunctionConflict>(
+      "superset", [base, universe, seed](const Operation& p,
+                                         const Operation& q) {
+        if (base->Conflicts(p, q)) return true;
+        const size_t h = p.Hash() * 31 ^ q.Hash() * 17 ^ seed;
+        return h % 5 == 0;  // ~20% extra conflicts
+      });
+}
+
+TEST_P(MonotonicityTest, RandomSupersetsRemainCorrect) {
+  const auto adt = AllAdts()[GetParam()];
+  const ObjectId object = adt->Universe().front().object();
+  SpecMap specs{{object, std::shared_ptr<const SpecAutomaton>(
+                             adt, &adt->spec())}};
+  const std::vector<Invocation> pool = UniverseInvocations(*adt);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    // UIP with a random superset of NRBC.
+    {
+      Random rng(seed * 41 + 1);
+      IdealObject obj(object,
+                      std::shared_ptr<const SpecAutomaton>(adt, &adt->spec()),
+                      MakeUipView(),
+                      RandomSuperset(MakeNrbcConflict(adt),
+                                     adt->Universe(), seed));
+      History h = GenerateSchedule(&obj, pool, &rng);
+      EXPECT_TRUE(CheckOnlineDynamicAtomic(h, specs).dynamic_atomic)
+          << adt->name() << " UIP seed " << seed;
+    }
+    // DU with a random superset of NFC.
+    {
+      Random rng(seed * 43 + 2);
+      IdealObject obj(object,
+                      std::shared_ptr<const SpecAutomaton>(adt, &adt->spec()),
+                      MakeDuView(),
+                      RandomSuperset(MakeNfcConflict(adt), adt->Universe(),
+                                     seed));
+      History h = GenerateSchedule(&obj, pool, &rng);
+      EXPECT_TRUE(CheckOnlineDynamicAtomic(h, specs).dynamic_atomic)
+          << adt->name() << " DU seed " << seed;
+    }
+  }
+}
+
+std::string AdtTestName(const ::testing::TestParamInfo<size_t>& info) {
+  return AllAdts()[info.param]->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdts, MonotonicityTest,
+                         ::testing::Range<size_t>(0, AllAdts().size()),
+                         AdtTestName);
+
+}  // namespace
+}  // namespace ccr

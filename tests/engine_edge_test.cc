@@ -1,0 +1,156 @@
+// Copyright 2026 The ccr Authors.
+//
+// Edge-case and misuse tests for the engine: lifecycle violations, empty
+// transactions, retry-budget exhaustion, stats accounting, and recovery
+// snapshots mid-flight.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "txn/du_recovery.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+namespace ccr {
+namespace {
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  EngineEdgeTest() : ba_(MakeBankAccount()) {
+    manager_.AddObject("BA", ba_, MakeNrbcConflict(ba_),
+                       std::make_unique<UipRecovery>(ba_));
+  }
+
+  std::shared_ptr<BankAccount> ba_;
+  TxnManager manager_;
+};
+
+TEST_F(EngineEdgeTest, ExecuteAfterCommitRejected) {
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Execute(txn.get(), ba_->DepositInv(1)).ok());
+  ASSERT_TRUE(manager_.Commit(txn.get()).ok());
+  StatusOr<Value> r = manager_.Execute(txn.get(), ba_->DepositInv(1));
+  EXPECT_EQ(r.status().code(), StatusCode::kIllegalState);
+}
+
+TEST_F(EngineEdgeTest, DoubleCommitRejected) {
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Commit(txn.get()).ok());
+  EXPECT_EQ(manager_.Commit(txn.get()).code(), StatusCode::kIllegalState);
+}
+
+TEST_F(EngineEdgeTest, AbortAfterCommitRejected) {
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Commit(txn.get()).ok());
+  EXPECT_EQ(manager_.Abort(txn.get()).code(), StatusCode::kIllegalState);
+}
+
+TEST_F(EngineEdgeTest, EmptyTransactionCommits) {
+  auto txn = manager_.Begin();
+  EXPECT_TRUE(manager_.Commit(txn.get()).ok());
+  // No events recorded for a transaction that touched nothing.
+  EXPECT_TRUE(manager_.SnapshotHistory().empty());
+}
+
+TEST_F(EngineEdgeTest, KilledTransactionCannotCommit) {
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Execute(txn.get(), ba_->DepositInv(1)).ok());
+  manager_.Kill(txn->id());
+  Status s = manager_.Commit(txn.get());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlock);
+  // The kill-commit path aborts internally: effects are gone.
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(
+                *manager_.object("BA")->CommittedState())
+                .v,
+            0);
+  EXPECT_EQ(txn->state(), TxnState::kAborted);
+}
+
+TEST_F(EngineEdgeTest, KillUnknownTxnIsNoop) {
+  manager_.Kill(424242);  // never begun
+  EXPECT_EQ(manager_.stats().kills, 0u);
+}
+
+TEST_F(EngineEdgeTest, RetryBudgetExhaustion) {
+  TxnManagerOptions options;
+  options.max_retries = 2;
+  TxnManager manager(options);
+  auto ba = MakeBankAccount();
+  manager.AddObject("BA", ba, MakeNrbcConflict(ba),
+                    std::make_unique<UipRecovery>(ba));
+  int calls = 0;
+  Status s = manager.RunTransaction([&](Transaction*) -> Status {
+    ++calls;
+    return Status::Conflict("synthetic retryable failure");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(calls, 3);  // initial attempt + 2 retries
+}
+
+TEST_F(EngineEdgeTest, BodyErrorPropagatesWithoutRetry) {
+  int calls = 0;
+  Status s = manager_.RunTransaction([&](Transaction*) -> Status {
+    ++calls;
+    return Status::InvalidArgument("client bug");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(EngineEdgeTest, StatsAccounting) {
+  ASSERT_TRUE(manager_
+                  .RunTransaction([&](Transaction* txn) {
+                    return manager_.Execute(txn, ba_->DepositInv(1))
+                        .status();
+                  })
+                  .ok());
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Execute(txn.get(), ba_->DepositInv(1)).ok());
+  ASSERT_TRUE(manager_.Abort(txn.get()).ok());
+  const ManagerStats stats = manager_.stats();
+  EXPECT_EQ(stats.begun, 2u);
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(stats.aborted, 1u);
+  const ObjectStats obj_stats = manager_.object("BA")->stats();
+  EXPECT_EQ(obj_stats.executes, 2u);
+  EXPECT_EQ(obj_stats.conflicts, 0u);
+}
+
+TEST_F(EngineEdgeTest, CommittedStateVisibleMidTransaction) {
+  auto txn = manager_.Begin();
+  ASSERT_TRUE(manager_.Execute(txn.get(), ba_->DepositInv(7)).ok());
+  // UIP: the *committed* snapshot excludes the active deposit.
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(
+                *manager_.object("BA")->CommittedState())
+                .v,
+            0);
+  ASSERT_TRUE(manager_.Commit(txn.get()).ok());
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(
+                *manager_.object("BA")->CommittedState())
+                .v,
+            7);
+}
+
+TEST_F(EngineEdgeTest, DuplicateObjectIdIsFatal) {
+  auto ba2 = MakeBankAccount();
+  EXPECT_DEATH(manager_.AddObject("BA", ba2, MakeNrbcConflict(ba2),
+                                  std::make_unique<UipRecovery>(ba2)),
+               "duplicate object id");
+}
+
+TEST_F(EngineEdgeTest, SelfConflictNeverBlocks) {
+  // A transaction's own held operations do not conflict with its next one:
+  // withdraw after own deposit proceeds even though (wok, dep) ∈ NRBC.
+  Status s = manager_.RunTransaction([&](Transaction* txn) -> Status {
+    StatusOr<Value> r = manager_.Execute(txn, ba_->DepositInv(5));
+    if (!r.ok()) return r.status();
+    r = manager_.Execute(txn, ba_->WithdrawInv(5));
+    if (!r.ok()) return r.status();
+    EXPECT_EQ(r->AsString(), "ok");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,464 @@
+// Copyright 2026 The ccr Authors.
+//
+// Integration tests for the transaction engine: multithreaded workloads
+// against AtomicObjects under every (recovery, conflict) pairing the theory
+// sanctions, with three kinds of checks:
+//   1. application invariants (money conservation, no overdrafts),
+//   2. the recorded history is online dynamic atomic (the engine's
+//      histories really are in the "correct" class of Theorems 9/10),
+//   3. liveness machinery: deadlock detection, wound-wait, timeouts,
+//      partial-operation blocking.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/counter.h"
+#include "adt/fifo_queue.h"
+#include "adt/semiqueue.h"
+#include "core/atomicity.h"
+#include "txn/du_recovery.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+namespace ccr {
+namespace {
+
+enum class Config { kUipNrbc, kUipSymNrbc, kUipRw, kDuNfc, kDuRw };
+
+const char* ConfigName(Config c) {
+  switch (c) {
+    case Config::kUipNrbc:
+      return "UipNrbc";
+    case Config::kUipSymNrbc:
+      return "UipSymNrbc";
+    case Config::kUipRw:
+      return "UipRw";
+    case Config::kDuNfc:
+      return "DuNfc";
+    case Config::kDuRw:
+      return "DuRw";
+  }
+  return "?";
+}
+
+std::shared_ptr<const ConflictRelation> ConflictFor(
+    Config c, std::shared_ptr<const Adt> adt) {
+  switch (c) {
+    case Config::kUipNrbc:
+      return MakeNrbcConflict(adt);
+    case Config::kUipSymNrbc:
+      return MakeSymmetricNrbcConflict(adt);
+    case Config::kUipRw:
+    case Config::kDuRw:
+      return MakeReadWriteConflict(adt);
+    case Config::kDuNfc:
+      return MakeNfcConflict(adt);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<RecoveryManager> RecoveryFor(Config c,
+                                             std::shared_ptr<const Adt> adt) {
+  switch (c) {
+    case Config::kUipNrbc:
+    case Config::kUipSymNrbc:
+    case Config::kUipRw:
+      return std::make_unique<UipRecovery>(adt);
+    case Config::kDuNfc:
+    case Config::kDuRw:
+      return std::make_unique<DuRecovery>(adt);
+  }
+  return nullptr;
+}
+
+class EngineConfigTest : public ::testing::TestWithParam<Config> {};
+
+// Concurrent deposits and withdrawals on one hot account, with injected
+// aborts. Afterwards: the committed balance equals the committed deposits
+// minus the committed successful withdrawals, and the recorded history is
+// online dynamic atomic.
+TEST_P(EngineConfigTest, HotAccountConservesMoney) {
+  auto ba = MakeBankAccount();
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(2000);
+  TxnManager manager(options);
+  manager.AddObject("BA", ba, ConflictFor(GetParam(), ba),
+                    RecoveryFor(GetParam(), ba));
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 60;
+  std::atomic<int64_t> committed_delta{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(1000 + w);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        int64_t delta = 0;
+        const bool self_abort = rng.Bernoulli(0.15);
+        Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+          delta = 0;
+          const int64_t amount = rng.UniformRange(1, 5);
+          if (rng.Bernoulli(0.6)) {
+            StatusOr<Value> r =
+                manager.Execute(txn, ba->DepositInv(amount));
+            if (!r.ok()) return r.status();
+            delta += amount;
+          } else {
+            StatusOr<Value> r =
+                manager.Execute(txn, ba->WithdrawInv(amount));
+            if (!r.ok()) return r.status();
+            if (r->AsString() == "ok") delta -= amount;
+          }
+          if (self_abort) return Status::Aborted("injected abort");
+          return Status::OK();
+        });
+        if (s.ok()) {
+          committed_delta.fetch_add(delta);
+        } else {
+          ASSERT_EQ(s.code(), StatusCode::kAborted) << s.ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  auto* obj = manager.object("BA");
+  const int64_t final_balance =
+      TypedSpecAutomaton<Int64State>::Unwrap(*obj->CommittedState()).v;
+  EXPECT_EQ(final_balance, committed_delta.load()) << ConfigName(GetParam());
+  EXPECT_GE(final_balance, 0);
+
+  // The recorded history must be dynamic atomic — the whole point.
+  SpecMap specs{{"BA", std::shared_ptr<const SpecAutomaton>(ba, &ba->spec())}};
+  History h = manager.SnapshotHistory();
+  // Keep the check tractable: the history is long, but it is failure-rich;
+  // the committed projection is what matters and the checker prunes hard.
+  DynamicAtomicityResult r = CheckDynamicAtomic(h, specs);
+  EXPECT_TRUE(r.dynamic_atomic || r.exhausted) << ConfigName(GetParam());
+  EXPECT_FALSE(r.exhausted) << "checker exhausted for "
+                            << ConfigName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EngineConfigTest,
+    ::testing::Values(Config::kUipNrbc, Config::kUipSymNrbc, Config::kUipRw,
+                      Config::kDuNfc, Config::kDuRw),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return ConfigName(info.param);
+    });
+
+TEST(EngineTest, SingleThreadBasics) {
+  auto ba = MakeBankAccount();
+  TxnManager manager;
+  manager.AddObject("BA", ba, MakeNrbcConflict(ba),
+                    std::make_unique<UipRecovery>(ba));
+  Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+    StatusOr<Value> r = manager.Execute(txn, ba->DepositInv(10));
+    if (!r.ok()) return r.status();
+    r = manager.Execute(txn, ba->WithdrawInv(4));
+    if (!r.ok()) return r.status();
+    EXPECT_EQ(*r, Value("ok"));
+    r = manager.Execute(txn, ba->BalanceInv());
+    if (!r.ok()) return r.status();
+    EXPECT_EQ(*r, Value(int64_t{6}));
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(manager.stats().committed, 1u);
+}
+
+TEST(EngineTest, AbortRollsBack) {
+  auto ba = MakeBankAccount();
+  TxnManager manager;
+  manager.AddObject("BA", ba, MakeNrbcConflict(ba),
+                    std::make_unique<UipRecovery>(ba));
+  auto txn = manager.Begin();
+  ASSERT_TRUE(manager.Execute(txn.get(), ba->DepositInv(10)).ok());
+  ASSERT_TRUE(manager.Abort(txn.get()).ok());
+  auto* obj = manager.object("BA");
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(*obj->CommittedState()).v,
+            0);
+  // The recorded history shows the abort.
+  History h = manager.SnapshotHistory();
+  EXPECT_EQ(h.Aborted(), (std::set<TxnId>{txn->id()}));
+}
+
+TEST(EngineTest, MultiObjectTransfer) {
+  auto src = MakeBankAccount("SRC");
+  auto dst = MakeBankAccount("DST");
+  TxnManager manager;
+  manager.AddObject("SRC", src, MakeNrbcConflict(src),
+                    std::make_unique<UipRecovery>(src));
+  manager.AddObject("DST", dst, MakeNrbcConflict(dst),
+                    std::make_unique<UipRecovery>(dst));
+
+  ASSERT_TRUE(manager
+                  .RunTransaction([&](Transaction* txn) -> Status {
+                    return manager.Execute(txn, src->DepositInv(100))
+                        .status();
+                  })
+                  .ok());
+
+  // Concurrent transfers SRC -> DST.
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+          StatusOr<Value> r = manager.Execute(txn, src->WithdrawInv(2));
+          if (!r.ok()) return r.status();
+          if (r->AsString() != "ok") return Status::OK();  // insufficient
+          return manager.Execute(txn, dst->DepositInv(2)).status();
+        });
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  const int64_t src_balance = TypedSpecAutomaton<Int64State>::Unwrap(
+                                  *manager.object("SRC")->CommittedState())
+                                  .v;
+  const int64_t dst_balance = TypedSpecAutomaton<Int64State>::Unwrap(
+                                  *manager.object("DST")->CommittedState())
+                                  .v;
+  EXPECT_EQ(src_balance + dst_balance, 100);
+  EXPECT_EQ(src_balance, 100 - kThreads * 10 * 2);
+
+  SpecMap specs{
+      {"SRC", std::shared_ptr<const SpecAutomaton>(src, &src->spec())},
+      {"DST", std::shared_ptr<const SpecAutomaton>(dst, &dst->spec())}};
+  DynamicAtomicityResult r =
+      CheckDynamicAtomic(manager.SnapshotHistory(), specs);
+  EXPECT_TRUE(r.dynamic_atomic);
+}
+
+// Producer/consumer through the partial dequeue: consumers block until a
+// producer commits.
+TEST(EngineTest, PartialOperationBlocksUntilEnabled) {
+  auto q = MakeFifoQueue();
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(3000);
+  TxnManager manager(options);
+  manager.AddObject("Q", q, MakeNrbcConflict(q),
+                    std::make_unique<UipRecovery>(q));
+
+  std::atomic<int64_t> consumed{0};
+  std::thread consumer([&] {
+    Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+      StatusOr<Value> r = manager.Execute(txn, q->DeqInv());
+      if (!r.ok()) return r.status();
+      consumed.store(r->AsInt());
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(consumed.load(), 0);  // still blocked on the empty queue
+  ASSERT_TRUE(manager
+                  .RunTransaction([&](Transaction* txn) -> Status {
+                    return manager.Execute(txn, q->EnqInv(42)).status();
+                  })
+                  .ok());
+  consumer.join();
+  EXPECT_EQ(consumed.load(), 42);
+}
+
+// Two transactions acquiring two accounts in opposite orders: classic
+// deadlock; detection must kill one and both eventually commit via retry.
+TEST(EngineTest, DeadlockDetectionBreaksCycle) {
+  auto a = MakeBankAccount("A1");
+  auto b = MakeBankAccount("A2");
+  TxnManagerOptions options;
+  options.policy = DeadlockPolicy::kDetect;
+  options.lock_timeout = std::chrono::milliseconds(5000);
+  TxnManager manager(options);
+  manager.AddObject("A1", a, MakeReadWriteConflict(a),
+                    std::make_unique<UipRecovery>(a));
+  manager.AddObject("A2", b, MakeReadWriteConflict(b),
+                    std::make_unique<UipRecovery>(b));
+
+  auto transfer = [&](const BankAccount& first, const BankAccount& second) {
+    return manager.RunTransaction([&](Transaction* txn) -> Status {
+      StatusOr<Value> r = manager.Execute(txn, first.DepositInv(1));
+      if (!r.ok()) return r.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return manager.Execute(txn, second.DepositInv(1)).status();
+    });
+  };
+
+  Status s1, s2;
+  std::thread t1([&] { s1 = transfer(*a, *b); });
+  std::thread t2([&] { s2 = transfer(*b, *a); });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  EXPECT_TRUE(s2.ok()) << s2.ToString();
+  // Both eventually committed (after at least one deadlock kill+retry).
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(
+                *manager.object("A1")->CommittedState())
+                .v,
+            2);
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(
+                *manager.object("A2")->CommittedState())
+                .v,
+            2);
+}
+
+TEST(EngineTest, WoundWaitAlsoResolves) {
+  auto a = MakeBankAccount("A1");
+  auto b = MakeBankAccount("A2");
+  TxnManagerOptions options;
+  options.policy = DeadlockPolicy::kWoundWait;
+  options.lock_timeout = std::chrono::milliseconds(5000);
+  TxnManager manager(options);
+  manager.AddObject("A1", a, MakeReadWriteConflict(a),
+                    std::make_unique<UipRecovery>(a));
+  manager.AddObject("A2", b, MakeReadWriteConflict(b),
+                    std::make_unique<UipRecovery>(b));
+
+  auto transfer = [&](const BankAccount& first, const BankAccount& second) {
+    return manager.RunTransaction([&](Transaction* txn) -> Status {
+      StatusOr<Value> r = manager.Execute(txn, first.DepositInv(1));
+      if (!r.ok()) return r.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return manager.Execute(txn, second.DepositInv(1)).status();
+    });
+  };
+  Status s1, s2;
+  std::thread t1([&] { s1 = transfer(*a, *b); });
+  std::thread t2([&] { s2 = transfer(*b, *a); });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(s1.ok());
+  EXPECT_TRUE(s2.ok());
+}
+
+TEST(EngineTest, TimeoutPolicyGivesUp) {
+  auto ba = MakeBankAccount();
+  TxnManagerOptions options;
+  options.policy = DeadlockPolicy::kTimeout;
+  options.lock_timeout = std::chrono::milliseconds(30);
+  TxnManager manager(options);
+  manager.AddObject("BA", ba, MakeReadWriteConflict(ba),
+                    std::make_unique<UipRecovery>(ba));
+
+  auto holder = manager.Begin();
+  ASSERT_TRUE(manager.Execute(holder.get(), ba->DepositInv(1)).ok());
+
+  auto waiter = manager.Begin();
+  StatusOr<Value> r = manager.Execute(waiter.get(), ba->DepositInv(1));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+  ASSERT_TRUE(manager.Abort(waiter.get()).ok());
+  ASSERT_TRUE(manager.Commit(holder.get()).ok());
+}
+
+// The nondeterministic semiqueue under the engine: every enqueued item is
+// dequeued exactly once across concurrent consumers.
+TEST(EngineTest, SemiqueueExactlyOnceDelivery) {
+  auto sq = MakeSemiqueue();
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(3000);
+  TxnManager manager(options);
+  manager.AddObject("SQ", sq, MakeNrbcConflict(sq),
+                    std::make_unique<UipRecovery>(sq));
+
+  constexpr int kItems = 40;
+  ASSERT_TRUE(manager
+                  .RunTransaction([&](Transaction* txn) -> Status {
+                    for (int i = 1; i <= kItems; ++i) {
+                      Status s =
+                          manager.Execute(txn, sq->EnqInv(i)).status();
+                      if (!s.ok()) return s;
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+
+  std::mutex mu;
+  std::multiset<int64_t> received;
+  std::vector<std::thread> consumers;
+  for (int w = 0; w < 4; ++w) {
+    consumers.emplace_back([&] {
+      for (int i = 0; i < kItems / 4; ++i) {
+        Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+          StatusOr<Value> r = manager.Execute(txn, sq->DeqInv());
+          if (!r.ok()) return r.status();
+          std::lock_guard<std::mutex> lock(mu);
+          received.insert(r->AsInt());
+          return Status::OK();
+        });
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 1; i <= kItems; ++i) {
+    EXPECT_EQ(received.count(i), 1u) << "item " << i;
+  }
+}
+
+TEST(EngineTest, CounterNeverGoesNegative) {
+  auto ctr = MakeCounter();
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(3000);
+  TxnManager manager(options);
+  manager.AddObject("CTR", ctr, MakeNrbcConflict(ctr),
+                    std::make_unique<UipRecovery>(ctr));
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < 40; ++i) {
+        Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+          // Alternate increments and (blocking) decrements, with the
+          // increment strictly larger so the counter drifts upward and
+          // every decrement is eventually enabled.
+          const Invocation inv =
+              (i % 2 == 0) ? ctr->IncInv(2) : ctr->DecInv(1);
+          return manager.Execute(txn, inv).status();
+        });
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+      (void)w;
+    });
+  }
+  for (auto& t : workers) t.join();
+  const int64_t final_value = TypedSpecAutomaton<Int64State>::Unwrap(
+                                  *manager.object("CTR")->CommittedState())
+                                  .v;
+  EXPECT_GE(final_value, 0);
+}
+
+TEST(EngineTest, RecordingCanBeDisabled) {
+  auto ba = MakeBankAccount();
+  TxnManagerOptions options;
+  options.record_history = false;
+  TxnManager manager(options);
+  manager.AddObject("BA", ba, MakeNrbcConflict(ba),
+                    std::make_unique<UipRecovery>(ba));
+  ASSERT_TRUE(manager
+                  .RunTransaction([&](Transaction* txn) -> Status {
+                    return manager.Execute(txn, ba->DepositInv(1)).status();
+                  })
+                  .ok());
+  EXPECT_TRUE(manager.SnapshotHistory().empty());
+}
+
+TEST(EngineTest, UnknownObjectRejected) {
+  TxnManager manager;
+  auto txn = manager.Begin();
+  auto ba = MakeBankAccount("GHOST");
+  StatusOr<Value> r = manager.Execute(txn.get(), ba->DepositInv(1));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ccr

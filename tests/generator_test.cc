@@ -1,0 +1,147 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for the schedule generators: produced histories are well-formed,
+// genuinely in L(I(X, Spec, View, Conflict)) (replay-verified), respect the
+// options, and vary with the seed.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/counter.h"
+#include "adt/registry.h"
+#include "sim/generator.h"
+#include "sim/multi_generator.h"
+
+namespace ccr {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : ba_(MakeBankAccount()) {}
+
+  IdealObject MakeObject() {
+    return IdealObject("BA",
+                       std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                       MakeUipView(), MakeNrbcConflict(ba_));
+  }
+
+  std::shared_ptr<BankAccount> ba_;
+};
+
+TEST_F(GeneratorTest, UniverseInvocationsDeduplicates) {
+  // withdraw(i) appears twice in the universe (ok and no results) but only
+  // once in the invocation pool.
+  const std::vector<Invocation> pool = UniverseInvocations(*ba_);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_FALSE(pool[i] == pool[j]) << pool[i].ToString();
+    }
+  }
+  // deposit(1), deposit(2), withdraw(1), withdraw(2), balance.
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST_F(GeneratorTest, HistoriesAreWellFormed) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Random rng(seed);
+    IdealObject obj = MakeObject();
+    History h = GenerateSchedule(&obj, UniverseInvocations(*ba_), &rng);
+    // FromEvents re-validates all well-formedness constraints.
+    EXPECT_TRUE(History::FromEvents(h.events()).ok()) << "seed " << seed;
+  }
+}
+
+TEST_F(GeneratorTest, HistoriesReplayThroughFreshObject) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Random rng(seed * 3 + 1);
+    IdealObject obj = MakeObject();
+    History h = GenerateSchedule(&obj, UniverseInvocations(*ba_), &rng);
+    IdealObject fresh = MakeObject();
+    EXPECT_TRUE(ReplayHistory(&fresh, h).ok()) << "seed " << seed;
+  }
+}
+
+TEST_F(GeneratorTest, RespectsOpBudget) {
+  Random rng(5);
+  IdealObject obj = MakeObject();
+  ScheduleOptions options;
+  options.num_txns = 3;
+  options.max_ops_per_txn = 2;
+  History h =
+      GenerateSchedule(&obj, UniverseInvocations(*ba_), &rng, options);
+  EXPECT_LE(h.Transactions().size(), 3u);
+  for (TxnId txn : h.Transactions()) {
+    EXPECT_LE(h.OpseqOfTxn(txn).size(), 2u) << TxnName(txn);
+  }
+}
+
+TEST_F(GeneratorTest, SeedsDiversifySchedules) {
+  Random rng_a(1), rng_b(2);
+  IdealObject obj_a = MakeObject();
+  IdealObject obj_b = MakeObject();
+  History a = GenerateSchedule(&obj_a, UniverseInvocations(*ba_), &rng_a);
+  History b = GenerateSchedule(&obj_b, UniverseInvocations(*ba_), &rng_b);
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+TEST_F(GeneratorTest, ZeroAbortProbMeansNoAborts) {
+  // Conflict-blocked transactions are aborted at drain time regardless of
+  // abort_prob, so use a conflict-free object: then abort_prob == 0 must
+  // yield an abort-free, fully-finished history.
+  Random rng(9);
+  IdealObject obj("BA", std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                  MakeUipView(), MakeEmptyConflict());
+  ScheduleOptions options;
+  options.abort_prob = 0.0;
+  options.leave_active_prob = 0.0;
+  History h =
+      GenerateSchedule(&obj, UniverseInvocations(*ba_), &rng, options);
+  EXPECT_TRUE(h.Aborted().empty());
+  EXPECT_TRUE(h.Active().empty());
+}
+
+TEST_F(GeneratorTest, MultiScheduleTouchesAllObjects) {
+  auto ctr = MakeCounter("CTR");
+  IdealObject ba_obj = MakeObject();
+  IdealObject ctr_obj("CTR",
+                      std::shared_ptr<const SpecAutomaton>(ctr, &ctr->spec()),
+                      MakeDuView(), MakeNfcConflict(ctr));
+  Random rng(21);
+  ScheduleOptions options;
+  options.num_txns = 8;
+  options.max_ops_per_txn = 5;
+  options.max_steps = 600;
+  History h = GenerateMultiSchedule(
+      {{&ba_obj, UniverseInvocations(*ba_)},
+       {&ctr_obj, UniverseInvocations(*ctr)}},
+      &rng, options);
+  EXPECT_TRUE(History::FromEvents(h.events()).ok());
+  EXPECT_EQ(h.Objects(), (std::set<ObjectId>{"BA", "CTR"}));
+}
+
+TEST_F(GeneratorTest, MultiScheduleCommitsAreConsistent) {
+  // A transaction never commits at one object and aborts at another —
+  // atomic commitment across objects.
+  auto ctr = MakeCounter("CTR");
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    IdealObject ba_obj = MakeObject();
+    IdealObject ctr_obj(
+        "CTR", std::shared_ptr<const SpecAutomaton>(ctr, &ctr->spec()),
+        MakeUipView(), MakeNrbcConflict(ctr));
+    Random rng(seed);
+    History h = GenerateMultiSchedule(
+        {{&ba_obj, UniverseInvocations(*ba_)},
+         {&ctr_obj, UniverseInvocations(*ctr)}},
+        &rng);
+    // Well-formedness of the merged history already enforces this (a txn
+    // cannot both commit and abort); assert it explicitly per object too.
+    for (TxnId txn : h.Committed()) {
+      EXPECT_TRUE(h.RestrictObject("BA").RestrictTxn(txn).Aborted().empty());
+      EXPECT_TRUE(
+          h.RestrictObject("CTR").RestrictTxn(txn).Aborted().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccr

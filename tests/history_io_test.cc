@@ -1,0 +1,109 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for history serialization: value literals, event round-trips,
+// comment/blank handling, and error reporting with line numbers.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/kv_store.h"
+#include "common/random.h"
+#include "core/history_io.h"
+#include "core/ideal_object.h"
+#include "core/script.h"
+#include "sim/generator.h"
+
+namespace ccr {
+namespace {
+
+TEST(ValueIoTest, RoundTripsAllTypes) {
+  for (const Value& v :
+       {Value::MakeUnit(), Value(int64_t{-42}), Value(int64_t{0}),
+        Value(true), Value(false), Value("ok"), Value("no")}) {
+    StatusOr<Value> parsed = ParseValue(SerializeValue(v));
+    ASSERT_TRUE(parsed.ok()) << SerializeValue(v);
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(ValueIoTest, RejectsMalformedLiterals) {
+  for (const char* bad : {"", "x", "q:1", "i:", "i:abc", "b:maybe", "u:x"}) {
+    EXPECT_FALSE(ParseValue(bad).ok()) << bad;
+  }
+}
+
+TEST(HistoryIoTest, RoundTripsPaperExample) {
+  auto ba = MakeBankAccount();
+  HistoryScript script;
+  script.Exec(1, ba->Deposit(3)).Commit(1, "BA");
+  script.Exec(2, ba->WithdrawOk(2)).Abort(2, "BA");
+  script.Exec(3, ba->Balance(3)).Commit(3, "BA");
+  History h = script.Build().value();
+
+  const std::string text = SerializeHistory(h);
+  StatusOr<History> parsed = ParseHistory(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), h.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(parsed->at(i) == h.at(i)) << "event " << i;
+  }
+}
+
+TEST(HistoryIoTest, RoundTripsMultiArgOperations) {
+  auto kv = MakeKvStore();
+  HistoryScript script;
+  script.Exec(1, kv->Put("key", 7)).Exec(1, kv->Get("key", 7));
+  script.Exec(1, kv->GetNone("other")).Commit(1, "KV");
+  History h = script.Build().value();
+  StatusOr<History> parsed = ParseHistory(SerializeHistory(h));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeHistory(*parsed), SerializeHistory(h));
+}
+
+TEST(HistoryIoTest, RoundTripsRandomSchedules) {
+  auto ba = MakeBankAccount();
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Random rng(seed);
+    IdealObject obj("BA",
+                    std::shared_ptr<const SpecAutomaton>(ba, &ba->spec()),
+                    MakeUipView(), MakeNrbcConflict(ba));
+    History h = GenerateSchedule(&obj, UniverseInvocations(*ba), &rng);
+    StatusOr<History> parsed = ParseHistory(SerializeHistory(h));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(SerializeHistory(*parsed), SerializeHistory(h));
+  }
+}
+
+TEST(HistoryIoTest, IgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "# a recorded history\n"
+      "\n"
+      "invoke 1 BA 0 deposit i:5\n"
+      "response 1 BA s:ok\n"
+      "commit 1 BA\n";
+  StatusOr<History> parsed = ParseHistory(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->Opseq().size(), 1u);
+}
+
+TEST(HistoryIoTest, ReportsLineNumbers) {
+  const std::string text =
+      "invoke 1 BA 0 deposit i:5\n"
+      "response 1 BA s:ok\n"
+      "bogus 1 BA\n";
+  StatusOr<History> parsed = ParseHistory(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(HistoryIoTest, RejectsIllFormedHistories) {
+  // A response with no pending invocation is a well-formedness violation.
+  StatusOr<History> parsed = ParseHistory("response 1 BA s:ok\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccr

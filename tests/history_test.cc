@@ -1,0 +1,207 @@
+// Copyright 2026 The ccr Authors.
+//
+// Unit tests for events, histories, well-formedness, and the derived
+// notions of Sections 2-3: Opseq, projections, permanent, Serial, precedes,
+// and commit order.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "core/history.h"
+#include "core/script.h"
+
+namespace ccr {
+namespace {
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  HistoryTest() : ba_(MakeBankAccount()) {}
+  std::shared_ptr<BankAccount> ba_;
+};
+
+TEST_F(HistoryTest, TxnNames) {
+  EXPECT_EQ(TxnName(1), "A");
+  EXPECT_EQ(TxnName(2), "B");
+  EXPECT_EQ(TxnName(26), "Z");
+  EXPECT_EQ(TxnName(27), "T27");
+}
+
+TEST_F(HistoryTest, EventToStringMatchesPaperNotation) {
+  EXPECT_EQ(Event::Invoke(2, ba_->WithdrawInv(2)).ToString(),
+            "<withdraw(2), BA, B>");
+  EXPECT_EQ(Event::Response(2, "BA", Value("ok")).ToString(),
+            "<ok, BA, B>");
+  EXPECT_EQ(Event::Commit(1, "BA").ToString(), "<commit, BA, A>");
+  EXPECT_EQ(Event::Abort(3, "BA").ToString(), "<abort, BA, C>");
+}
+
+TEST_F(HistoryTest, OperationToStringMatchesPaperNotation) {
+  EXPECT_EQ(ba_->WithdrawOk(3).ToString(), "BA:[withdraw(3),ok]");
+  EXPECT_EQ(ba_->Balance(2).ToString(), "BA:[balance,2]");
+}
+
+TEST_F(HistoryTest, RejectsDoubleInvocation) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Invoke(1, ba_->DepositInv(1))).ok());
+  Status s = h.Append(Event::Invoke(1, ba_->DepositInv(2)));
+  EXPECT_EQ(s.code(), StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, RejectsResponseWithoutInvocation) {
+  History h;
+  Status s = h.Append(Event::Response(1, "BA", Value("ok")));
+  EXPECT_EQ(s.code(), StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, RejectsCommitWhileInvocationPending) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Invoke(1, ba_->DepositInv(1))).ok());
+  Status s = h.Append(Event::Commit(1, "BA"));
+  EXPECT_EQ(s.code(), StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, RejectsCommitThenAbort) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Commit(1, "BA")).ok());
+  EXPECT_EQ(h.Append(Event::Abort(1, "BA")).code(),
+            StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, RejectsAbortThenCommit) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Abort(1, "BA")).ok());
+  EXPECT_EQ(h.Append(Event::Commit(1, "BA")).code(),
+            StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, RejectsInvokeAfterCommit) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Commit(1, "BA")).ok());
+  EXPECT_EQ(h.Append(Event::Invoke(1, ba_->DepositInv(1))).code(),
+            StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, AllowsCommitAtMultipleObjects) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Commit(1, "BA")).ok());
+  EXPECT_TRUE(h.Append(Event::Commit(1, "SET")).ok());
+  EXPECT_EQ(h.Append(Event::Commit(1, "BA")).code(),
+            StatusCode::kIllegalState);
+}
+
+TEST_F(HistoryTest, ResponseMustMatchPendingObject) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Invoke(1, ba_->DepositInv(1))).ok());
+  Status s = h.Append(Event::Response(1, "OTHER", Value("ok")));
+  EXPECT_EQ(s.code(), StatusCode::kIllegalState);
+}
+
+// The paper's Section 3.3 example history (deposit(3) by A, withdraw(2) by
+// B, balances, then a failed withdraw by C).
+History PaperExampleHistory(const BankAccount& ba) {
+  HistoryScript script;
+  script.Exec(1, ba.Deposit(3));
+  script.Exec(2, ba.WithdrawOk(2));
+  script.Exec(1, ba.Balance(3));
+  script.Invoke(2, ba.BalanceInv());
+  StatusOr<History> partial = script.Build();
+  History h = partial.value();
+  // Interleave: A commits, then B's balance responds with 1, B commits,
+  // then C's failed withdraw.
+  CCR_CHECK(h.Append(Event::Commit(1, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Response(2, "BA", Value(int64_t{1}))).ok());
+  CCR_CHECK(h.Append(Event::Commit(2, "BA")).ok());
+  CCR_CHECK(h.Append(Event::Invoke(3, ba.WithdrawInv(2))).ok());
+  CCR_CHECK(h.Append(Event::Response(3, "BA", Value("no"))).ok());
+  CCR_CHECK(h.Append(Event::Commit(3, "BA")).ok());
+  return h;
+}
+
+TEST_F(HistoryTest, PaperExampleStatusSets) {
+  History h = PaperExampleHistory(*ba_);
+  EXPECT_EQ(h.Committed(), (std::set<TxnId>{1, 2, 3}));
+  EXPECT_TRUE(h.Aborted().empty());
+  EXPECT_TRUE(h.Active().empty());
+}
+
+TEST_F(HistoryTest, PaperExampleOpseq) {
+  History h = PaperExampleHistory(*ba_);
+  OpSeq seq = h.Opseq();
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0], ba_->Deposit(3));
+  EXPECT_EQ(seq[1], ba_->WithdrawOk(2));
+  EXPECT_EQ(seq[2], ba_->Balance(3));
+  EXPECT_EQ(seq[3], ba_->Balance(1));
+  EXPECT_EQ(seq[4], ba_->WithdrawNo(2));
+}
+
+TEST_F(HistoryTest, PaperExamplePrecedes) {
+  History h = PaperExampleHistory(*ba_);
+  const auto precedes = h.Precedes();
+  // B's balance responds after A commits; C's withdraw responds after both.
+  const std::set<std::pair<TxnId, TxnId>> expect = {{1, 2}, {1, 3}, {2, 3}};
+  const std::set<std::pair<TxnId, TxnId>> actual(precedes.begin(),
+                                                 precedes.end());
+  EXPECT_EQ(actual, expect);
+}
+
+TEST_F(HistoryTest, CommitOrder) {
+  History h = PaperExampleHistory(*ba_);
+  EXPECT_EQ(h.CommitOrder(), (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST_F(HistoryTest, SerialReordersByTransaction) {
+  History h = PaperExampleHistory(*ba_);
+  History serial = h.Serial({3, 1, 2});
+  EXPECT_TRUE(serial.IsSerial());
+  OpSeq seq = serial.Opseq();
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0], ba_->WithdrawNo(2));  // C first
+  EXPECT_EQ(seq[1], ba_->Deposit(3));     // then A
+}
+
+TEST_F(HistoryTest, IsSerialDetectsInterleaving) {
+  History h = PaperExampleHistory(*ba_);
+  EXPECT_FALSE(h.IsSerial());
+  EXPECT_TRUE(h.Serial({1, 2, 3}).IsSerial());
+}
+
+TEST_F(HistoryTest, PermanentDropsNonCommitted) {
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5)).Commit(1, "BA");
+  script.Exec(2, ba_->WithdrawOk(3)).Abort(2, "BA");
+  script.Exec(3, ba_->Balance(5));  // active, never commits
+  History h = script.Build().value();
+  History perm = h.Permanent();
+  EXPECT_EQ(perm.Transactions(), (std::set<TxnId>{1}));
+  EXPECT_EQ(perm.Opseq().size(), 1u);
+}
+
+TEST_F(HistoryTest, RestrictObjectKeepsOnlyThatObject) {
+  BankAccount other("BB");
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5));
+  script.Exec(1, other.Deposit(7));
+  History h = script.Build().value();
+  EXPECT_EQ(h.RestrictObject("BA").Opseq().size(), 1u);
+  EXPECT_EQ(h.RestrictObject("BB").Opseq().size(), 1u);
+  EXPECT_EQ(h.Objects(), (std::set<ObjectId>{"BA", "BB"}));
+}
+
+TEST_F(HistoryTest, AbortedPendingInvocationIsAbandoned) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Invoke(1, ba_->DepositInv(1))).ok());
+  ASSERT_TRUE(h.Append(Event::Abort(1, "BA")).ok());
+  EXPECT_FALSE(h.PendingInvocation(1).has_value());
+  EXPECT_TRUE(h.Opseq().empty());
+}
+
+TEST_F(HistoryTest, FromEventsRoundTrip) {
+  History h = PaperExampleHistory(*ba_);
+  StatusOr<History> rebuilt = History::FromEvents(h.events());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->size(), h.size());
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,197 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for the reference object I(X, Spec, View, Conflict) of Section 4:
+// response preconditions (pending invocation, no conflicts, view-legal
+// result), lock release at commit/abort, and the behavioral difference
+// between the UIP and DU views.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "core/ideal_object.h"
+
+namespace ccr {
+namespace {
+
+class IdealObjectTest : public ::testing::Test {
+ protected:
+  IdealObjectTest() : ba_(MakeBankAccount()) {}
+
+  IdealObject MakeUip(std::shared_ptr<const ConflictRelation> conflict) {
+    return IdealObject("BA",
+                       std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                       MakeUipView(), std::move(conflict));
+  }
+  IdealObject MakeDu(std::shared_ptr<const ConflictRelation> conflict) {
+    return IdealObject("BA",
+                       std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                       MakeDuView(), std::move(conflict));
+  }
+
+  std::shared_ptr<BankAccount> ba_;
+};
+
+TEST_F(IdealObjectTest, RespondRequiresPendingInvocation) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  StatusOr<Value> r = obj.Respond(1);
+  EXPECT_EQ(r.status().code(), StatusCode::kIllegalState);
+}
+
+TEST_F(IdealObjectTest, ResponseFollowsSpec) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  StatusOr<Value> r = obj.Respond(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value("ok"));
+  ASSERT_TRUE(obj.Invoke(1, ba_->BalanceInv()).ok());
+  r = obj.Respond(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value(int64_t{5}));
+}
+
+TEST_F(IdealObjectTest, WithdrawResultDependsOnView) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->WithdrawInv(3)).ok());
+  StatusOr<Value> r = obj.Respond(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value("no"));  // balance 0
+}
+
+// Under NRBC conflicts, a deposit by B may respond while A holds a
+// successful withdraw (deposit right-commutes backward with withdraw/ok),
+// but a withdraw by B must block while A holds a deposit.
+TEST_F(IdealObjectTest, NrbcConflictAsymmetryIsEnforced) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  // Seed balance 5 with a committed transaction.
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());
+  ASSERT_TRUE(obj.Commit(1).ok());
+
+  // A withdraws 2 (active). B's deposit is allowed.
+  ASSERT_TRUE(obj.Invoke(2, ba_->WithdrawInv(2)).ok());
+  ASSERT_TRUE(obj.Respond(2).ok());
+  ASSERT_TRUE(obj.Invoke(3, ba_->DepositInv(1)).ok());
+  EXPECT_TRUE(obj.Respond(3).ok());
+  ASSERT_TRUE(obj.Commit(3).ok());
+
+  // C's withdraw conflicts with A's withdraw? No — withdraw/ok
+  // right-commutes backward with withdraw/ok. It must respond.
+  ASSERT_TRUE(obj.Invoke(4, ba_->WithdrawInv(2)).ok());
+  EXPECT_TRUE(obj.Respond(4).ok());
+
+  // D's withdraw against the *deposit* B committed is fine (B inactive),
+  // but a new deposit by A is still held... deposit rcb withdraw/ok, so E's
+  // deposit is also fine. The blocked case: a withdraw while a deposit is
+  // active.
+  ASSERT_TRUE(obj.Invoke(5, ba_->DepositInv(4)).ok());
+  ASSERT_TRUE(obj.Respond(5).ok());  // E's deposit, active
+  ASSERT_TRUE(obj.Invoke(6, ba_->WithdrawInv(1)).ok());
+  StatusOr<Value> blocked = obj.Respond(6);
+  EXPECT_EQ(blocked.status().code(), StatusCode::kConflict);
+}
+
+// Under NFC conflicts (DU recovery), two successful withdrawals conflict,
+// but a deposit and a withdrawal do not.
+TEST_F(IdealObjectTest, NfcConflictSymmetricPattern) {
+  IdealObject obj = MakeDu(MakeNfcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());
+  ASSERT_TRUE(obj.Commit(1).ok());
+
+  // A withdraws 2 (active).
+  ASSERT_TRUE(obj.Invoke(2, ba_->WithdrawInv(2)).ok());
+  ASSERT_TRUE(obj.Respond(2).ok());
+
+  // B's deposit commutes forward with withdraw/ok: allowed.
+  ASSERT_TRUE(obj.Invoke(3, ba_->DepositInv(1)).ok());
+  EXPECT_TRUE(obj.Respond(3).ok());
+
+  // C's withdraw would also succeed in its own view (DU: committed state
+  // has balance 5), but withdraw/ok does not commute forward with A's
+  // held withdraw/ok: blocked.
+  ASSERT_TRUE(obj.Invoke(4, ba_->WithdrawInv(2)).ok());
+  StatusOr<Value> blocked = obj.Respond(4);
+  EXPECT_EQ(blocked.status().code(), StatusCode::kConflict);
+}
+
+// DU: an active transaction does not see other active transactions' effects.
+TEST_F(IdealObjectTest, DuViewIsolatesActiveWork) {
+  IdealObject obj = MakeDu(MakeNfcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());  // A deposited 5, still active
+
+  // B reads the balance: DU(H,B) has no committed ops, so balance is 0.
+  // (balance does not commute with deposit, so it must also be blocked!)
+  ASSERT_TRUE(obj.Invoke(2, ba_->BalanceInv()).ok());
+  StatusOr<Value> r = obj.Respond(2);
+  EXPECT_EQ(r.status().code(), StatusCode::kConflict);
+
+  // After A commits, B sees 5.
+  ASSERT_TRUE(obj.Commit(1).ok());
+  r = obj.Respond(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value(int64_t{5}));
+}
+
+// UIP: the single current state includes active transactions' effects.
+TEST_F(IdealObjectTest, UipViewSeesActiveWork) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());  // active
+  // A's own balance read sees its deposit (no self-conflict).
+  ASSERT_TRUE(obj.Invoke(1, ba_->BalanceInv()).ok());
+  StatusOr<Value> r = obj.Respond(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value(int64_t{5}));
+}
+
+// Abort releases locks and removes effects from the UIP view.
+TEST_F(IdealObjectTest, AbortUndoesUipEffects) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());
+  ASSERT_TRUE(obj.Abort(1).ok());
+  ASSERT_TRUE(obj.Invoke(2, ba_->BalanceInv()).ok());
+  StatusOr<Value> r = obj.Respond(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value(int64_t{0}));
+}
+
+TEST_F(IdealObjectTest, EnabledResponsesFilterConflicts) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());  // A's deposit active
+  ASSERT_TRUE(obj.Invoke(2, ba_->WithdrawInv(2)).ok());
+  // withdraw/ok does not right-commute backward with deposit: conflicted.
+  EXPECT_TRUE(obj.EnabledResponses(2).empty());
+  ASSERT_TRUE(obj.Commit(1).ok());
+  EXPECT_EQ(obj.EnabledResponses(2).size(), 1u);
+}
+
+TEST_F(IdealObjectTest, ReplayHistoryAcceptsOwnHistory) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  ASSERT_TRUE(obj.Invoke(1, ba_->DepositInv(5)).ok());
+  ASSERT_TRUE(obj.Respond(1).ok());
+  ASSERT_TRUE(obj.Commit(1).ok());
+  IdealObject fresh = MakeUip(MakeNrbcConflict(ba_));
+  EXPECT_TRUE(ReplayHistory(&fresh, obj.history()).ok());
+}
+
+TEST_F(IdealObjectTest, ReplayHistoryRejectsIllegalResponse) {
+  History h;
+  ASSERT_TRUE(h.Append(Event::Invoke(1, ba_->WithdrawInv(3))).ok());
+  ASSERT_TRUE(h.Append(Event::Response(1, "BA", Value("ok"))).ok());
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  Status s = ReplayHistory(&obj, h);
+  EXPECT_EQ(s.code(), StatusCode::kIllegalState);
+}
+
+TEST_F(IdealObjectTest, RejectsForeignInvocation) {
+  IdealObject obj = MakeUip(MakeNrbcConflict(ba_));
+  BankAccount other("BB");
+  Status s = obj.Invoke(1, other.DepositInv(1));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ccr

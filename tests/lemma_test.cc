@@ -1,0 +1,169 @@
+// Copyright 2026 The ccr Authors.
+//
+// The paper's Lemmas 3-8 (Section 6) as property tests, sampled over
+// random legal sequences of every ADT:
+//   Lemma 3: "looks like" is reflexive and transitive.
+//   Lemma 4: equieffectiveness is an equivalence relation.
+//   Lemma 5: α ∈ Spec and α looks like β (note: with our membership-
+//            implication formulation, legality transfers from α to β via
+//            the empty future).
+//   Lemma 6: α looks like β ⇒ αγ looks like βγ.
+//   Lemma 7: α equieffective β ⇒ αγ equieffective βγ.
+//   Lemma 8: FC and NFC are symmetric.
+
+#include <gtest/gtest.h>
+
+#include "adt/registry.h"
+#include "common/random.h"
+#include "core/equieffective.h"
+
+namespace ccr {
+namespace {
+
+class LemmaTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  LemmaTest() : adt_(AllAdts()[GetParam()]) {
+    universe_ = adt_->Universe();
+    const AnalysisOptions options = AnalysisOptionsFor(*adt_);
+    probe_universe_ = options.probe_universe;
+    for (const Operation& op : universe_) probe_universe_.push_back(op);
+    probe_ = options.probe;
+  }
+
+  // A random legal sequence of length <= max_len.
+  OpSeq SampleLegal(Random* rng, size_t max_len) const {
+    OpSeq seq;
+    StateSet states = StateSet::Singleton(adt_->spec().InitialState());
+    const size_t len = rng->Uniform(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      // Try a few random operations for one that keeps the run alive.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Operation& op = universe_[rng->Uniform(universe_.size())];
+        StateSet next = states.Step(adt_->spec(), op);
+        if (!next.empty()) {
+          states = std::move(next);
+          seq.push_back(op);
+          break;
+        }
+      }
+    }
+    return seq;
+  }
+
+  bool Looks(const OpSeq& a, const OpSeq& b) const {
+    return SeqLooksLike(adt_->spec(), a, b, probe_universe_, probe_);
+  }
+  bool Equi(const OpSeq& a, const OpSeq& b) const {
+    return SeqEquieffective(adt_->spec(), a, b, probe_universe_, probe_);
+  }
+
+  std::shared_ptr<Adt> adt_;
+  std::vector<Operation> universe_;
+  std::vector<Operation> probe_universe_;
+  ProbeOptions probe_;
+};
+
+constexpr int kSamples = 12;
+
+TEST_P(LemmaTest, Lemma3LooksLikeReflexive) {
+  Random rng(3);
+  for (int i = 0; i < kSamples; ++i) {
+    OpSeq alpha = SampleLegal(&rng, 5);
+    EXPECT_TRUE(Looks(alpha, alpha)) << OpSeqToString(alpha);
+  }
+}
+
+TEST_P(LemmaTest, Lemma3LooksLikeTransitive) {
+  Random rng(33);
+  int informative = 0;
+  for (int i = 0; i < kSamples * 4; ++i) {
+    OpSeq a = SampleLegal(&rng, 4);
+    OpSeq b = SampleLegal(&rng, 4);
+    OpSeq c = SampleLegal(&rng, 4);
+    if (Looks(a, b) && Looks(b, c)) {
+      EXPECT_TRUE(Looks(a, c))
+          << OpSeqToString(a) << " | " << OpSeqToString(b) << " | "
+          << OpSeqToString(c);
+      ++informative;
+    }
+  }
+  EXPECT_GT(informative, 0);
+}
+
+TEST_P(LemmaTest, Lemma4EquieffectiveIsEquivalence) {
+  Random rng(44);
+  for (int i = 0; i < kSamples; ++i) {
+    OpSeq a = SampleLegal(&rng, 4);
+    OpSeq b = SampleLegal(&rng, 4);
+    EXPECT_TRUE(Equi(a, a));
+    EXPECT_EQ(Equi(a, b), Equi(b, a));
+  }
+}
+
+TEST_P(LemmaTest, Lemma5LegalityTransfers) {
+  Random rng(55);
+  for (int i = 0; i < kSamples * 4; ++i) {
+    OpSeq a = SampleLegal(&rng, 4);  // legal by construction
+    OpSeq b = SampleLegal(&rng, 4);
+    if (Looks(a, b)) {
+      EXPECT_TRUE(Legal(adt_->spec(), b))
+          << OpSeqToString(a) << " looks like illegal " << OpSeqToString(b);
+    }
+  }
+}
+
+TEST_P(LemmaTest, Lemma6ConcatenationPreservesLooksLike) {
+  Random rng(66);
+  int informative = 0;
+  for (int i = 0; i < kSamples * 2; ++i) {
+    OpSeq a = SampleLegal(&rng, 3);
+    OpSeq b = SampleLegal(&rng, 3);
+    if (!Looks(a, b)) continue;
+    ++informative;
+    OpSeq gamma = SampleLegal(&rng, 2);
+    OpSeq ag = a;
+    ag.insert(ag.end(), gamma.begin(), gamma.end());
+    OpSeq bg = b;
+    bg.insert(bg.end(), gamma.begin(), gamma.end());
+    EXPECT_TRUE(Looks(ag, bg))
+        << OpSeqToString(a) << " ~ " << OpSeqToString(b) << " + "
+        << OpSeqToString(gamma);
+  }
+  EXPECT_GT(informative, 0);
+}
+
+TEST_P(LemmaTest, Lemma7ConcatenationPreservesEquieffectiveness) {
+  Random rng(77);
+  int informative = 0;
+  for (int i = 0; i < kSamples * 2; ++i) {
+    OpSeq a = SampleLegal(&rng, 3);
+    OpSeq b = SampleLegal(&rng, 3);
+    if (!Equi(a, b)) continue;
+    ++informative;
+    OpSeq gamma = SampleLegal(&rng, 2);
+    OpSeq ag = a;
+    ag.insert(ag.end(), gamma.begin(), gamma.end());
+    OpSeq bg = b;
+    bg.insert(bg.end(), gamma.begin(), gamma.end());
+    EXPECT_TRUE(Equi(ag, bg));
+  }
+  EXPECT_GT(informative, 0);
+}
+
+TEST_P(LemmaTest, Lemma8FcSymmetric) {
+  CommutativityAnalyzer analyzer(&adt_->spec(), adt_->Universe(),
+                                 AnalysisOptionsFor(*adt_));
+  RelationTable fc = analyzer.ComputeFcTable();
+  EXPECT_TRUE(fc.IsSymmetric());
+}
+
+std::string AdtTestName(const ::testing::TestParamInfo<size_t>& info) {
+  return AllAdts()[info.param]->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdts, LemmaTest,
+                         ::testing::Range<size_t>(0, AllAdts().size()),
+                         AdtTestName);
+
+}  // namespace
+}  // namespace ccr

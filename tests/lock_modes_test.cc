@@ -1,0 +1,149 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for lock-mode compilation: mode naming, containment (the table
+// relation is a conservative superset of the exact one), sufficiency (the
+// table still satisfies Theorems 9/10 because it contains NRBC/NFC), and
+// the engine running on a compiled table.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/registry.h"
+#include "core/atomicity.h"
+#include "core/ideal_object.h"
+#include "core/lock_modes.h"
+#include "sim/generator.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+namespace ccr {
+namespace {
+
+class LockModesTest : public ::testing::Test {
+ protected:
+  LockModesTest() : ba_(MakeBankAccount()), universe_(ba_->Universe()) {}
+
+  std::shared_ptr<BankAccount> ba_;
+  std::vector<Operation> universe_;
+};
+
+TEST_F(LockModesTest, ModeNaming) {
+  EXPECT_EQ(LockModeOf(ba_->Deposit(3), universe_), "deposit");
+  EXPECT_EQ(LockModeOf(ba_->WithdrawOk(3), universe_), "withdraw/ok");
+  EXPECT_EQ(LockModeOf(ba_->WithdrawNo(3), universe_), "withdraw/no");
+  EXPECT_EQ(LockModeOf(ba_->Balance(5), universe_), "balance");
+}
+
+TEST_F(LockModesTest, CompiledNrbcTableMatchesFigure62) {
+  LockModeTable table = LockModeTable::Compile(*MakeNrbcConflict(ba_),
+                                               universe_, "NRBC");
+  ASSERT_EQ(table.modes().size(), 4u);
+  // The paper's Figure 6-2 aggregated cells.
+  EXPECT_FALSE(table.Conflicts("deposit", "deposit"));
+  EXPECT_FALSE(table.Conflicts("deposit", "withdraw/ok"));
+  EXPECT_TRUE(table.Conflicts("deposit", "withdraw/no"));
+  EXPECT_TRUE(table.Conflicts("deposit", "balance"));
+  EXPECT_TRUE(table.Conflicts("withdraw/ok", "deposit"));
+  EXPECT_FALSE(table.Conflicts("withdraw/ok", "withdraw/ok"));
+  EXPECT_TRUE(table.Conflicts("balance", "withdraw/ok"));
+  EXPECT_FALSE(table.Conflicts("balance", "withdraw/no"));
+}
+
+TEST_F(LockModesTest, TableIsConservativeSuperset) {
+  auto exact = MakeNrbcConflict(ba_);
+  auto table = std::make_shared<LockModeTable>(
+      LockModeTable::Compile(*exact, universe_, "NRBC"));
+  auto table_rel = MakeTableConflict(table, universe_);
+  for (const Operation& p : universe_) {
+    for (const Operation& q : universe_) {
+      if (exact->Conflicts(p, q)) {
+        EXPECT_TRUE(table_rel->Conflicts(p, q))
+            << p.ToString() << " vs " << q.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(LockModesTest, TableLosesArgumentDependentConcurrency) {
+  // [balance,0] and deposit never conflict... except through the mode
+  // table, which collapses all balance results into one mode.
+  auto exact = MakeNrbcConflict(ba_);
+  auto table = std::make_shared<LockModeTable>(
+      LockModeTable::Compile(*exact, universe_, "NRBC"));
+  auto table_rel = MakeTableConflict(table, universe_);
+  const Operation bal0 = ba_->Balance(0);
+  const Operation dep2 = ba_->Deposit(2);
+  EXPECT_FALSE(exact->Conflicts(bal0, dep2));  // vacuous: 0 < 2
+  EXPECT_TRUE(table_rel->Conflicts(bal0, dep2));  // mode-level: conflicts
+}
+
+TEST_F(LockModesTest, UnknownModeConflictsConservatively) {
+  auto table = std::make_shared<LockModeTable>(LockModeTable::Compile(
+      *MakeNrbcConflict(ba_), universe_, "NRBC"));
+  EXPECT_TRUE(table->Conflicts("mystery", "deposit"));
+  EXPECT_TRUE(table->Conflicts("deposit", "mystery"));
+}
+
+// The table relation contains NRBC, so Theorem 9 says UIP with it is
+// correct: random schedules must be dynamic atomic.
+TEST_F(LockModesTest, TheoremNineHoldsForCompiledTable) {
+  auto table = std::make_shared<LockModeTable>(LockModeTable::Compile(
+      *MakeNrbcConflict(ba_), universe_, "NRBC"));
+  auto relation = MakeTableConflict(table, universe_);
+  SpecMap specs{{"BA", std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec())}};
+  for (int round = 0; round < 25; ++round) {
+    Random rng(round * 19 + 2);
+    IdealObject obj("BA",
+                    std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                    MakeUipView(), relation);
+    History h = GenerateSchedule(&obj, UniverseInvocations(*ba_), &rng);
+    ASSERT_TRUE(CheckOnlineDynamicAtomic(h, specs).dynamic_atomic)
+        << "round " << round << "\n" << h.ToString();
+  }
+}
+
+// The engine runs unmodified on a compiled table.
+TEST_F(LockModesTest, EngineRunsOnTableRelation) {
+  auto table = std::make_shared<LockModeTable>(LockModeTable::Compile(
+      *MakeNrbcConflict(ba_), universe_, "NRBC"));
+  TxnManager manager;
+  manager.AddObject("BA", ba_, MakeTableConflict(table, universe_),
+                    std::make_unique<UipRecovery>(ba_));
+  Status s = manager.RunTransaction([&](Transaction* txn) -> Status {
+    StatusOr<Value> r = manager.Execute(txn, ba_->DepositInv(10));
+    if (!r.ok()) return r.status();
+    return manager.Execute(txn, ba_->WithdrawInv(4)).status();
+  });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(TypedSpecAutomaton<Int64State>::Unwrap(
+                *manager.object("BA")->CommittedState())
+                .v,
+            6);
+}
+
+// Compiled tables for every ADT contain their exact relations.
+TEST_F(LockModesTest, AllAdtsCompileToSupersets) {
+  for (const auto& adt : AllAdts()) {
+    const std::vector<Operation> universe = adt->Universe();
+    for (const auto& [label, exact] :
+         {std::pair<std::string, std::shared_ptr<ConflictRelation>>(
+              "NRBC", MakeNrbcConflict(adt)),
+          {"NFC", MakeNfcConflict(adt)}}) {
+      auto table = std::make_shared<LockModeTable>(
+          LockModeTable::Compile(*exact, universe, label));
+      auto table_rel = MakeTableConflict(table, universe);
+      for (const Operation& p : universe) {
+        for (const Operation& q : universe) {
+          if (exact->Conflicts(p, q)) {
+            EXPECT_TRUE(table_rel->Conflicts(p, q))
+                << adt->name() << "/" << label << ": " << p.ToString()
+                << " vs " << q.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,159 @@
+// Copyright 2026 The ccr Authors.
+//
+// Theorem 2 / local atomicity (paper Section 3.4) as a property test:
+// dynamic atomicity is a *local* property, so a system may freely mix
+// concurrency-control and recovery algorithms per object — UIP+NRBC at one
+// object and DU+NFC at another — and every global history is still atomic.
+// Also checks Lemma 1: precedes(H|X) ⊆ precedes(H).
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/int_set.h"
+#include "adt/semiqueue.h"
+#include "core/atomicity.h"
+#include "sim/multi_generator.h"
+
+namespace ccr {
+namespace {
+
+constexpr int kRounds = 30;
+
+class ModularityTest : public ::testing::Test {
+ protected:
+  ModularityTest()
+      : ba_(MakeBankAccount("BA")),
+        set_(MakeIntSet("SET")),
+        sq_(MakeSemiqueue("SQ")) {
+    specs_["BA"] = std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec());
+    specs_["SET"] = std::shared_ptr<const SpecAutomaton>(set_, &set_->spec());
+    specs_["SQ"] = std::shared_ptr<const SpecAutomaton>(sq_, &sq_->spec());
+  }
+
+  std::shared_ptr<BankAccount> ba_;
+  std::shared_ptr<IntSet> set_;
+  std::shared_ptr<Semiqueue> sq_;
+  SpecMap specs_;
+};
+
+// The headline: three objects, three different algorithm pairings, one
+// system — every global history is online dynamic atomic (hence atomic).
+TEST_F(ModularityTest, HeterogeneousAlgorithmsComposeAtomically) {
+  for (int round = 0; round < kRounds; ++round) {
+    Random rng(round * 97 + 13);
+    // BA runs update-in-place with the asymmetric NRBC relation; SET runs
+    // deferred-update with NFC; SQ runs UIP behind classical read/write
+    // locks. All are dynamic atomic locally.
+    IdealObject ba_obj("BA",
+                       std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                       MakeUipView(), MakeNrbcConflict(ba_));
+    IdealObject set_obj(
+        "SET", std::shared_ptr<const SpecAutomaton>(set_, &set_->spec()),
+        MakeDuView(), MakeNfcConflict(set_));
+    IdealObject sq_obj("SQ",
+                       std::shared_ptr<const SpecAutomaton>(sq_, &sq_->spec()),
+                       MakeUipView(), MakeReadWriteConflict(sq_));
+
+    std::vector<ObjectSetup> setups = {
+        {&ba_obj, UniverseInvocations(*ba_)},
+        {&set_obj, UniverseInvocations(*set_)},
+        {&sq_obj, UniverseInvocations(*sq_)},
+    };
+    ScheduleOptions options;
+    options.num_txns = 5;
+    options.max_ops_per_txn = 4;
+    History h = GenerateMultiSchedule(setups, &rng, options);
+
+    DynamicAtomicityResult r = CheckOnlineDynamicAtomic(h, specs_);
+    ASSERT_TRUE(r.dynamic_atomic)
+        << "round " << round << (r.exhausted ? " (exhausted)" : "") << "\n"
+        << h.ToString();
+  }
+}
+
+// Sanity for the merged history: per-object projections equal the objects'
+// own histories.
+TEST_F(ModularityTest, GlobalHistoryProjectsOntoObjects) {
+  Random rng(4242);
+  IdealObject ba_obj("BA",
+                     std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                     MakeUipView(), MakeNrbcConflict(ba_));
+  IdealObject set_obj(
+      "SET", std::shared_ptr<const SpecAutomaton>(set_, &set_->spec()),
+      MakeDuView(), MakeNfcConflict(set_));
+  std::vector<ObjectSetup> setups = {
+      {&ba_obj, UniverseInvocations(*ba_)},
+      {&set_obj, UniverseInvocations(*set_)},
+  };
+  History h = GenerateMultiSchedule(setups, &rng);
+
+  const History ba_local = h.RestrictObject("BA");
+  ASSERT_EQ(ba_local.size(), ba_obj.history().size());
+  for (size_t i = 0; i < ba_local.size(); ++i) {
+    EXPECT_TRUE(ba_local.at(i) == ba_obj.history().at(i)) << i;
+  }
+}
+
+// Lemma 1: precedes(H|X) ⊆ precedes(H) for every object X.
+TEST_F(ModularityTest, Lemma1PrecedesProjection) {
+  for (int round = 0; round < kRounds; ++round) {
+    Random rng(round * 53 + 29);
+    IdealObject ba_obj("BA",
+                       std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                       MakeUipView(), MakeNrbcConflict(ba_));
+    IdealObject set_obj(
+        "SET", std::shared_ptr<const SpecAutomaton>(set_, &set_->spec()),
+        MakeDuView(), MakeNfcConflict(set_));
+    std::vector<ObjectSetup> setups = {
+        {&ba_obj, UniverseInvocations(*ba_)},
+        {&set_obj, UniverseInvocations(*set_)},
+    };
+    History h = GenerateMultiSchedule(setups, &rng);
+
+    const auto global_precedes = h.Precedes();
+    const std::set<std::pair<TxnId, TxnId>> global_set(
+        global_precedes.begin(), global_precedes.end());
+    for (const ObjectId& object : h.Objects()) {
+      for (const auto& pair : h.RestrictObject(object).Precedes()) {
+        EXPECT_TRUE(global_set.count(pair) > 0)
+            << "round " << round << ": (" << TxnName(pair.first) << ", "
+            << TxnName(pair.second) << ") in precedes(H|" << object
+            << ") but not precedes(H)";
+      }
+    }
+  }
+}
+
+// A *wrong* pairing breaks globally: DU needs NFC, and NRBC does not
+// contain it; mixing DU with NRBC at one object eventually produces a
+// non-dynamic-atomic history even though the other object is fine.
+TEST_F(ModularityTest, WrongPairingEventuallyViolates) {
+  int violations = 0;
+  for (int round = 0; round < 120 && violations == 0; ++round) {
+    Random rng(round * 11 + 3);
+    IdealObject bad("BA",
+                    std::shared_ptr<const SpecAutomaton>(ba_, &ba_->spec()),
+                    MakeDuView(), MakeNrbcConflict(ba_));  // WRONG pairing
+    IdealObject good(
+        "SET", std::shared_ptr<const SpecAutomaton>(set_, &set_->spec()),
+        MakeDuView(), MakeNfcConflict(set_));
+    std::vector<ObjectSetup> setups = {
+        {&bad, UniverseInvocations(*ba_)},
+        {&good, UniverseInvocations(*set_)},
+    };
+    ScheduleOptions options;
+    options.num_txns = 6;
+    options.max_ops_per_txn = 4;
+    options.abort_prob = 0.05;
+    History h = GenerateMultiSchedule(setups, &rng, options);
+    if (!CheckOnlineDynamicAtomic(h, specs_).dynamic_atomic) ++violations;
+  }
+  EXPECT_GT(violations, 0)
+      << "DU+NRBC should eventually admit a non-atomic schedule";
+}
+
+}  // namespace
+}  // namespace ccr

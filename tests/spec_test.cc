@@ -1,0 +1,184 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for the spec-automaton framework: the bank-account M(BA) from
+// Section 3.2 (including the paper's legal and illegal example sequences),
+// state sets / subset construction for the nondeterministic semiqueue, and
+// the equieffectiveness machinery of Section 6.1.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "adt/semiqueue.h"
+#include "core/equieffective.h"
+#include "core/spec.h"
+
+namespace ccr {
+namespace {
+
+class BankSpecTest : public ::testing::Test {
+ protected:
+  BankSpecTest() : ba_(MakeBankAccount()) {}
+  std::shared_ptr<BankAccount> ba_;
+};
+
+// The paper's legal example sequence:
+//   deposit(5) ok, withdraw(3) ok, balance 2, withdraw(3) no.
+TEST_F(BankSpecTest, PaperLegalSequence) {
+  OpSeq seq = {ba_->Deposit(5), ba_->WithdrawOk(3), ba_->Balance(2),
+               ba_->WithdrawNo(3)};
+  EXPECT_TRUE(Legal(ba_->spec(), seq));
+}
+
+// The paper's illegal example: the final withdraw(3) cannot return ok with
+// balance 2.
+TEST_F(BankSpecTest, PaperIllegalSequence) {
+  OpSeq seq = {ba_->Deposit(5), ba_->WithdrawOk(3), ba_->Balance(2),
+               ba_->WithdrawOk(3)};
+  EXPECT_FALSE(Legal(ba_->spec(), seq));
+}
+
+TEST_F(BankSpecTest, PrefixClosure) {
+  OpSeq seq = {ba_->Deposit(5), ba_->WithdrawOk(3), ba_->Balance(2)};
+  for (size_t len = 0; len <= seq.size(); ++len) {
+    OpSeq prefix(seq.begin(), seq.begin() + len);
+    EXPECT_TRUE(Legal(ba_->spec(), prefix)) << "prefix of length " << len;
+  }
+}
+
+TEST_F(BankSpecTest, WithdrawIsTotalWithTwoResults) {
+  auto init = ba_->spec().InitialState();
+  // At balance 0, withdraw(1) has exactly one outcome: "no".
+  auto outcomes = ba_->spec().Outcomes(*init, ba_->WithdrawInv(1));
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].result, Value("no"));
+}
+
+TEST_F(BankSpecTest, NonPositiveAmountsDisabled) {
+  auto init = ba_->spec().InitialState();
+  EXPECT_TRUE(ba_->spec().Outcomes(*init, ba_->DepositInv(0)).empty());
+  EXPECT_TRUE(ba_->spec().Outcomes(*init, ba_->WithdrawInv(-2)).empty());
+}
+
+TEST_F(BankSpecTest, RunSpecTracksBalance) {
+  StateSet s = RunSpec(ba_->spec(), {ba_->Deposit(5), ba_->WithdrawOk(3)});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.at(0).ToString(), "2");
+}
+
+TEST_F(BankSpecTest, EnabledResultsFilterByState) {
+  StateSet s = RunSpec(ba_->spec(), {ba_->Deposit(5)});
+  std::vector<Value> results =
+      s.EnabledResults(ba_->spec(), ba_->BalanceInv());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], Value(int64_t{5}));
+}
+
+class SemiqueueSpecTest : public ::testing::Test {
+ protected:
+  SemiqueueSpecTest() : sq_(MakeSemiqueue()) {}
+  std::shared_ptr<Semiqueue> sq_;
+};
+
+TEST_F(SemiqueueSpecTest, DequeueIsNondeterministic) {
+  StateSet s = RunSpec(sq_->spec(), {sq_->Enq(1), sq_->Enq(2)});
+  std::vector<Value> results = s.EnabledResults(sq_->spec(), sq_->DeqInv());
+  EXPECT_EQ(results.size(), 2u);  // may return 1 or 2
+}
+
+TEST_F(SemiqueueSpecTest, EitherDequeueOrderLegal) {
+  OpSeq base = {sq_->Enq(1), sq_->Enq(2)};
+  OpSeq order_a = base;
+  order_a.push_back(sq_->Deq(1));
+  order_a.push_back(sq_->Deq(2));
+  OpSeq order_b = base;
+  order_b.push_back(sq_->Deq(2));
+  order_b.push_back(sq_->Deq(1));
+  EXPECT_TRUE(Legal(sq_->spec(), order_a));
+  EXPECT_TRUE(Legal(sq_->spec(), order_b));
+}
+
+TEST_F(SemiqueueSpecTest, CannotDequeueMissingItem) {
+  OpSeq seq = {sq_->Enq(1), sq_->Deq(2)};
+  EXPECT_FALSE(Legal(sq_->spec(), seq));
+}
+
+TEST_F(SemiqueueSpecTest, DequeueOnEmptyDisabled) {
+  EXPECT_FALSE(Legal(sq_->spec(), {sq_->Deq(1)}));
+}
+
+class EquieffectiveTest : public ::testing::Test {
+ protected:
+  EquieffectiveTest() : ba_(MakeBankAccount()) {
+    universe_ = ba_->Universe();
+  }
+  std::shared_ptr<BankAccount> ba_;
+  std::vector<Operation> universe_;
+  ProbeOptions probe_;
+};
+
+// deposit(1)·deposit(2) and deposit(2)·deposit(1) are equieffective.
+TEST_F(EquieffectiveTest, DepositOrderIrrelevant) {
+  EXPECT_TRUE(SeqEquieffective(ba_->spec(),
+                               {ba_->Deposit(1), ba_->Deposit(2)},
+                               {ba_->Deposit(2), ba_->Deposit(1)}, universe_,
+                               probe_));
+}
+
+// deposit(1) and deposit(2) lead to distinguishable states.
+TEST_F(EquieffectiveTest, DifferentBalancesDistinguished) {
+  EXPECT_FALSE(SeqEquieffective(ba_->spec(), {ba_->Deposit(1)},
+                                {ba_->Deposit(2)}, universe_, probe_));
+}
+
+// "Looks like" is one-directional: an illegal sequence looks like anything
+// (it has no futures), but a legal sequence does not look like an illegal
+// one.
+TEST_F(EquieffectiveTest, LooksLikeHandlesIllegalSides) {
+  OpSeq illegal = {ba_->WithdrawOk(1)};  // overdraft at balance 0
+  OpSeq legal = {ba_->Deposit(1)};
+  EXPECT_TRUE(SeqLooksLike(ba_->spec(), illegal, legal, universe_, probe_));
+  EXPECT_FALSE(SeqLooksLike(ba_->spec(), legal, illegal, universe_, probe_));
+}
+
+// The Section 6.3 example: deposit(i)·withdraw(j) looks like
+// withdraw(j)·deposit(i) — pushing the deposit backward is always safe —
+// but not conversely, because the withdraw-first order requires a larger
+// starting balance.
+TEST_F(EquieffectiveTest, Section63Asymmetry) {
+  OpSeq start = {ba_->Deposit(1)};  // balance 1
+  OpSeq wd_then_dep = start;
+  wd_then_dep.push_back(ba_->WithdrawOk(2));  // illegal at balance 1
+  wd_then_dep.push_back(ba_->Deposit(2));
+  OpSeq dep_then_wd = start;
+  dep_then_wd.push_back(ba_->Deposit(2));
+  dep_then_wd.push_back(ba_->WithdrawOk(2));  // legal at balance 3
+  // The withdraw-first composition is illegal, hence trivially looks like
+  // the other; the deposit-first one is legal with no legal counterpart.
+  EXPECT_TRUE(SeqLooksLike(ba_->spec(), wd_then_dep, dep_then_wd, universe_,
+                           probe_));
+  EXPECT_FALSE(SeqLooksLike(ba_->spec(), dep_then_wd, wd_then_dep, universe_,
+                            probe_));
+}
+
+TEST_F(EquieffectiveTest, FindDistinguishingFutureReturnsWitness) {
+  StateSet a = RunSpec(ba_->spec(), {ba_->Deposit(2)});
+  StateSet b = RunSpec(ba_->spec(), {ba_->Deposit(1)});
+  auto rho = FindDistinguishingFuture(ba_->spec(), a, b, universe_, probe_);
+  ASSERT_TRUE(rho.has_value());
+  // The witness is legal after a and illegal after b.
+  EXPECT_FALSE(a.StepSeq(ba_->spec(), *rho).empty());
+  EXPECT_TRUE(b.StepSeq(ba_->spec(), *rho).empty());
+}
+
+TEST_F(EquieffectiveTest, StateSetDedupes) {
+  StateSet s = RunSpec(ba_->spec(), {});
+  EXPECT_EQ(s.size(), 1u);
+  StateSet t = s;
+  EXPECT_TRUE(t.Equals(s));
+  EXPECT_EQ(t.Hash(), s.Hash());
+  EXPECT_FALSE(t.Insert(ba_->spec().InitialState()));  // already present
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccr

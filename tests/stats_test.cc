@@ -1,0 +1,58 @@
+// Copyright 2026 The ccr Authors.
+//
+// Unit tests for the workload statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace ccr {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.Percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(r.Mean(), 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder r;
+  r.Record(42);
+  EXPECT_EQ(r.Percentile(0), 42u);
+  EXPECT_EQ(r.Percentile(50), 42u);
+  EXPECT_EQ(r.Percentile(100), 42u);
+  EXPECT_DOUBLE_EQ(r.Mean(), 42.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesOrdered) {
+  LatencyRecorder r;
+  for (uint64_t v = 1; v <= 100; ++v) r.Record(101 - v);  // unsorted input
+  EXPECT_EQ(r.Percentile(0), 1u);
+  EXPECT_EQ(r.Percentile(100), 100u);
+  EXPECT_LE(r.Percentile(50), r.Percentile(99));
+  EXPECT_NEAR(static_cast<double>(r.Percentile(50)), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(r.Percentile(99)), 99.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.Mean(), 50.5);
+}
+
+TEST(LatencyRecorderTest, MergeCombines) {
+  LatencyRecorder a, b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Percentile(100), 100u);
+}
+
+TEST(LatencyRecorderTest, RecordAfterPercentileStaysCorrect) {
+  LatencyRecorder r;
+  r.Record(10);
+  EXPECT_EQ(r.Percentile(50), 10u);
+  r.Record(1);  // invalidates the sorted cache
+  EXPECT_EQ(r.Percentile(0), 1u);
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,203 @@
+// Copyright 2026 The ccr Authors.
+//
+// Executable forms of the paper's two main theorems, swept over the whole
+// ADT registry.
+//
+// Theorem 9: I(X, Spec, UIP, Conflict) is correct iff NRBC(Spec) ⊆ Conflict.
+// Theorem 10: I(X, Spec, DU, Conflict) is correct iff NFC(Spec) ⊆ Conflict.
+//
+// If directions: every history produced by random scheduling through the
+// reference object with a sufficient conflict relation is (online) dynamic
+// atomic.
+//
+// Only-if directions: for every commutativity-violating pair (p, q), the
+// constructive history from the proof is (a) permitted by the reference
+// object once (p, q) is removed from the conflict relation, and (b) not
+// dynamic atomic.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "adt/registry.h"
+#include "core/atomicity.h"
+#include "core/counterexample.h"
+#include "core/ideal_object.h"
+#include "sim/generator.h"
+
+namespace ccr {
+namespace {
+
+class TheoremTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  TheoremTest() : adt_(AllAdts()[GetParam()]) {}
+
+  // The ADT's operations carry its default object name.
+  ObjectId ObjectName() const { return adt_->Universe().front().object(); }
+
+  SpecMap MakeSpecs() const {
+    SpecMap specs;
+    specs[ObjectName()] =
+        std::shared_ptr<const SpecAutomaton>(adt_, &adt_->spec());
+    return specs;
+  }
+
+  IdealObject MakeObject(std::shared_ptr<const View> view,
+                         std::shared_ptr<const ConflictRelation> conflict) {
+    return IdealObject(ObjectName(),
+                       std::shared_ptr<const SpecAutomaton>(adt_,
+                                                            &adt_->spec()),
+                       std::move(view), std::move(conflict));
+  }
+
+  std::shared_ptr<Adt> adt_;
+};
+
+constexpr int kSchedules = 40;
+
+void ExpectSchedulesDynamicAtomic(
+    const std::function<IdealObject()>& make_object, const Adt& adt,
+    const SpecMap& specs) {
+  const std::vector<Invocation> pool = UniverseInvocations(adt);
+  for (int round = 0; round < kSchedules; ++round) {
+    Random rng(round * 7919 + 3);
+    IdealObject obj = make_object();
+    History h = GenerateSchedule(&obj, pool, &rng);
+    DynamicAtomicityResult r = CheckOnlineDynamicAtomic(h, specs);
+    ASSERT_TRUE(r.dynamic_atomic)
+        << adt.name() << " round " << round << ": history not dynamic atomic"
+        << (r.exhausted ? " (search exhausted)" : "") << "\n"
+        << h.ToString();
+  }
+}
+
+// Theorem 9, if direction, minimal relation: UIP with exactly NRBC.
+TEST_P(TheoremTest, Theorem9IfWithNrbc) {
+  ExpectSchedulesDynamicAtomic(
+      [&] { return MakeObject(MakeUipView(), MakeNrbcConflict(adt_)); },
+      *adt_, MakeSpecs());
+}
+
+// Theorem 9, if direction, larger relations also work: symmetric closure
+// and classical read/write locking (both contain NRBC).
+TEST_P(TheoremTest, Theorem9IfWithSymmetricNrbc) {
+  ExpectSchedulesDynamicAtomic(
+      [&] {
+        return MakeObject(MakeUipView(), MakeSymmetricNrbcConflict(adt_));
+      },
+      *adt_, MakeSpecs());
+}
+
+TEST_P(TheoremTest, Theorem9IfWithReadWrite) {
+  ExpectSchedulesDynamicAtomic(
+      [&] { return MakeObject(MakeUipView(), MakeReadWriteConflict(adt_)); },
+      *adt_, MakeSpecs());
+}
+
+// Theorem 10, if direction: DU with exactly NFC, and with read/write.
+TEST_P(TheoremTest, Theorem10IfWithNfc) {
+  ExpectSchedulesDynamicAtomic(
+      [&] { return MakeObject(MakeDuView(), MakeNfcConflict(adt_)); }, *adt_,
+      MakeSpecs());
+}
+
+TEST_P(TheoremTest, Theorem10IfWithReadWrite) {
+  ExpectSchedulesDynamicAtomic(
+      [&] { return MakeObject(MakeDuView(), MakeReadWriteConflict(adt_)); },
+      *adt_, MakeSpecs());
+}
+
+// Prerequisite for the read/write variants above: the classical relation
+// really does contain NRBC and NFC for every ADT.
+TEST_P(TheoremTest, ReadWriteContainsBothMinimalRelations) {
+  auto rw = MakeReadWriteConflict(adt_);
+  for (const Operation& p : adt_->Universe()) {
+    for (const Operation& q : adt_->Universe()) {
+      if (!adt_->RightCommutesBackward(p, q)) {
+        EXPECT_TRUE(rw->Conflicts(p, q))
+            << adt_->name() << ": NRBC pair missing from RW: ("
+            << p.ToString() << ", " << q.ToString() << ")";
+      }
+      if (!adt_->CommuteForward(p, q)) {
+        EXPECT_TRUE(rw->Conflicts(p, q))
+            << adt_->name() << ": NFC pair missing from RW: ("
+            << p.ToString() << ", " << q.ToString() << ")";
+      }
+    }
+  }
+}
+
+// Theorem 9, only-if direction: for every (p, q) ∈ NRBC, the proof's
+// history is permitted by I(X, Spec, UIP, NRBC \ {(p,q)}) and is not
+// dynamic atomic.
+TEST_P(TheoremTest, Theorem9OnlyIf) {
+  CommutativityAnalyzer analyzer(&adt_->spec(), adt_->Universe(),
+                                 AnalysisOptionsFor(*adt_));
+  const SpecMap specs = MakeSpecs();
+  int violations = 0;
+  for (const Operation& p : adt_->Universe()) {
+    for (const Operation& q : adt_->Universe()) {
+      auto witness = analyzer.FindRbcViolation(p, q);
+      if (!witness.has_value()) continue;
+      ++violations;
+      StatusOr<History> h =
+          BuildTheorem9History(ObjectName(), p, q, *witness);
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+      // Permitted by the deficient object.
+      IdealObject obj = MakeObject(
+          MakeUipView(), MakeExceptPair(MakeNrbcConflict(adt_), p, q));
+      ASSERT_TRUE(ReplayHistory(&obj, *h).ok())
+          << adt_->name() << ": (" << p.ToString() << ", " << q.ToString()
+          << ")\n" << h->ToString();
+      // ...yet not dynamic atomic.
+      DynamicAtomicityResult r = CheckDynamicAtomic(*h, specs);
+      EXPECT_FALSE(r.dynamic_atomic)
+          << adt_->name() << ": (" << p.ToString() << ", " << q.ToString()
+          << ")\n" << h->ToString();
+    }
+  }
+  EXPECT_GT(violations, 0) << adt_->name();
+}
+
+// Theorem 10, only-if direction: for every (p, q) ∈ NFC, the proof's
+// history is permitted by I(X, Spec, DU, NFC \ {pair}) and is not dynamic
+// atomic. The pair must be removed symmetrically: the proof's history
+// executes the two operations concurrently in both roles.
+TEST_P(TheoremTest, Theorem10OnlyIf) {
+  CommutativityAnalyzer analyzer(&adt_->spec(), adt_->Universe(),
+                                 AnalysisOptionsFor(*adt_));
+  const SpecMap specs = MakeSpecs();
+  int violations = 0;
+  for (const Operation& p : adt_->Universe()) {
+    for (const Operation& q : adt_->Universe()) {
+      auto witness = analyzer.FindFcViolation(p, q);
+      if (!witness.has_value()) continue;
+      ++violations;
+      StatusOr<History> h =
+          BuildTheorem10History(ObjectName(), p, q, *witness);
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+      auto deficient = MakeExceptPair(
+          MakeExceptPair(MakeNfcConflict(adt_), p, q), q, p);
+      IdealObject obj = MakeObject(MakeDuView(), deficient);
+      ASSERT_TRUE(ReplayHistory(&obj, *h).ok())
+          << adt_->name() << ": (" << p.ToString() << ", " << q.ToString()
+          << ")\n" << h->ToString();
+      DynamicAtomicityResult r = CheckDynamicAtomic(*h, specs);
+      EXPECT_FALSE(r.dynamic_atomic)
+          << adt_->name() << ": (" << p.ToString() << ", " << q.ToString()
+          << ")\n" << h->ToString();
+    }
+  }
+  EXPECT_GT(violations, 0) << adt_->name();
+}
+
+std::string AdtTestName(const ::testing::TestParamInfo<size_t>& info) {
+  return AllAdts()[info.param]->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdts, TheoremTest,
+                         ::testing::Range<size_t>(0, AllAdts().size()),
+                         AdtTestName);
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,112 @@
+// Copyright 2026 The ccr Authors.
+//
+// Unit tests for the value / invocation / operation layer: variant
+// semantics, equality, hashing, and the paper-notation renderings the rest
+// of the system depends on.
+
+#include <gtest/gtest.h>
+
+#include "core/operation.h"
+#include "core/value.h"
+
+namespace ccr {
+namespace {
+
+TEST(ValueTest, UnitByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_unit());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.ToString(), "()");
+  EXPECT_EQ(v, Value::MakeUnit());
+}
+
+TEST(ValueTest, IntSemantics) {
+  Value v(int64_t{-7});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), -7);
+  EXPECT_EQ(v.ToString(), "-7");
+  EXPECT_NE(v, Value(int64_t{7}));
+}
+
+TEST(ValueTest, BoolSemantics) {
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_NE(Value(true), Value(false));
+}
+
+TEST(ValueTest, StringSemantics) {
+  Value v("ok");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "ok");
+  EXPECT_EQ(v, Value(std::string("ok")));
+}
+
+TEST(ValueTest, CrossTypeInequality) {
+  // An int 1, a bool true, and the string "1" are all distinct.
+  EXPECT_NE(Value(int64_t{1}), Value(true));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_NE(Value(true), Value("true"));
+}
+
+TEST(ValueTest, HashDiscriminatesTypes) {
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value(false).Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, HashValuesOrderSensitive) {
+  std::vector<Value> ab = {Value(int64_t{1}), Value(int64_t{2})};
+  std::vector<Value> ba = {Value(int64_t{2}), Value(int64_t{1})};
+  EXPECT_NE(HashValues(ab), HashValues(ba));
+}
+
+TEST(InvocationTest, EqualityAndHash) {
+  Invocation a("X", 0, "put", {Value("k"), Value(int64_t{1})});
+  Invocation b("X", 0, "put", {Value("k"), Value(int64_t{1})});
+  Invocation c("X", 0, "put", {Value("k"), Value(int64_t{2})});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  Invocation other_object("Y", 0, "put", {Value("k"), Value(int64_t{1})});
+  EXPECT_NE(a, other_object);
+}
+
+TEST(InvocationTest, ToStringFormats) {
+  EXPECT_EQ(Invocation("X", 1, "balance", {}).ToString(), "balance");
+  EXPECT_EQ(
+      Invocation("X", 2, "withdraw", {Value(int64_t{3})}).ToString(),
+      "withdraw(3)");
+  EXPECT_EQ(Invocation("X", 3, "put",
+                       {Value("k"), Value(int64_t{2})})
+                .ToString(),
+            "put(k,2)");
+}
+
+TEST(InvocationTest, ArgBoundsChecked) {
+  Invocation inv("X", 0, "op", {Value(int64_t{1})});
+  EXPECT_EQ(inv.arg(0).AsInt(), 1);
+  EXPECT_DEATH(inv.arg(1), "out of range");
+}
+
+TEST(OperationTest, PaperNotation) {
+  Operation op(Invocation("BA", 0, "withdraw", {Value(int64_t{3})}),
+               Value("ok"));
+  EXPECT_EQ(op.ToString(), "BA:[withdraw(3),ok]");
+}
+
+TEST(OperationTest, EqualityIncludesResult) {
+  Invocation inv("BA", 0, "withdraw", {Value(int64_t{3})});
+  Operation ok(inv, Value("ok"));
+  Operation no(inv, Value("no"));
+  EXPECT_NE(ok, no);
+  EXPECT_NE(ok.Hash(), no.Hash());
+  EXPECT_EQ(ok, Operation(inv, Value("ok")));
+}
+
+TEST(OperationTest, OpSeqToStringUsesLambdaForEmpty) {
+  EXPECT_EQ(OpSeqToString({}), "Λ");
+  Operation op(Invocation("X", 0, "a", {}), Value("ok"));
+  EXPECT_EQ(OpSeqToString({op, op}), "X:[a,ok] . X:[a,ok]");
+}
+
+}  // namespace
+}  // namespace ccr

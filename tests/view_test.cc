@@ -1,0 +1,102 @@
+// Copyright 2026 The ccr Authors.
+//
+// Tests for the UIP and DU View functions, including the paper's Section 5
+// example showing where they differ.
+
+#include <gtest/gtest.h>
+
+#include "adt/bank_account.h"
+#include "core/script.h"
+#include "core/view.h"
+
+namespace ccr {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  ViewTest() : ba_(MakeBankAccount()) {}
+  std::shared_ptr<BankAccount> ba_;
+  UipView uip_;
+  DuView du_;
+};
+
+// The paper's Section 5 example:
+//   A deposits 5 and commits; B withdraws 3 (active).
+// UIP(H, B) = UIP(H, C) = deposit(5)·withdraw(3); DU(H, B) is the same
+// (B's own op follows the committed prefix), but DU(H, C) contains only the
+// committed deposit.
+TEST_F(ViewTest, PaperSection5Example) {
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5)).Commit(1, "BA");
+  script.Exec(2, ba_->WithdrawOk(3));
+  History h = script.Build().value();
+
+  const OpSeq both = {ba_->Deposit(5), ba_->WithdrawOk(3)};
+  const OpSeq committed_only = {ba_->Deposit(5)};
+
+  EXPECT_EQ(uip_.Compute(h, 2), both);
+  EXPECT_EQ(uip_.Compute(h, 3), both);  // UIP ignores the transaction
+  EXPECT_EQ(du_.Compute(h, 2), both);
+  EXPECT_EQ(du_.Compute(h, 3), committed_only);
+}
+
+// UIP excludes aborted transactions' operations.
+TEST_F(ViewTest, UipDropsAbortedOperations) {
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5)).Commit(1, "BA");
+  script.Exec(2, ba_->WithdrawOk(3)).Abort(2, "BA");
+  script.Exec(3, ba_->Deposit(1));
+  History h = script.Build().value();
+  EXPECT_EQ(uip_.Compute(h, 3), (OpSeq{ba_->Deposit(5), ba_->Deposit(1)}));
+}
+
+// UIP includes *active* transactions' operations in response order — the
+// defining difference from DU.
+TEST_F(ViewTest, UipSeesActiveOperations) {
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5));  // A still active
+  script.Exec(2, ba_->Deposit(2));  // B still active
+  History h = script.Build().value();
+  EXPECT_EQ(uip_.Compute(h, 2), (OpSeq{ba_->Deposit(5), ba_->Deposit(2)}));
+  EXPECT_EQ(du_.Compute(h, 2), (OpSeq{ba_->Deposit(2)}));
+}
+
+// DU orders committed transactions by commit order, not execution order.
+TEST_F(ViewTest, DuUsesCommitOrder) {
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5));
+  script.Exec(2, ba_->Deposit(2));
+  // B commits before A even though A executed first.
+  script.Commit(2, "BA").Commit(1, "BA");
+  script.Exec(3, ba_->Balance(7));
+  History h = script.Build().value();
+  EXPECT_EQ(du_.Compute(h, 3),
+            (OpSeq{ba_->Deposit(2), ba_->Deposit(5), ba_->Balance(7)}));
+  // UIP keeps execution (response) order.
+  EXPECT_EQ(uip_.Compute(h, 3),
+            (OpSeq{ba_->Deposit(5), ba_->Deposit(2), ba_->Balance(7)}));
+}
+
+// A transaction that has executed nothing sees only the committed state
+// under DU.
+TEST_F(ViewTest, DuForFreshTransaction) {
+  HistoryScript script;
+  script.Exec(1, ba_->Deposit(5)).Commit(1, "BA");
+  script.Exec(2, ba_->Deposit(1));  // active
+  History h = script.Build().value();
+  EXPECT_EQ(du_.Compute(h, 9), (OpSeq{ba_->Deposit(5)}));
+}
+
+TEST_F(ViewTest, EmptyHistoryYieldsEmptyViews) {
+  History h;
+  EXPECT_TRUE(uip_.Compute(h, 1).empty());
+  EXPECT_TRUE(du_.Compute(h, 1).empty());
+}
+
+TEST_F(ViewTest, Names) {
+  EXPECT_EQ(uip_.name(), "UIP");
+  EXPECT_EQ(du_.name(), "DU");
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adt_tables"
+  "../bench/bench_adt_tables.pdb"
+  "CMakeFiles/bench_adt_tables.dir/bench_adt_tables.cc.o"
+  "CMakeFiles/bench_adt_tables.dir/bench_adt_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adt_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

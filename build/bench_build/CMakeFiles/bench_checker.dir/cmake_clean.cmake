@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_checker"
+  "../bench/bench_checker.pdb"
+  "CMakeFiles/bench_checker.dir/bench_checker.cc.o"
+  "CMakeFiles/bench_checker.dir/bench_checker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hotspot"
+  "../bench/bench_hotspot.pdb"
+  "CMakeFiles/bench_hotspot.dir/bench_hotspot.cc.o"
+  "CMakeFiles/bench_hotspot.dir/bench_hotspot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

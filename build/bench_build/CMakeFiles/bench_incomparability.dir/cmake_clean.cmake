@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incomparability"
+  "../bench/bench_incomparability.pdb"
+  "CMakeFiles/bench_incomparability.dir/bench_incomparability.cc.o"
+  "CMakeFiles/bench_incomparability.dir/bench_incomparability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incomparability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

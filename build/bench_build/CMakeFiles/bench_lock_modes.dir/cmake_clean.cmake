@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lock_modes"
+  "../bench/bench_lock_modes.pdb"
+  "CMakeFiles/bench_lock_modes.dir/bench_lock_modes.cc.o"
+  "CMakeFiles/bench_lock_modes.dir/bench_lock_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

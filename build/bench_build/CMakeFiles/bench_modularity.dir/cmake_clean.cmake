@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_modularity"
+  "../bench/bench_modularity.pdb"
+  "CMakeFiles/bench_modularity.dir/bench_modularity.cc.o"
+  "CMakeFiles/bench_modularity.dir/bench_modularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_occ"
+  "../bench/bench_occ.pdb"
+  "CMakeFiles/bench_occ.dir/bench_occ.cc.o"
+  "CMakeFiles/bench_occ.dir/bench_occ.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_occ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem10"
+  "../bench/bench_theorem10.pdb"
+  "CMakeFiles/bench_theorem10.dir/bench_theorem10.cc.o"
+  "CMakeFiles/bench_theorem10.dir/bench_theorem10.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem9"
+  "../bench/bench_theorem9.pdb"
+  "CMakeFiles/bench_theorem9.dir/bench_theorem9.cc.o"
+  "CMakeFiles/bench_theorem9.dir/bench_theorem9.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

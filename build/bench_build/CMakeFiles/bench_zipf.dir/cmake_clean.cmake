@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_zipf"
+  "../bench/bench_zipf.pdb"
+  "CMakeFiles/bench_zipf.dir/bench_zipf.cc.o"
+  "CMakeFiles/bench_zipf.dir/bench_zipf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

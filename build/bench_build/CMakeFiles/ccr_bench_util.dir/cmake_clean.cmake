@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ccr_bench_util.dir/bench_util.cc.o.d"
+  "libccr_bench_util.a"
+  "libccr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccr_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_audit.dir/history_audit.cpp.o"
+  "CMakeFiles/history_audit.dir/history_audit.cpp.o.d"
+  "history_audit"
+  "history_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

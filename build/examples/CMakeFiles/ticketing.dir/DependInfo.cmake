@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ticketing.cpp" "examples/CMakeFiles/ticketing.dir/ticketing.cpp.o" "gcc" "examples/CMakeFiles/ticketing.dir/ticketing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/ccr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/ccr_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

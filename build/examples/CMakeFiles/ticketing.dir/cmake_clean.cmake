@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticketing.dir/ticketing.cpp.o"
+  "CMakeFiles/ticketing.dir/ticketing.cpp.o.d"
+  "ticketing"
+  "ticketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

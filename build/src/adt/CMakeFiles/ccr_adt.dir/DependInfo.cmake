@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adt/bank_account.cc" "src/adt/CMakeFiles/ccr_adt.dir/bank_account.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/bank_account.cc.o.d"
+  "/root/repo/src/adt/bounded_counter.cc" "src/adt/CMakeFiles/ccr_adt.dir/bounded_counter.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/bounded_counter.cc.o.d"
+  "/root/repo/src/adt/counter.cc" "src/adt/CMakeFiles/ccr_adt.dir/counter.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/counter.cc.o.d"
+  "/root/repo/src/adt/fifo_queue.cc" "src/adt/CMakeFiles/ccr_adt.dir/fifo_queue.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/fifo_queue.cc.o.d"
+  "/root/repo/src/adt/int_set.cc" "src/adt/CMakeFiles/ccr_adt.dir/int_set.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/int_set.cc.o.d"
+  "/root/repo/src/adt/kv_store.cc" "src/adt/CMakeFiles/ccr_adt.dir/kv_store.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/kv_store.cc.o.d"
+  "/root/repo/src/adt/register.cc" "src/adt/CMakeFiles/ccr_adt.dir/register.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/register.cc.o.d"
+  "/root/repo/src/adt/registry.cc" "src/adt/CMakeFiles/ccr_adt.dir/registry.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/registry.cc.o.d"
+  "/root/repo/src/adt/semiqueue.cc" "src/adt/CMakeFiles/ccr_adt.dir/semiqueue.cc.o" "gcc" "src/adt/CMakeFiles/ccr_adt.dir/semiqueue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

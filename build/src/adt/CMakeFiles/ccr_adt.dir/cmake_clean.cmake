@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_adt.dir/bank_account.cc.o"
+  "CMakeFiles/ccr_adt.dir/bank_account.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/bounded_counter.cc.o"
+  "CMakeFiles/ccr_adt.dir/bounded_counter.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/counter.cc.o"
+  "CMakeFiles/ccr_adt.dir/counter.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/fifo_queue.cc.o"
+  "CMakeFiles/ccr_adt.dir/fifo_queue.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/int_set.cc.o"
+  "CMakeFiles/ccr_adt.dir/int_set.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/kv_store.cc.o"
+  "CMakeFiles/ccr_adt.dir/kv_store.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/register.cc.o"
+  "CMakeFiles/ccr_adt.dir/register.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/registry.cc.o"
+  "CMakeFiles/ccr_adt.dir/registry.cc.o.d"
+  "CMakeFiles/ccr_adt.dir/semiqueue.cc.o"
+  "CMakeFiles/ccr_adt.dir/semiqueue.cc.o.d"
+  "libccr_adt.a"
+  "libccr_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_common.dir/random.cc.o"
+  "CMakeFiles/ccr_common.dir/random.cc.o.d"
+  "CMakeFiles/ccr_common.dir/status.cc.o"
+  "CMakeFiles/ccr_common.dir/status.cc.o.d"
+  "CMakeFiles/ccr_common.dir/string_util.cc.o"
+  "CMakeFiles/ccr_common.dir/string_util.cc.o.d"
+  "libccr_common.a"
+  "libccr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atomicity.cc" "src/core/CMakeFiles/ccr_core.dir/atomicity.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/atomicity.cc.o.d"
+  "/root/repo/src/core/commutativity.cc" "src/core/CMakeFiles/ccr_core.dir/commutativity.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/commutativity.cc.o.d"
+  "/root/repo/src/core/conflict_relation.cc" "src/core/CMakeFiles/ccr_core.dir/conflict_relation.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/conflict_relation.cc.o.d"
+  "/root/repo/src/core/counterexample.cc" "src/core/CMakeFiles/ccr_core.dir/counterexample.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/counterexample.cc.o.d"
+  "/root/repo/src/core/equieffective.cc" "src/core/CMakeFiles/ccr_core.dir/equieffective.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/equieffective.cc.o.d"
+  "/root/repo/src/core/event.cc" "src/core/CMakeFiles/ccr_core.dir/event.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/event.cc.o.d"
+  "/root/repo/src/core/history.cc" "src/core/CMakeFiles/ccr_core.dir/history.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/history.cc.o.d"
+  "/root/repo/src/core/history_io.cc" "src/core/CMakeFiles/ccr_core.dir/history_io.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/history_io.cc.o.d"
+  "/root/repo/src/core/ideal_object.cc" "src/core/CMakeFiles/ccr_core.dir/ideal_object.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/ideal_object.cc.o.d"
+  "/root/repo/src/core/lock_modes.cc" "src/core/CMakeFiles/ccr_core.dir/lock_modes.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/lock_modes.cc.o.d"
+  "/root/repo/src/core/operation.cc" "src/core/CMakeFiles/ccr_core.dir/operation.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/operation.cc.o.d"
+  "/root/repo/src/core/script.cc" "src/core/CMakeFiles/ccr_core.dir/script.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/script.cc.o.d"
+  "/root/repo/src/core/spec.cc" "src/core/CMakeFiles/ccr_core.dir/spec.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/spec.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/core/CMakeFiles/ccr_core.dir/value.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/value.cc.o.d"
+  "/root/repo/src/core/view.cc" "src/core/CMakeFiles/ccr_core.dir/view.cc.o" "gcc" "src/core/CMakeFiles/ccr_core.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_core.dir/atomicity.cc.o"
+  "CMakeFiles/ccr_core.dir/atomicity.cc.o.d"
+  "CMakeFiles/ccr_core.dir/commutativity.cc.o"
+  "CMakeFiles/ccr_core.dir/commutativity.cc.o.d"
+  "CMakeFiles/ccr_core.dir/conflict_relation.cc.o"
+  "CMakeFiles/ccr_core.dir/conflict_relation.cc.o.d"
+  "CMakeFiles/ccr_core.dir/counterexample.cc.o"
+  "CMakeFiles/ccr_core.dir/counterexample.cc.o.d"
+  "CMakeFiles/ccr_core.dir/equieffective.cc.o"
+  "CMakeFiles/ccr_core.dir/equieffective.cc.o.d"
+  "CMakeFiles/ccr_core.dir/event.cc.o"
+  "CMakeFiles/ccr_core.dir/event.cc.o.d"
+  "CMakeFiles/ccr_core.dir/history.cc.o"
+  "CMakeFiles/ccr_core.dir/history.cc.o.d"
+  "CMakeFiles/ccr_core.dir/history_io.cc.o"
+  "CMakeFiles/ccr_core.dir/history_io.cc.o.d"
+  "CMakeFiles/ccr_core.dir/ideal_object.cc.o"
+  "CMakeFiles/ccr_core.dir/ideal_object.cc.o.d"
+  "CMakeFiles/ccr_core.dir/lock_modes.cc.o"
+  "CMakeFiles/ccr_core.dir/lock_modes.cc.o.d"
+  "CMakeFiles/ccr_core.dir/operation.cc.o"
+  "CMakeFiles/ccr_core.dir/operation.cc.o.d"
+  "CMakeFiles/ccr_core.dir/script.cc.o"
+  "CMakeFiles/ccr_core.dir/script.cc.o.d"
+  "CMakeFiles/ccr_core.dir/spec.cc.o"
+  "CMakeFiles/ccr_core.dir/spec.cc.o.d"
+  "CMakeFiles/ccr_core.dir/value.cc.o"
+  "CMakeFiles/ccr_core.dir/value.cc.o.d"
+  "CMakeFiles/ccr_core.dir/view.cc.o"
+  "CMakeFiles/ccr_core.dir/view.cc.o.d"
+  "libccr_core.a"
+  "libccr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

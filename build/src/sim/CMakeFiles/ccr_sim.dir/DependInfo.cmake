@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/driver.cc" "src/sim/CMakeFiles/ccr_sim.dir/driver.cc.o" "gcc" "src/sim/CMakeFiles/ccr_sim.dir/driver.cc.o.d"
+  "/root/repo/src/sim/generator.cc" "src/sim/CMakeFiles/ccr_sim.dir/generator.cc.o" "gcc" "src/sim/CMakeFiles/ccr_sim.dir/generator.cc.o.d"
+  "/root/repo/src/sim/multi_generator.cc" "src/sim/CMakeFiles/ccr_sim.dir/multi_generator.cc.o" "gcc" "src/sim/CMakeFiles/ccr_sim.dir/multi_generator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/ccr_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/ccr_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/ccr_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/ccr_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/ccr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

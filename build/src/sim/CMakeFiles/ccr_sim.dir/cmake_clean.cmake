@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_sim.dir/driver.cc.o"
+  "CMakeFiles/ccr_sim.dir/driver.cc.o.d"
+  "CMakeFiles/ccr_sim.dir/generator.cc.o"
+  "CMakeFiles/ccr_sim.dir/generator.cc.o.d"
+  "CMakeFiles/ccr_sim.dir/multi_generator.cc.o"
+  "CMakeFiles/ccr_sim.dir/multi_generator.cc.o.d"
+  "CMakeFiles/ccr_sim.dir/stats.cc.o"
+  "CMakeFiles/ccr_sim.dir/stats.cc.o.d"
+  "CMakeFiles/ccr_sim.dir/workload.cc.o"
+  "CMakeFiles/ccr_sim.dir/workload.cc.o.d"
+  "libccr_sim.a"
+  "libccr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

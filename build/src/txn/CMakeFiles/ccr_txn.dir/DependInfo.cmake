@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/atomic_object.cc" "src/txn/CMakeFiles/ccr_txn.dir/atomic_object.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/atomic_object.cc.o.d"
+  "/root/repo/src/txn/deadlock.cc" "src/txn/CMakeFiles/ccr_txn.dir/deadlock.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/deadlock.cc.o.d"
+  "/root/repo/src/txn/du_recovery.cc" "src/txn/CMakeFiles/ccr_txn.dir/du_recovery.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/du_recovery.cc.o.d"
+  "/root/repo/src/txn/history_recorder.cc" "src/txn/CMakeFiles/ccr_txn.dir/history_recorder.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/history_recorder.cc.o.d"
+  "/root/repo/src/txn/journal.cc" "src/txn/CMakeFiles/ccr_txn.dir/journal.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/journal.cc.o.d"
+  "/root/repo/src/txn/occ.cc" "src/txn/CMakeFiles/ccr_txn.dir/occ.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/occ.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/txn/CMakeFiles/ccr_txn.dir/txn_manager.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/txn_manager.cc.o.d"
+  "/root/repo/src/txn/uip_recovery.cc" "src/txn/CMakeFiles/ccr_txn.dir/uip_recovery.cc.o" "gcc" "src/txn/CMakeFiles/ccr_txn.dir/uip_recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccr_txn.dir/atomic_object.cc.o"
+  "CMakeFiles/ccr_txn.dir/atomic_object.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/deadlock.cc.o"
+  "CMakeFiles/ccr_txn.dir/deadlock.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/du_recovery.cc.o"
+  "CMakeFiles/ccr_txn.dir/du_recovery.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/history_recorder.cc.o"
+  "CMakeFiles/ccr_txn.dir/history_recorder.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/journal.cc.o"
+  "CMakeFiles/ccr_txn.dir/journal.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/occ.cc.o"
+  "CMakeFiles/ccr_txn.dir/occ.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/ccr_txn.dir/txn_manager.cc.o.d"
+  "CMakeFiles/ccr_txn.dir/uip_recovery.cc.o"
+  "CMakeFiles/ccr_txn.dir/uip_recovery.cc.o.d"
+  "libccr_txn.a"
+  "libccr_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccr_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

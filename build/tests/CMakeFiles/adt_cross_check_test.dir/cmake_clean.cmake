@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_cross_check_test.dir/adt_cross_check_test.cc.o"
+  "CMakeFiles/adt_cross_check_test.dir/adt_cross_check_test.cc.o.d"
+  "adt_cross_check_test"
+  "adt_cross_check_test.pdb"
+  "adt_cross_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_cross_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

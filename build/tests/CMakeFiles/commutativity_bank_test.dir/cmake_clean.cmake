@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commutativity_bank_test.dir/commutativity_bank_test.cc.o"
+  "CMakeFiles/commutativity_bank_test.dir/commutativity_bank_test.cc.o.d"
+  "commutativity_bank_test"
+  "commutativity_bank_test.pdb"
+  "commutativity_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commutativity_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_relation_test.dir/conflict_relation_test.cc.o"
+  "CMakeFiles/conflict_relation_test.dir/conflict_relation_test.cc.o.d"
+  "conflict_relation_test"
+  "conflict_relation_test.pdb"
+  "conflict_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

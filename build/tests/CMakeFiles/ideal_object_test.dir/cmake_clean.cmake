@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ideal_object_test.dir/ideal_object_test.cc.o"
+  "CMakeFiles/ideal_object_test.dir/ideal_object_test.cc.o.d"
+  "ideal_object_test"
+  "ideal_object_test.pdb"
+  "ideal_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ideal_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

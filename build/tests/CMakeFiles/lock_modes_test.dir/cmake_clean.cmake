@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_modes_test.dir/lock_modes_test.cc.o"
+  "CMakeFiles/lock_modes_test.dir/lock_modes_test.cc.o.d"
+  "lock_modes_test"
+  "lock_modes_test.pdb"
+  "lock_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

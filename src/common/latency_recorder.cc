@@ -1,0 +1,42 @@
+// Copyright 2026 The ccr Authors.
+
+#include "common/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccr {
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+uint64_t LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  // Nearest rank: ceil(p/100 * N), 1-based. Truncating instead (the old
+  // floor-index form) biases every percentile low — e.g. p50 of two samples
+  // truncated to the minimum.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(
+                                                samples_.size()));
+  size_t idx = static_cast<size_t>(rank);
+  if (idx < 1) idx = 1;
+  if (idx > samples_.size()) idx = samples_.size();
+  return samples_[idx - 1];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (uint64_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace ccr

@@ -1,0 +1,44 @@
+// Copyright 2026 The ccr Authors.
+//
+// Latency accumulator shared by the workload driver (per-worker transaction
+// latencies) and the transaction engine (per-object lock-wait times). Lives
+// in common/ so ccr_txn can use it without depending on ccr_sim.
+
+#ifndef CCR_COMMON_LATENCY_RECORDER_H_
+#define CCR_COMMON_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccr {
+
+// Collects microsecond latencies. Not thread-safe: each writer owns a
+// recorder and the reader merges them (the driver merges one per worker;
+// AtomicObject guards its recorder with the object mutex).
+class LatencyRecorder {
+ public:
+  void Record(uint64_t micros) {
+    samples_.push_back(micros);
+    sorted_ = false;
+  }
+
+  void Merge(const LatencyRecorder& other);
+
+  size_t count() const { return samples_.size(); }
+
+  // The p-th percentile (p in [0, 100]) of the recorded samples, using the
+  // nearest-rank definition: the smallest sample s such that at least p% of
+  // the samples are <= s. 0 if empty.
+  uint64_t Percentile(double p) const;
+
+  double Mean() const;
+
+ private:
+  mutable std::vector<uint64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_LATENCY_RECORDER_H_

@@ -13,11 +13,19 @@ namespace ccr {
 std::string DriverResult::ToString() const {
   return StrFormat(
       "committed=%llu retries=%llu throughput=%.0f txn/s "
-      "p50=%lluus p99=%lluus mean=%.1fus",
+      "p50=%lluus p99=%lluus mean=%.1fus "
+      "waits=%llu wakeups=%llu spurious=%llu killwakes=%llu maxq=%llu "
+      "waitp99=%lluus",
       static_cast<unsigned long long>(committed),
       static_cast<unsigned long long>(retries), throughput,
       static_cast<unsigned long long>(p50_us),
-      static_cast<unsigned long long>(p99_us), mean_us);
+      static_cast<unsigned long long>(p99_us), mean_us,
+      static_cast<unsigned long long>(waits),
+      static_cast<unsigned long long>(wakeups),
+      static_cast<unsigned long long>(spurious_wakeups),
+      static_cast<unsigned long long>(kill_wakeups),
+      static_cast<unsigned long long>(max_queue_depth),
+      static_cast<unsigned long long>(wait_p99_us));
 }
 
 DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
@@ -27,6 +35,7 @@ DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
   workers.reserve(options.threads);
 
   const uint64_t retries_before = manager->stats().retries;
+  const ObjectStats obj_before = manager->AggregateObjectStats();
   const auto start = std::chrono::steady_clock::now();
   for (int w = 0; w < options.threads; ++w) {
     workers.emplace_back([&, w] {
@@ -67,6 +76,15 @@ DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
   result.p50_us = merged.Percentile(50);
   result.p99_us = merged.Percentile(99);
   result.mean_us = merged.Mean();
+
+  const ObjectStats obj_after = manager->AggregateObjectStats();
+  result.waits = obj_after.waits - obj_before.waits;
+  result.wakeups = obj_after.wakeups - obj_before.wakeups;
+  result.spurious_wakeups =
+      obj_after.spurious_wakeups - obj_before.spurious_wakeups;
+  result.kill_wakeups = obj_after.kill_wakeups - obj_before.kill_wakeups;
+  result.max_queue_depth = obj_after.max_queue_depth;
+  result.wait_p99_us = obj_after.wait_time_us.Percentile(99);
   return result;
 }
 

@@ -32,6 +32,15 @@ struct DriverResult {
   uint64_t p99_us = 0;
   double mean_us = 0;
 
+  // Contention observability, aggregated over the manager's objects for
+  // this run (deltas for the counters; high-water mark for the depth).
+  uint64_t waits = 0;
+  uint64_t wakeups = 0;
+  uint64_t spurious_wakeups = 0;
+  uint64_t kill_wakeups = 0;
+  uint64_t max_queue_depth = 0;
+  uint64_t wait_p99_us = 0;  // p99 blocked time per waiting Execute
+
   std::string ToString() const;
 };
 

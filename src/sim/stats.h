@@ -1,39 +1,13 @@
 // Copyright 2026 The ccr Authors.
 //
-// Latency/throughput accumulators for the workload driver.
+// Historical location of LatencyRecorder; the class moved to
+// common/latency_recorder.h so the transaction engine can record per-object
+// lock-wait times without a sim dependency. This shim keeps existing
+// includes working.
 
 #ifndef CCR_SIM_STATS_H_
 #define CCR_SIM_STATS_H_
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
-
-namespace ccr {
-
-// Collects microsecond latencies (single-threaded; the driver merges one
-// recorder per worker).
-class LatencyRecorder {
- public:
-  void Record(uint64_t micros) {
-    samples_.push_back(micros);
-    sorted_ = false;
-  }
-
-  void Merge(const LatencyRecorder& other);
-
-  size_t count() const { return samples_.size(); }
-
-  // The p-th percentile (p in [0, 100]) of the recorded samples; 0 if empty.
-  uint64_t Percentile(double p) const;
-
-  double Mean() const;
-
- private:
-  mutable std::vector<uint64_t> samples_;
-  mutable bool sorted_ = false;
-};
-
-}  // namespace ccr
+#include "common/latency_recorder.h"
 
 #endif  // CCR_SIM_STATS_H_

@@ -10,10 +10,10 @@ namespace ccr {
 
 namespace {
 
-// Waits are sliced so that a kill flag set by deadlock resolution on
-// another object is observed within a bounded delay without cross-object
-// condition-variable wiring (which would create lock-order cycles).
-constexpr std::chrono::milliseconds kWaitSlice{2};
+// Slice used only by WakeupMode::kPolling, the baseline the wait-queue
+// bench compares against. The event-driven engine never sleeps on a slice:
+// kills and lock releases are delivered as targeted signals.
+constexpr std::chrono::milliseconds kPollSlice{2};
 
 }  // namespace
 
@@ -45,6 +45,53 @@ std::vector<TxnId> AtomicObject::Blockers(TxnId txn,
   return blockers;
 }
 
+void AtomicObject::SignalLocked(Waiter* waiter) {
+  if (waiter->signaled) return;
+  waiter->signaled = true;
+  ++stats_.wakeups;
+  waiter->cv.notify_one();
+}
+
+void AtomicObject::WakeOnFinishLocked(TxnId finished) {
+  for (Waiter* w : queue_) {
+    if (options_.wakeup == WakeupMode::kPolling) {
+      SignalLocked(w);  // notify storm: everyone re-evaluates
+      continue;
+    }
+    // A finished blocker releases its conflicting locks; a view-waiter
+    // (empty blockers) may see its partial operation enabled by the
+    // committed/undone state.
+    if (w->blockers.empty() ||
+        std::find(w->blockers.begin(), w->blockers.end(), finished) !=
+            w->blockers.end()) {
+      SignalLocked(w);
+    }
+  }
+}
+
+void AtomicObject::WakeOnViewChangeLocked() {
+  for (Waiter* w : queue_) {
+    if (options_.wakeup == WakeupMode::kPolling || w->blockers.empty()) {
+      SignalLocked(w);
+    }
+  }
+}
+
+void AtomicObject::WakeKilled(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The polling baseline reproduces the old engine's kill path: the victim
+  // observes its kill flag at the next slice wakeup (<= kPollSlice away),
+  // never through a direct signal.
+  if (options_.wakeup == WakeupMode::kPolling) return;
+  for (Waiter* w : queue_) {
+    if (w->txn == txn) {
+      ++stats_.kill_wakeups;
+      SignalLocked(w);
+      return;
+    }
+  }
+}
+
 StatusOr<Value> AtomicObject::Execute(Transaction* txn,
                                       const Invocation& inv) {
   CCR_CHECK(txn != nullptr);
@@ -60,9 +107,29 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
   if (recorder_ != nullptr) recorder_->Record(Event::Invoke(txn->id(), inv));
 
   std::unique_lock<std::mutex> lk(mu_);
+  Waiter waiter(txn->id());
+  bool enqueued = false;
+  const auto enqueue_time = std::chrono::steady_clock::now();
+
+  StatusOr<Value> result = ExecuteLoop(txn, inv, lk, waiter, enqueued);
+
+  if (enqueued) {
+    queue_.remove(&waiter);
+    txn->set_waiting_at(nullptr);
+    stats_.wait_time_us.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - enqueue_time)
+            .count()));
+  }
+  return result;
+}
+
+StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
+                                          const Invocation& inv,
+                                          std::unique_lock<std::mutex>& lk,
+                                          Waiter& waiter, bool& enqueued) {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.lock_timeout;
-  bool waited = false;
 
   for (;;) {
     if (txn->killed()) {
@@ -96,7 +163,7 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
               Event::Response(txn->id(), id_, candidate.result()));
         }
         // Executing an operation can enable waiters' partial operations.
-        cv_.notify_all();
+        WakeOnViewChangeLocked();
         return candidate.result();
       }
       blockers.insert(blockers.end(), b.begin(), b.end());
@@ -109,9 +176,23 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
     blockers.erase(std::unique(blockers.begin(), blockers.end()),
                    blockers.end());
 
+    if (!enqueued) {
+      enqueued = true;
+      ++stats_.waits;
+      queue_.push_back(&waiter);
+      stats_.max_queue_depth =
+          std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+      // Publish the registration before the pre-sleep killed() check below:
+      // a concurrent Kill either stores the kill flag first (we observe it
+      // and return) or loads this registration and signals our waiter.
+      txn->set_waiting_at(this);
+    }
+    waiter.blockers = std::move(blockers);
+
+    std::vector<TxnId> kill_targets;
     if (options_.policy == DeadlockPolicy::kDetect && detector_ != nullptr &&
-        !blockers.empty()) {
-      const TxnId victim = detector_->AddWait(txn->id(), blockers);
+        !waiter.blockers.empty()) {
+      const TxnId victim = detector_->AddWait(txn->id(), waiter.blockers);
       if (victim == txn->id()) {
         detector_->RemoveWait(txn->id());
         ++stats_.deadlock_victims;
@@ -119,18 +200,25 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
             "%s chosen as deadlock victim at %s",
             TxnName(txn->id()).c_str(), id_.c_str()));
       }
-      if (victim != kInvalidTxn && kill_fn_) kill_fn_(victim);
+      if (victim != kInvalidTxn && kill_fn_) kill_targets.push_back(victim);
     } else if (options_.policy == DeadlockPolicy::kWoundWait && kill_fn_) {
       // An older waiter wounds younger holders; a younger waiter just waits.
-      for (TxnId holder : blockers) {
-        if (holder > txn->id()) kill_fn_(holder);
+      for (TxnId holder : waiter.blockers) {
+        if (holder > txn->id()) kill_targets.push_back(holder);
       }
     }
-
-    if (!waited) {
-      waited = true;
-      ++stats_.waits;
+    if (!kill_targets.empty()) {
+      // Issue kills without mu_: Kill takes the manager lock and may take
+      // the victim's waiting object's lock (WakeKilled), so calling it here
+      // while holding mu_ would order object mutexes against each other.
+      lk.unlock();
+      for (TxnId victim : kill_targets) kill_fn_(victim);
+      lk.lock();
+      // The wounds are delivered; fall through to sleep. The victims' aborts
+      // release their locks here and wake us — re-killing in a spin would
+      // be wasted work (TryKill makes repeats no-ops anyway).
     }
+
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
       if (detector_ != nullptr) detector_->RemoveWait(txn->id());
@@ -139,7 +227,18 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
           "%s timed out waiting at %s for %s", TxnName(txn->id()).c_str(),
           id_.c_str(), inv.ToString().c_str()));
     }
-    cv_.wait_until(lk, std::min(deadline, now + kWaitSlice));
+    if (!waiter.signaled && !txn->killed()) {
+      if (options_.wakeup == WakeupMode::kPolling) {
+        waiter.cv.wait_until(lk, std::min(deadline, now + kPollSlice));
+      } else {
+        waiter.cv.wait_until(lk, deadline);
+      }
+      if (!waiter.signaled && !txn->killed() &&
+          std::chrono::steady_clock::now() < deadline) {
+        ++stats_.spurious_wakeups;
+      }
+    }
+    waiter.signaled = false;
   }
 }
 
@@ -152,9 +251,9 @@ void AtomicObject::Commit(TxnId txn) {
     // order — dynamic atomicity is a local property (Lemma 1), so per-object
     // order is exactly what the offline checkers rely on.
     if (recorder_ != nullptr) recorder_->Record(Event::Commit(txn, id_));
+    WakeOnFinishLocked(txn);
   }
   if (detector_ != nullptr) detector_->Forget(txn);
-  cv_.notify_all();
 }
 
 void AtomicObject::Abort(TxnId txn) {
@@ -163,9 +262,9 @@ void AtomicObject::Abort(TxnId txn) {
     recovery_->Abort(txn);
     held_.erase(txn);
     if (recorder_ != nullptr) recorder_->Record(Event::Abort(txn, id_));
+    WakeOnFinishLocked(txn);
   }
   if (detector_ != nullptr) detector_->Forget(txn);
-  cv_.notify_all();
 }
 
 std::unique_ptr<SpecState> AtomicObject::CommittedState() const {

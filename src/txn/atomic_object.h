@@ -12,6 +12,13 @@
 // resolution / timeout intervenes). Partial operations (queue dequeue on
 // empty, counter decrement below the floor) also block, waiting for the
 // view to enable them.
+//
+// Blocking is event-driven: each blocked caller sits in a per-object FIFO
+// wait queue, registered with the transactions it is blocked on (or, for a
+// disabled partial operation, with an empty blocker set meaning "any view
+// change"). Execute/Commit/Abort wake only the waiters whose blockers
+// actually changed, and TxnManager::Kill wakes a victim directly through
+// its wait registration — no polling slice anywhere on the hot path.
 
 #ifndef CCR_TXN_ATOMIC_OBJECT_H_
 #define CCR_TXN_ATOMIC_OBJECT_H_
@@ -19,10 +26,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 
+#include "common/latency_recorder.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/adt.h"
@@ -41,21 +50,38 @@ enum class DeadlockPolicy {
   kWoundWait,  // an older waiter wounds (kills) younger holders
 };
 
+// How blocked callers learn that their blockers changed.
+enum class WakeupMode {
+  // Targeted notify per waiter whose registered blockers finished (or whose
+  // partial operation may have been enabled by a view change).
+  kEventDriven,
+  // Baseline for bench_wait_queue: every state change signals every waiter
+  // and sleepers additionally wake on a short slice — the notify-storm cost
+  // model of the old polling engine.
+  kPolling,
+};
+
 struct AtomicObjectOptions {
   std::chrono::milliseconds lock_timeout{500};
   DeadlockPolicy policy = DeadlockPolicy::kDetect;
+  WakeupMode wakeup = WakeupMode::kEventDriven;
   // For nondeterministic specs: pick among enabled outcomes at random
   // (seeded) instead of always the first.
   uint64_t choice_seed = 1;
 };
 
-// Per-object contention counters.
+// Per-object contention counters and wait-time histogram.
 struct ObjectStats {
   uint64_t executes = 0;       // operations executed successfully
   uint64_t conflicts = 0;      // times a request found a conflicting holder
   uint64_t waits = 0;          // times a request actually slept
   uint64_t deadlock_victims = 0;
   uint64_t timeouts = 0;
+  uint64_t wakeups = 0;           // targeted signals delivered to waiters
+  uint64_t spurious_wakeups = 0;  // sleeper woke unsignaled before deadline
+  uint64_t kill_wakeups = 0;      // direct victim wakeups from Kill
+  uint64_t max_queue_depth = 0;   // wait-queue high-water mark
+  LatencyRecorder wait_time_us;   // total blocked time per waiting Execute
 };
 
 class AtomicObject {
@@ -87,10 +113,16 @@ class AtomicObject {
   StatusOr<Value> Execute(Transaction* txn, const Invocation& inv);
 
   // Commit/abort this transaction's work at this object: release its
-  // operation locks and let recovery finalize or undo. Called by the
-  // manager for each touched object.
+  // operation locks, let recovery finalize or undo, and wake the waiters
+  // blocked on it. Called by the manager for each touched object.
   void Commit(TxnId txn);
   void Abort(TxnId txn);
+
+  // Wakes `txn`'s waiter (if it is blocked here) so a kill is observed
+  // immediately instead of at the next timeout. Called by TxnManager::Kill
+  // after winning the kill/commit arbitration; the caller must hold no
+  // object or manager locks.
+  void WakeKilled(TxnId txn);
 
   // Committed-state snapshot, for invariant checks outside any transaction.
   std::unique_ptr<SpecState> CommittedState() const;
@@ -99,9 +131,36 @@ class AtomicObject {
   RecoveryStats recovery_stats() const;
 
  private:
+  // One blocked Execute call. Lives on the caller's stack; queue_ holds a
+  // pointer for the duration of the block. All fields are guarded by mu_.
+  struct Waiter {
+    explicit Waiter(TxnId t) : txn(t) {}
+    const TxnId txn;
+    std::condition_variable cv;
+    // Transactions whose locks block this waiter; empty means the waiter's
+    // invocation is disabled in its view (a partial operation) and any
+    // state change may enable it.
+    std::vector<TxnId> blockers;
+    bool signaled = false;
+  };
+
+  // The wait loop proper; called with `lk` held, returns with it held.
+  // Queue registration/cleanup is handled by Execute around this.
+  StatusOr<Value> ExecuteLoop(Transaction* txn, const Invocation& inv,
+                              std::unique_lock<std::mutex>& lk,
+                              Waiter& waiter, bool& enqueued);
+
   // Transactions (other than `txn`) holding operations that conflict with
   // `candidate`. Caller holds mu_.
   std::vector<TxnId> Blockers(TxnId txn, const Operation& candidate) const;
+
+  // Wake primitives; caller holds mu_.
+  void SignalLocked(Waiter* waiter);
+  // A transaction finished (committed or aborted): wake waiters blocked on
+  // it, plus view-waiters (commit/abort changes the visible state).
+  void WakeOnFinishLocked(TxnId finished);
+  // The view changed (an operation executed): wake view-waiters only.
+  void WakeOnViewChangeLocked();
 
   const ObjectId id_;
   std::shared_ptr<const Adt> adt_;
@@ -114,8 +173,8 @@ class AtomicObject {
   std::function<void(TxnId)> kill_fn_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::map<TxnId, OpSeq> held_;  // operation locks of active transactions
+  std::list<Waiter*> queue_;     // blocked callers, FIFO arrival order
   Random choice_rng_;
   ObjectStats stats_;
 };

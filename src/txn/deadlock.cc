@@ -9,11 +9,20 @@ namespace ccr {
 TxnId DeadlockDetector::AddWait(TxnId waiter,
                                 const std::vector<TxnId>& holders) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& edges = waits_for_[waiter];
-  edges.clear();
+  std::set<TxnId> next;
   for (TxnId h : holders) {
-    if (h != waiter) edges.insert(h);
+    if (h != waiter) next.insert(h);
   }
+  // A cycle can only be closed by an edge insertion, and the inserting
+  // waiter detects it right here — so a re-registration with an unchanged
+  // edge set (the wait loop re-registers on every wakeup) cannot have
+  // created a new cycle and needs no search.
+  auto it = waits_for_.find(waiter);
+  if (it != waits_for_.end() && it->second == next) {
+    ++redundant_registrations_;
+    return kInvalidTxn;
+  }
+  waits_for_[waiter] = std::move(next);
   const std::vector<TxnId> cycle = FindCycle(waiter);
   if (cycle.empty()) return kInvalidTxn;
   ++cycles_resolved_;
@@ -37,6 +46,11 @@ void DeadlockDetector::Forget(TxnId txn) {
 uint64_t DeadlockDetector::cycles_resolved() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cycles_resolved_;
+}
+
+uint64_t DeadlockDetector::redundant_registrations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return redundant_registrations_;
 }
 
 std::vector<TxnId> DeadlockDetector::FindCycle(TxnId start) const {

@@ -34,6 +34,10 @@ class DeadlockDetector {
   // Number of cycles resolved so far.
   uint64_t cycles_resolved() const;
 
+  // AddWait calls whose edge set was unchanged and skipped the cycle
+  // search (re-registrations from the engine's wait loop).
+  uint64_t redundant_registrations() const;
+
  private:
   // Finds a cycle through `start`; returns its members (empty if acyclic).
   std::vector<TxnId> FindCycle(TxnId start) const;
@@ -41,6 +45,7 @@ class DeadlockDetector {
   mutable std::mutex mu_;
   std::map<TxnId, std::set<TxnId>> waits_for_;
   uint64_t cycles_resolved_ = 0;
+  uint64_t redundant_registrations_ = 0;
 };
 
 }  // namespace ccr

@@ -2,6 +2,7 @@
 
 #include "txn/txn_manager.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/string_util.h"
@@ -17,6 +18,7 @@ AtomicObject* TxnManager::AddObject(
   AtomicObjectOptions obj_options;
   obj_options.lock_timeout = options_.lock_timeout;
   obj_options.policy = options_.policy;
+  obj_options.wakeup = options_.wakeup;
   auto object = std::make_unique<AtomicObject>(
       id, std::move(adt), std::move(conflict), std::move(recovery),
       obj_options);
@@ -61,9 +63,12 @@ Status TxnManager::Commit(Transaction* txn) {
   if (!txn->active()) {
     return Status::IllegalState("commit of a finished transaction");
   }
-  if (txn->killed()) {
-    // A deadlock victim must abort; committing would violate the victim
-    // choice another waiter depends on.
+  if (!txn->TryLatchCommit()) {
+    // A kill won the arbitration (possibly racing this very call): the
+    // victim must abort; committing would violate the victim choice another
+    // waiter depends on. The CAS makes the active->committed transition
+    // atomic w.r.t. Kill — a kill can no longer land between a flag check
+    // and the per-object commit loop.
     Status s = Abort(txn);
     (void)s;
     return Status::Deadlock(StrFormat(
@@ -111,6 +116,9 @@ Status TxnManager::RunTransaction(
       Abort(txn.get());
     }
     if (!s.IsRetryable()) return s;
+    // A failure on the last attempt is not retried: it counts no retry and
+    // sleeps no backoff, so retries == attempts - 1 exactly.
+    if (attempt == options_.max_retries) break;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.retries;
@@ -131,9 +139,20 @@ void TxnManager::Kill(TxnId txn) {
     auto it = live_.find(txn);
     if (it == live_.end()) return;  // already finished
     victim = it->second;
+  }
+  // Arbitrate against a racing Commit: if the commit latched first, this
+  // kill is a no-op (the commit releases the locks, which unblocks the
+  // cycle just as the abort would have).
+  if (!victim->TryKill()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.kills;
   }
-  victim->Kill();
+  // Wake the victim directly at the object it is blocked at (if any), so a
+  // kill is observed immediately rather than at the next timeout. TryKill
+  // (seq_cst) precedes this load, pairing with the victim's registration
+  // store + pre-sleep killed() check in AtomicObject::ExecuteLoop.
+  if (AtomicObject* at = victim->waiting_at()) at->WakeKilled(victim->id());
 }
 
 History TxnManager::SnapshotHistory() const { return recorder_.Snapshot(); }
@@ -141,6 +160,25 @@ History TxnManager::SnapshotHistory() const { return recorder_.Snapshot(); }
 ManagerStats TxnManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+ObjectStats TxnManager::AggregateObjectStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ObjectStats total;
+  for (const auto& [id, obj] : objects_) {
+    const ObjectStats s = obj->stats();
+    total.executes += s.executes;
+    total.conflicts += s.conflicts;
+    total.waits += s.waits;
+    total.deadlock_victims += s.deadlock_victims;
+    total.timeouts += s.timeouts;
+    total.wakeups += s.wakeups;
+    total.spurious_wakeups += s.spurious_wakeups;
+    total.kill_wakeups += s.kill_wakeups;
+    total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+    total.wait_time_us.Merge(s.wait_time_us);
+  }
+  return total;
 }
 
 }  // namespace ccr

@@ -25,6 +25,7 @@ namespace ccr {
 struct TxnManagerOptions {
   bool record_history = true;
   DeadlockPolicy policy = DeadlockPolicy::kDetect;
+  WakeupMode wakeup = WakeupMode::kEventDriven;
   std::chrono::milliseconds lock_timeout{500};
   int max_retries = 1000;
 };
@@ -72,6 +73,12 @@ class TxnManager {
   bool recording() const { return options_.record_history; }
 
   ManagerStats stats() const;
+
+  // Contention counters summed (and the queue-depth high-water mark maxed,
+  // wait-time histograms merged) across all objects — the driver reports
+  // these per run.
+  ObjectStats AggregateObjectStats() const;
+
   DeadlockDetector* detector() { return &detector_; }
 
  private:

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/stats.h"
+#include "common/latency_recorder.h"
 
 namespace ccr {
 namespace {
@@ -44,6 +44,43 @@ TEST(LatencyRecorderTest, MergeCombines) {
   a.Merge(b);
   EXPECT_EQ(a.count(), 3u);
   EXPECT_EQ(a.Percentile(100), 100u);
+}
+
+// Nearest-rank regression tests: the old floor-index form truncated every
+// rank down (p50 of two samples returned the minimum).
+TEST(LatencyRecorderTest, TwoSamplesNearestRank) {
+  LatencyRecorder r;
+  r.Record(10);
+  r.Record(20);
+  EXPECT_EQ(r.Percentile(0), 10u);
+  EXPECT_EQ(r.Percentile(50), 10u);   // ceil(0.5 * 2) = rank 1
+  EXPECT_EQ(r.Percentile(50.1), 20u); // ceil(1.002) = rank 2
+  EXPECT_EQ(r.Percentile(99), 20u);
+  EXPECT_EQ(r.Percentile(100), 20u);
+}
+
+TEST(LatencyRecorderTest, NearestRankNotTruncated) {
+  LatencyRecorder r;
+  for (uint64_t v = 1; v <= 10; ++v) r.Record(v * 100);
+  // ceil(0.99 * 10) = 10 -> the maximum, not the floor-biased 9th sample.
+  EXPECT_EQ(r.Percentile(99), 1000u);
+  EXPECT_EQ(r.Percentile(90), 900u);
+  EXPECT_EQ(r.Percentile(91), 1000u);
+  EXPECT_EQ(r.Percentile(50), 500u);
+}
+
+TEST(LatencyRecorderTest, MergedRecorderPercentiles) {
+  LatencyRecorder a, b;
+  a.Record(1);
+  a.Record(3);
+  b.Record(2);
+  b.Record(4);
+  a.Merge(b);
+  ASSERT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.Percentile(50), 2u);   // ceil(2) over {1,2,3,4}
+  EXPECT_EQ(a.Percentile(75), 3u);
+  EXPECT_EQ(a.Percentile(99), 4u);
+  EXPECT_EQ(a.Percentile(100), 4u);
 }
 
 TEST(LatencyRecorderTest, RecordAfterPercentileStaysCorrect) {

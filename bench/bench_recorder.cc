@@ -1,0 +1,197 @@
+// Copyright 2026 The ccr Authors.
+//
+// PERF-REC: cost of the history recording layer. Two scenarios:
+//
+//  1. recorder-layer — N worker threads drive the engine's per-operation
+//     record pattern (invoke + response under the object's serialization,
+//     commit per touched object) straight into a HistoryRecorder, each
+//     worker over its own slice of objects. This measures exactly the
+//     component this layer replaces: events/s through sharded per-object
+//     buffers vs through the eager global-mutex recorder.
+//
+//  2. end-to-end — a multi-object NRBC counter workload through the full
+//     TxnManager (increments all commute, so no transaction ever blocks
+//     and there is no hold time), series = recording-off / sharded /
+//     eager. Shows how much of the recording-off throughput each recorder
+//     leaves on the table once the rest of the engine (candidate
+//     generation, recovery bookkeeping) is in the loop.
+//
+// The eager series pays, under a single lock, per-append validation whose
+// structures grow with the transaction count; the sharded series pays one
+// relaxed fetch_add plus an uncontended per-object lock and a push_back,
+// deferring validation to Snapshot().
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "adt/counter.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "sim/driver.h"
+
+namespace ccr {
+namespace {
+
+// Scenario 1: the recording layer in isolation.
+constexpr int kRecObjectsPerWorker = 2;
+constexpr int kRecOpsPerTxn = 8;
+constexpr int kRecTxnsPerThread = 500;
+
+// Scenario 2: transactions are deliberately recorder-heavy — a dozen
+// increments spread over many objects, so each one records ~24
+// invoke/response events plus a commit event per distinct object touched
+// (~10). With no conflicts and no hold time, the recording layer is the
+// only shared state in the run.
+constexpr int kObjects = 32;
+constexpr int kOpsPerTxn = 12;
+constexpr int kTxnsPerThread = 500;
+
+enum class Series { kOff, kSharded, kEager };
+
+const char* SeriesName(Series s) {
+  switch (s) {
+    case Series::kOff:
+      return "off";
+    case Series::kSharded:
+      return "sharded";
+    case Series::kEager:
+      return "eager";
+  }
+  return "?";
+}
+
+// Replays the engine's record pattern against a bare recorder: per
+// operation an invoke + response through the object's shard, then one
+// commit event per object the transaction touched. Workers own disjoint
+// object slices — in the engine, same-object response/commit records are
+// serialized under the object's mutex anyway, so cross-worker contention
+// on one object's shard is not part of the layer's steady state.
+// Returns events per second.
+double RunRecorderLayer(RecorderMode mode, int threads) {
+  HistoryRecorder recorder(RecorderOptions{mode});
+  std::vector<std::vector<HistoryRecorder::Shard*>> shards(threads);
+  std::vector<std::vector<ObjectId>> ids(threads);
+  for (int w = 0; w < threads; ++w) {
+    for (int i = 0; i < kRecObjectsPerWorker; ++i) {
+      shards[w].push_back(recorder.RegisterShard());
+      ids[w].push_back(StrFormat("C%d", w * kRecObjectsPerWorker + i));
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kRecTxnsPerThread; ++i) {
+        const TxnId txn = 1 + static_cast<TxnId>(w) * kRecTxnsPerThread + i;
+        for (int op = 0; op < kRecOpsPerTxn; ++op) {
+          const int obj = op % kRecObjectsPerWorker;
+          HistoryRecorder::Shard* shard = shards[w][obj];
+          shard->Record(Event::Invoke(
+              txn, Invocation(ids[w][obj], 0, "inc", {Value(int64_t{1})})));
+          shard->Record(Event::Response(txn, ids[w][obj], Value("ok")));
+        }
+        for (int obj = 0; obj < kRecObjectsPerWorker; ++obj) {
+          shards[w][obj]->Record(Event::Commit(txn, ids[w][obj]));
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  return seconds > 0 ? static_cast<double>(recorder.size()) / seconds : 0;
+}
+
+DriverResult RunEndToEnd(Series series, int threads) {
+  TxnManagerOptions options;
+  options.record_history = series != Series::kOff;
+  options.recorder_mode = series == Series::kEager ? RecorderMode::kEager
+                                                   : RecorderMode::kSharded;
+  options.lock_timeout = std::chrono::milliseconds(30000);
+  TxnManager manager(options);
+
+  std::vector<std::shared_ptr<Counter>> objs;
+  for (int i = 0; i < kObjects; ++i) {
+    auto ctr = MakeCounter(StrFormat("C%d", i));
+    manager.AddObject(ctr->object_name(), ctr, MakeNrbcConflict(ctr),
+                      std::make_unique<UipRecovery>(ctr));
+    objs.push_back(std::move(ctr));
+  }
+
+  DriverOptions driver_options;
+  driver_options.threads = threads;
+  driver_options.txns_per_thread = kTxnsPerThread;
+  return RunWorkload(
+      &manager,
+      [&](TxnManager* mgr, Transaction* txn, Random* rng) {
+        for (int op = 0; op < kOpsPerTxn; ++op) {
+          Counter* obj = objs[rng->Uniform(kObjects)].get();
+          StatusOr<Value> r = mgr->Execute(txn, obj->IncInv(1));
+          if (!r.ok()) return r.status();
+        }
+        return Status::OK();
+      },
+      driver_options);
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  std::printf(
+      "PERF-REC: history recording layer, sharded vs eager-global\n\n"
+      "scenario: recorder-layer (engine record pattern, %d objects/worker,\n"
+      "%d ops/txn, %d txns/thread)\n",
+      kRecObjectsPerWorker, kRecOpsPerTxn, kRecTxnsPerThread);
+
+  TablePrinter layer_table({"recorder", "workers", "events/s", "speedup"});
+  for (int threads : {4, 16, 32}) {
+    const double eager = RunRecorderLayer(RecorderMode::kEager, threads);
+    const double sharded = RunRecorderLayer(RecorderMode::kSharded, threads);
+    layer_table.AddRow({"eager", StrFormat("%d", threads),
+                        StrFormat("%.0f", eager), "1.00x"});
+    layer_table.AddRow(
+        {"sharded", StrFormat("%d", threads), StrFormat("%.0f", sharded),
+         StrFormat("%.2fx", eager > 0 ? sharded / eager : 0.0)});
+  }
+  std::printf("%s\n", layer_table.ToString().c_str());
+
+  std::printf(
+      "scenario: end-to-end (%d NRBC counters, %d ops/txn, %d txns/thread,\n"
+      "no conflicts, no hold time)\n",
+      kObjects, kOpsPerTxn, kTxnsPerThread);
+  TablePrinter table(
+      {"recorder", "workers", "txn/s", "events", "mean(us)", "p99(us)"});
+  std::map<int, double> eager_tps, sharded_tps;
+  for (int threads : {4, 16, 32}) {
+    for (Series series : {Series::kOff, Series::kSharded, Series::kEager}) {
+      const DriverResult r = RunEndToEnd(series, threads);
+      if (series == Series::kEager) eager_tps[threads] = r.throughput;
+      if (series == Series::kSharded) sharded_tps[threads] = r.throughput;
+      table.AddRow({SeriesName(series), StrFormat("%d", threads),
+                    StrFormat("%.0f", r.throughput),
+                    StrFormat("%llu", (unsigned long long)r.events_recorded),
+                    StrFormat("%.1f", r.mean_us),
+                    StrFormat("%llu", (unsigned long long)r.p99_us)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  for (const auto& [threads, tps] : sharded_tps) {
+    std::printf("end-to-end sharded/eager speedup at %2d workers: %.2fx\n",
+                threads, eager_tps[threads] > 0 ? tps / eager_tps[threads] : 0.0);
+  }
+
+  std::printf(
+      "\nShape to check: recording >= 1.5x more events/s through the sharded\n"
+      "layer than through the eager global mutex at 16+ workers (every eager\n"
+      "append serializes on one lock and re-validates against the accumulated\n"
+      "history, so its per-event cost also rises with run length), and\n"
+      "end-to-end sharded recovering a clear margin of the recording-off\n"
+      "throughput that eager leaves behind.\n");
+  return 0;
+}

@@ -11,14 +11,36 @@ namespace ccr {
 Status History::Append(const Event& event) {
   CCR_RETURN_IF_ERROR(Validate(event));
   events_.push_back(event);
-  ApplyCaches(event);
+  ApplyCaches(events_.back());
   return Status::OK();
+}
+
+Status History::Append(Event&& event) {
+  CCR_RETURN_IF_ERROR(Validate(event));
+  events_.push_back(std::move(event));
+  ApplyCaches(events_.back());
+  return Status::OK();
+}
+
+void History::AppendUnchecked(Event event) {
+  events_.push_back(std::move(event));
+  ApplyCaches(events_.back());
 }
 
 StatusOr<History> History::FromEvents(const std::vector<Event>& events) {
   History h;
   for (const Event& e : events) {
     Status s = h.Append(e);
+    if (!s.ok()) return s;
+  }
+  return h;
+}
+
+StatusOr<History> History::FromEvents(std::vector<Event>&& events) {
+  History h;
+  h.events_.reserve(events.size());
+  for (Event& e : events) {
+    Status s = h.Append(std::move(e));
     if (!s.ok()) return s;
   }
   return h;
@@ -135,13 +157,12 @@ std::optional<Invocation> History::PendingInvocation(TxnId txn) const {
 }
 
 History History::RestrictObject(const ObjectId& object) const {
+  // Projections of a well-formed history are well-formed (every constraint
+  // is per transaction, per object, or per (transaction, object) pair, and
+  // a projection keeps each such group intact), so skip re-validation.
   History out;
   for (const Event& e : events_) {
-    if (e.object() == object) {
-      Status s = out.Append(e);
-      CCR_CHECK_MSG(s.ok(), "projection broke well-formedness: %s",
-                    s.ToString().c_str());
-    }
+    if (e.object() == object) out.AppendUnchecked(e);
   }
   return out;
 }
@@ -149,11 +170,7 @@ History History::RestrictObject(const ObjectId& object) const {
 History History::RestrictTxns(const std::set<TxnId>& txns) const {
   History out;
   for (const Event& e : events_) {
-    if (txns.count(e.txn()) > 0) {
-      Status s = out.Append(e);
-      CCR_CHECK_MSG(s.ok(), "projection broke well-formedness: %s",
-                    s.ToString().c_str());
-    }
+    if (txns.count(e.txn()) > 0) out.AppendUnchecked(e);
   }
   return out;
 }

@@ -31,11 +31,21 @@ class History {
  public:
   History() = default;
 
-  // Validates and appends; on error the history is unchanged.
+  // Validates and appends; on error the history is unchanged. The rvalue
+  // overload validates before consuming, so on error the argument is
+  // intact too.
   Status Append(const Event& event);
+  Status Append(Event&& event);
+
+  // Appends without well-formedness validation (the incremental caches are
+  // still maintained). Only for events known to be legal in sequence:
+  // projections of an already well-formed history, or replaying a sequence
+  // a previous validation pass accepted.
+  void AppendUnchecked(Event event);
 
   // Builds a history from a full event sequence, validating well-formedness.
   static StatusOr<History> FromEvents(const std::vector<Event>& events);
+  static StatusOr<History> FromEvents(std::vector<Event>&& events);
 
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }

@@ -15,7 +15,7 @@ std::string DriverResult::ToString() const {
       "committed=%llu retries=%llu throughput=%.0f txn/s "
       "p50=%lluus p99=%lluus mean=%.1fus "
       "waits=%llu wakeups=%llu spurious=%llu killwakes=%llu maxq=%llu "
-      "waitp99=%lluus",
+      "waitp99=%lluus events=%llu",
       static_cast<unsigned long long>(committed),
       static_cast<unsigned long long>(retries), throughput,
       static_cast<unsigned long long>(p50_us),
@@ -25,7 +25,8 @@ std::string DriverResult::ToString() const {
       static_cast<unsigned long long>(spurious_wakeups),
       static_cast<unsigned long long>(kill_wakeups),
       static_cast<unsigned long long>(max_queue_depth),
-      static_cast<unsigned long long>(wait_p99_us));
+      static_cast<unsigned long long>(wait_p99_us),
+      static_cast<unsigned long long>(events_recorded));
 }
 
 DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
@@ -35,6 +36,7 @@ DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
   workers.reserve(options.threads);
 
   const uint64_t retries_before = manager->stats().retries;
+  const uint64_t events_before = manager->recorder_stats().events;
   const ObjectStats obj_before = manager->AggregateObjectStats();
   const auto start = std::chrono::steady_clock::now();
   for (int w = 0; w < options.threads; ++w) {
@@ -85,6 +87,7 @@ DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
   result.kill_wakeups = obj_after.kill_wakeups - obj_before.kill_wakeups;
   result.max_queue_depth = obj_after.max_queue_depth;
   result.wait_p99_us = obj_after.wait_time_us.Percentile(99);
+  result.events_recorded = manager->recorder_stats().events - events_before;
   return result;
 }
 

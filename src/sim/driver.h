@@ -41,6 +41,10 @@ struct DriverResult {
   uint64_t max_queue_depth = 0;
   uint64_t wait_p99_us = 0;  // p99 blocked time per waiting Execute
 
+  // Recording-layer load for this run: events appended to the manager's
+  // history recorder (0 when record_history is off).
+  uint64_t events_recorded = 0;
+
   std::string ToString() const;
 };
 

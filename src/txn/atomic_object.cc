@@ -30,19 +30,17 @@ AtomicObject::AtomicObject(ObjectId id, std::shared_ptr<const Adt> adt,
   CCR_CHECK(adt_ != nullptr && conflict_ != nullptr && recovery_ != nullptr);
 }
 
-std::vector<TxnId> AtomicObject::Blockers(TxnId txn,
-                                          const Operation& candidate) const {
-  std::vector<TxnId> blockers;
+void AtomicObject::CollectBlockers(TxnId txn, const Operation& candidate,
+                                   std::vector<TxnId>* out) const {
   for (const auto& [holder, ops] : held_) {
     if (holder == txn) continue;
     for (const Operation& held_op : ops) {
       if (conflict_->Conflicts(candidate, held_op)) {
-        blockers.push_back(holder);
+        out->push_back(holder);
         break;
       }
     }
   }
-  return blockers;
 }
 
 void AtomicObject::SignalLocked(Waiter* waiter) {
@@ -130,6 +128,7 @@ StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
                                           Waiter& waiter, bool& enqueued) {
   const auto deadline =
       std::chrono::steady_clock::now() + options_.lock_timeout;
+  std::vector<TxnId> kill_targets;
 
   for (;;) {
     if (txn->killed()) {
@@ -147,12 +146,17 @@ StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
       start = choice_rng_.Uniform(candidates.size());
     }
 
-    std::vector<TxnId> blockers;
+    // Collected into the waiter frame's scratch buffer, which ping-pongs
+    // with waiter.blockers below so the contended path reuses capacity
+    // instead of allocating fresh vectors per candidate per wakeup.
+    std::vector<TxnId>& blockers = waiter.scratch;
+    blockers.clear();
     for (size_t k = 0; k < candidates.size(); ++k) {
       Outcome& outcome = candidates[(start + k) % candidates.size()];
       const Operation candidate(inv, outcome.result);
-      std::vector<TxnId> b = Blockers(txn->id(), candidate);
-      if (b.empty()) {
+      const size_t before = blockers.size();
+      CollectBlockers(txn->id(), candidate, &blockers);
+      if (blockers.size() == before) {
         // Enabled and conflict-free: execute.
         recovery_->Apply(txn->id(), candidate, std::move(outcome.next));
         held_[txn->id()].push_back(candidate);
@@ -166,7 +170,6 @@ StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
         WakeOnViewChangeLocked();
         return candidate.result();
       }
-      blockers.insert(blockers.end(), b.begin(), b.end());
     }
 
     // Blocked: either every enabled outcome conflicts, or the invocation is
@@ -187,9 +190,11 @@ StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
       // and return) or loads this registration and signals our waiter.
       txn->set_waiting_at(this);
     }
-    waiter.blockers = std::move(blockers);
+    // Swap, don't move: last round's blockers vector becomes next round's
+    // scratch, keeping both capacities alive.
+    waiter.blockers.swap(blockers);
 
-    std::vector<TxnId> kill_targets;
+    kill_targets.clear();
     if (options_.policy == DeadlockPolicy::kDetect && detector_ != nullptr &&
         !waiter.blockers.empty()) {
       const TxnId victim = detector_->AddWait(txn->id(), waiter.blockers);

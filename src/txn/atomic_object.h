@@ -99,7 +99,11 @@ class AtomicObject {
   RecoveryManager& recovery() { return *recovery_; }
 
   // Wires (set once, before use; both optional).
-  void set_recorder(HistoryRecorder* recorder) { recorder_ = recorder; }
+  // Registers this object's own append shard: records taken inside this
+  // object's critical section never contend with other objects'.
+  void set_recorder(HistoryRecorder* recorder) {
+    recorder_ = recorder == nullptr ? nullptr : recorder->RegisterShard();
+  }
   void set_detector(DeadlockDetector* detector) { detector_ = detector; }
   void set_kill_fn(std::function<void(TxnId)> kill_fn) {
     kill_fn_ = std::move(kill_fn);
@@ -134,13 +138,20 @@ class AtomicObject {
   // One blocked Execute call. Lives on the caller's stack; queue_ holds a
   // pointer for the duration of the block. All fields are guarded by mu_.
   struct Waiter {
-    explicit Waiter(TxnId t) : txn(t) {}
+    explicit Waiter(TxnId t) : txn(t) {
+      blockers.reserve(8);
+      scratch.reserve(8);
+    }
     const TxnId txn;
     std::condition_variable cv;
     // Transactions whose locks block this waiter; empty means the waiter's
     // invocation is disabled in its view (a partial operation) and any
     // state change may enable it.
     std::vector<TxnId> blockers;
+    // Collection buffer for the next round's blockers; swapped with
+    // `blockers` each wait-loop iteration so the contended path allocates
+    // nothing after warmup.
+    std::vector<TxnId> scratch;
     bool signaled = false;
   };
 
@@ -150,9 +161,10 @@ class AtomicObject {
                               std::unique_lock<std::mutex>& lk,
                               Waiter& waiter, bool& enqueued);
 
-  // Transactions (other than `txn`) holding operations that conflict with
-  // `candidate`. Caller holds mu_.
-  std::vector<TxnId> Blockers(TxnId txn, const Operation& candidate) const;
+  // Appends the transactions (other than `txn`) holding operations that
+  // conflict with `candidate` onto `out`. Caller holds mu_.
+  void CollectBlockers(TxnId txn, const Operation& candidate,
+                       std::vector<TxnId>* out) const;
 
   // Wake primitives; caller holds mu_.
   void SignalLocked(Waiter* waiter);
@@ -168,7 +180,7 @@ class AtomicObject {
   std::unique_ptr<RecoveryManager> recovery_;
   AtomicObjectOptions options_;
 
-  HistoryRecorder* recorder_ = nullptr;
+  HistoryRecorder::Shard* recorder_ = nullptr;
   DeadlockDetector* detector_ = nullptr;
   std::function<void(TxnId)> kill_fn_;
 

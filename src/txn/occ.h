@@ -52,7 +52,9 @@ class OptimisticObject {
 
   const ObjectId& id() const { return id_; }
 
-  void set_recorder(HistoryRecorder* recorder) { recorder_ = recorder; }
+  void set_recorder(HistoryRecorder* recorder) {
+    recorder_ = recorder == nullptr ? nullptr : recorder->RegisterShard();
+  }
 
   // Executes one operation for `txn` against its snapshot + intentions.
   // Never blocks on other transactions. kIllegalState when the invocation
@@ -89,7 +91,7 @@ class OptimisticObject {
   const ObjectId id_;
   std::shared_ptr<const Adt> adt_;
   std::shared_ptr<const ConflictRelation> conflict_;
-  HistoryRecorder* recorder_ = nullptr;
+  HistoryRecorder::Shard* recorder_ = nullptr;
 
   mutable std::mutex mu_;
   std::unique_ptr<SpecState> base_;

@@ -9,7 +9,9 @@
 
 namespace ccr {
 
-TxnManager::TxnManager(TxnManagerOptions options) : options_(options) {}
+TxnManager::TxnManager(TxnManagerOptions options)
+    : options_(options),
+      recorder_(RecorderOptions{options.recorder_mode}) {}
 
 AtomicObject* TxnManager::AddObject(
     ObjectId id, std::shared_ptr<const Adt> adt,
@@ -119,10 +121,7 @@ Status TxnManager::RunTransaction(
     // A failure on the last attempt is not retried: it counts no retry and
     // sleeps no backoff, so retries == attempts - 1 exactly.
     if (attempt == options_.max_retries) break;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.retries;
-    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
     // Randomized bounded backoff to break livelock among symmetric retriers.
     const int shift = std::min(attempt, 8);
     const uint64_t max_us = 32ull << shift;
@@ -158,8 +157,13 @@ void TxnManager::Kill(TxnId txn) {
 History TxnManager::SnapshotHistory() const { return recorder_.Snapshot(); }
 
 ManagerStats TxnManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ManagerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+  }
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 ObjectStats TxnManager::AggregateObjectStats() const {

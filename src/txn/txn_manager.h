@@ -24,6 +24,10 @@ namespace ccr {
 
 struct TxnManagerOptions {
   bool record_history = true;
+  // How the recorder takes events off the objects' hot paths: sharded
+  // buffers validated at snapshot time (default), or the eager global-mutex
+  // oracle that validates every append (see history_recorder.h).
+  RecorderMode recorder_mode = RecorderMode::kSharded;
   DeadlockPolicy policy = DeadlockPolicy::kDetect;
   WakeupMode wakeup = WakeupMode::kEventDriven;
   std::chrono::milliseconds lock_timeout{500};
@@ -72,6 +76,10 @@ class TxnManager {
   History SnapshotHistory() const;
   bool recording() const { return options_.record_history; }
 
+  // Recording-layer counters (events recorded, snapshots served) — the
+  // driver reports these per run.
+  RecorderStats recorder_stats() const { return recorder_.stats(); }
+
   ManagerStats stats() const;
 
   // Contention counters summed (and the queue-depth high-water mark maxed,
@@ -87,11 +95,14 @@ class TxnManager {
   DeadlockDetector detector_;
 
   std::atomic<TxnId> next_txn_{1};
+  // Retries are counted lock-free: the retry loop is per-worker hot and
+  // needs no other manager state.
+  std::atomic<uint64_t> retries_{0};
 
   mutable std::mutex mu_;
   std::map<ObjectId, std::unique_ptr<AtomicObject>> objects_;
   std::map<TxnId, std::shared_ptr<Transaction>> live_;
-  ManagerStats stats_;
+  ManagerStats stats_;  // retries lives in retries_, not here
 };
 
 }  // namespace ccr

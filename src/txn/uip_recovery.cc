@@ -32,21 +32,27 @@ void UipRecovery::Apply(TxnId txn, const Operation& op,
   ++stats_.applies;
   current_ = std::move(next);
   log_.push_back(LogEntry{txn, op});
+  ++live_counts_[txn];
+  // Accumulate the redo record as operations execute (the journal contract
+  // is "attached before first use"), so Commit never scans the log.
+  if (journal_ != nullptr) pending_ops_[txn].push_back(op);
 }
 
 void UipRecovery::Commit(TxnId txn) {
   ++stats_.commits;
   if (journal_ != nullptr) {
-    // The transaction's operations, in response order, become its redo
-    // record. They are all still in the log: checkpointing only folds
-    // entries of already-committed transactions.
+    // The transaction's operations, in response order, are its redo record.
     OpSeq ops;
-    for (const LogEntry& entry : log_) {
-      if (entry.txn == txn) ops.push_back(entry.op);
+    auto it = pending_ops_.find(txn);
+    if (it != pending_ops_.end()) {
+      ops = std::move(it->second);
+      pending_ops_.erase(it);
     }
     journal_->AppendCommit(txn, std::move(ops));
   }
-  committed_in_log_.insert(txn);
+  // A transaction with no log entries has nothing to fold; remembering it
+  // would leak (nothing ever erases it again).
+  if (live_counts_.count(txn) > 0) committed_in_log_.insert(txn);
   Checkpoint();
 }
 
@@ -57,16 +63,14 @@ void UipRecovery::Checkpoint() {
                   "checkpoint replay of %s had %zu successors",
                   log_.front().op.ToString().c_str(), nexts.size());
     base_ = std::move(nexts[0]);
+    const TxnId folded = log_.front().txn;
     log_.pop_front();
-  }
-  // Committed transactions with no remaining log entries can be forgotten.
-  std::set<TxnId> still_in_log;
-  for (const LogEntry& entry : log_) still_in_log.insert(entry.txn);
-  for (auto it = committed_in_log_.begin(); it != committed_in_log_.end();) {
-    if (still_in_log.count(*it) == 0) {
-      it = committed_in_log_.erase(it);
-    } else {
-      ++it;
+    // Per-transaction counts replace the old full-log rescan: a committed
+    // transaction is forgotten the moment its last entry folds.
+    auto count_it = live_counts_.find(folded);
+    if (--count_it->second == 0) {
+      live_counts_.erase(count_it);
+      committed_in_log_.erase(folded);
     }
   }
 }
@@ -78,6 +82,9 @@ void UipRecovery::Abort(TxnId txn) {
   } else {
     AbortByReplay(txn);
   }
+  // Both strategies remove every log entry of `txn`.
+  live_counts_.erase(txn);
+  pending_ops_.erase(txn);
   Checkpoint();
 }
 

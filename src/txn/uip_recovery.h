@@ -25,6 +25,7 @@
 #define CCR_TXN_UIP_RECOVERY_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <set>
 
@@ -55,6 +56,8 @@ class UipRecovery final : public RecoveryManager {
 
   // Log length after checkpointing (for tests and diagnostics).
   size_t log_size() const { return log_.size(); }
+  // Distinct transactions with entries still in the log.
+  size_t live_txns_in_log() const { return live_counts_.size(); }
 
  private:
   struct LogEntry {
@@ -74,6 +77,13 @@ class UipRecovery final : public RecoveryManager {
   std::unique_ptr<SpecState> current_;  // base + all logged operations
   std::deque<LogEntry> log_;            // response order
   std::set<TxnId> committed_in_log_;    // committed but not yet folded
+
+  // Per-transaction accounting so Commit and Checkpoint are O(ops of the
+  // transaction) instead of O(log): remaining log entries per transaction,
+  // and (only when a journal is attached) the accumulated redo record of
+  // each still-active transaction.
+  std::map<TxnId, size_t> live_counts_;
+  std::map<TxnId, OpSeq> pending_ops_;
 };
 
 }  // namespace ccr

@@ -5,7 +5,9 @@
 // key recoverability scenario: aborting one of several *concurrent updates*
 // must preserve the others' effects — exactly what value logging cannot do.
 
+#include <deque>
 #include <map>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include "adt/int_set.h"
 #include "adt/semiqueue.h"
 #include "txn/du_recovery.h"
+#include "txn/journal.h"
 #include "txn/uip_recovery.h"
 
 namespace ccr {
@@ -122,6 +125,119 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<UipUndoStrategy>& info) {
       return info.param == UipUndoStrategy::kReplay ? "Replay" : "Inverse";
     });
+
+// Pins the O(ops-of-transaction) commit/checkpoint accounting (per-txn
+// entry counts + incrementally accumulated redo records) against a shadow
+// of the old full-log-scan algorithm on a randomized schedule: log length,
+// live-transaction count, journal redo records, and both states must match
+// the shadow after every step.
+TEST(UipAccountingTest, RandomizedScheduleMatchesFullScanShadow) {
+  for (UipUndoStrategy strategy :
+       {UipUndoStrategy::kReplay, UipUndoStrategy::kInverse}) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      auto ba = MakeBankAccount();
+      Journal journal;
+      UipRecovery rm(ba, strategy);
+      rm.set_journal(&journal);
+
+      struct ShadowEntry {
+        TxnId txn;
+        Operation op;
+        int64_t amount;
+      };
+      std::deque<ShadowEntry> shadow_log;
+      std::set<TxnId> shadow_committed;  // the old committed_in_log_
+      int64_t shadow_base = 0;
+
+      // The old Checkpoint: fold the committed prefix, then rebuild
+      // still_in_log by scanning the whole log.
+      auto shadow_checkpoint = [&] {
+        while (!shadow_log.empty() &&
+               shadow_committed.count(shadow_log.front().txn) > 0) {
+          shadow_base += shadow_log.front().amount;
+          shadow_log.pop_front();
+        }
+        std::set<TxnId> still_in_log;
+        for (const ShadowEntry& e : shadow_log) still_in_log.insert(e.txn);
+        for (auto it = shadow_committed.begin();
+             it != shadow_committed.end();) {
+          if (still_in_log.count(*it) == 0) {
+            it = shadow_committed.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      };
+
+      Random rng(seed * 31 + 7);
+      std::vector<TxnId> active;
+      TxnId next_txn = 1;
+      size_t expected_records = 0;
+      for (int step = 0; step < 250; ++step) {
+        const uint64_t roll = rng.Uniform(10);
+        if (roll < 6 || active.empty()) {
+          TxnId txn;
+          if (active.size() < 4 && (active.empty() || rng.Uniform(2) == 0)) {
+            txn = next_txn++;
+            active.push_back(txn);
+          } else {
+            txn = active[rng.Uniform(active.size())];
+          }
+          const int64_t amount =
+              static_cast<int64_t>(1 + rng.Uniform(9));
+          const Invocation inv = ba->DepositInv(amount);
+          const Value result = Step(&rm, txn, inv);
+          EXPECT_EQ(result, Value("ok"));
+          shadow_log.push_back(
+              ShadowEntry{txn, Operation(inv, result), amount});
+        } else {
+          const size_t pick = rng.Uniform(active.size());
+          const TxnId txn = active[pick];
+          active.erase(active.begin() + static_cast<long>(pick));
+          if (roll < 8) {
+            // Expected redo record, built the old way: scan the log.
+            OpSeq expected;
+            for (const ShadowEntry& e : shadow_log) {
+              if (e.txn == txn) expected.push_back(e.op);
+            }
+            rm.Commit(txn);
+            ++expected_records;
+            ASSERT_EQ(journal.size(), expected_records);
+            const Journal::CommitRecord rec = journal.Records().back();
+            EXPECT_EQ(rec.txn, txn);
+            ASSERT_EQ(rec.ops.size(), expected.size());
+            for (size_t i = 0; i < expected.size(); ++i) {
+              EXPECT_TRUE(rec.ops[i] == expected[i]);
+            }
+            shadow_committed.insert(txn);
+            shadow_checkpoint();
+          } else {
+            rm.Abort(txn);
+            std::deque<ShadowEntry> kept;
+            for (ShadowEntry& e : shadow_log) {
+              if (e.txn != txn) kept.push_back(std::move(e));
+            }
+            shadow_log.swap(kept);
+            shadow_checkpoint();
+          }
+        }
+
+        ASSERT_EQ(rm.log_size(), shadow_log.size());
+        std::set<TxnId> distinct;
+        for (const ShadowEntry& e : shadow_log) distinct.insert(e.txn);
+        ASSERT_EQ(rm.live_txns_in_log(), distinct.size());
+        int64_t current = shadow_base;
+        int64_t committed = shadow_base;
+        for (const ShadowEntry& e : shadow_log) {
+          current += e.amount;
+          if (shadow_committed.count(e.txn) > 0) committed += e.amount;
+        }
+        ASSERT_EQ(BalanceOf(*rm.CurrentState()), current);
+        ASSERT_EQ(BalanceOf(*rm.CommittedState()), committed);
+      }
+    }
+  }
+}
 
 // Replay and inverse undo must produce equieffective states on a randomized
 // interleaving (property test over the arithmetic ADT).

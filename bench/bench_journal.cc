@@ -1,0 +1,278 @@
+// Copyright 2026 The ccr Authors.
+//
+// PERF-JOURNAL: cost of the durable redo journal. Three scenarios:
+//
+//  1. append — commit-record append throughput through JournalWriter
+//     (encode + CRC32C + frame + sync per record) for the in-memory sink
+//     and the file-backed sink, plus a group-commit variant that frames
+//     records individually but syncs every G records (the classical group
+//     commit trade: G crash-vulnerable records for 1/G of the syncs).
+//
+//  2. replay — crash-recovery scan rate (ScanJournalImage: frame walk +
+//     CRC verify + payload decode) vs journal length, and full engine
+//     replay (TxnManager::RestartFromImage) for both recovery methods.
+//
+//  3. fault sweep — the recovery matrix: boundary crashes and torn/corrupt
+//     tails must recover by truncation; mid-journal corruption must be
+//     rejected. Reports counts over a sweep of injected faults.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "adt/bank_account.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "txn/du_recovery.h"
+#include "txn/journal_format.h"
+#include "txn/journal_io.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+namespace ccr {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<Journal::CommitRecord> MakeRecords(size_t n) {
+  auto ba = MakeBankAccount();
+  Random rng(99);
+  std::vector<Journal::CommitRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    OpSeq ops;
+    const int count = 1 + static_cast<int>(rng.Uniform(3));
+    for (int j = 0; j < count; ++j) {
+      ops.push_back(ba->Deposit(rng.UniformRange(1, 99)));
+    }
+    records.push_back({static_cast<TxnId>(i + 1), std::move(ops)});
+  }
+  return records;
+}
+
+std::string TempWalPath() {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/ccr_bench_journal.wal";
+}
+
+// Per-record durable appends through JournalWriter. Returns records/s.
+double AppendThroughput(const std::vector<Journal::CommitRecord>& records,
+                        ByteSink* sink, uint64_t* bytes) {
+  JournalWriter writer(sink);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& record : records) {
+    CCR_CHECK(writer.Append(record).ok());
+  }
+  const double seconds = Seconds(start);
+  *bytes = writer.bytes_written();
+  return seconds > 0 ? static_cast<double>(records.size()) / seconds : 0;
+}
+
+// Group commit: frame records individually, sync once per `group`.
+double GroupAppendThroughput(const std::vector<Journal::CommitRecord>& records,
+                             ByteSink* sink, size_t group) {
+  const auto start = std::chrono::steady_clock::now();
+  size_t pending = 0;
+  for (const auto& record : records) {
+    CCR_CHECK(sink->Append(EncodeCommitRecord(record)).ok());
+    if (++pending == group) {
+      CCR_CHECK(sink->Sync().ok());
+      pending = 0;
+    }
+  }
+  if (pending > 0) CCR_CHECK(sink->Sync().ok());
+  const double seconds = Seconds(start);
+  return seconds > 0 ? static_cast<double>(records.size()) / seconds : 0;
+}
+
+void BenchAppend() {
+  std::printf(
+      "scenario: append (encode + crc32c + frame per commit record;\n"
+      "sync per record unless grouped)\n");
+  TablePrinter table({"sink", "group", "records", "records/s", "MB/s"});
+  const auto records = MakeRecords(20000);
+  const auto file_records = MakeRecords(2000);
+
+  for (size_t group : {size_t{1}, size_t{32}}) {
+    MemorySink sink;
+    uint64_t bytes = 0;
+    double rate;
+    if (group == 1) {
+      rate = AppendThroughput(records, &sink, &bytes);
+    } else {
+      rate = GroupAppendThroughput(records, &sink, group);
+      bytes = sink.image().size();
+    }
+    const double mbps = rate * static_cast<double>(bytes) /
+                        static_cast<double>(records.size()) / 1e6;
+    table.AddRow({"memory", StrFormat("%zu", group),
+                  StrFormat("%zu", records.size()), StrFormat("%.0f", rate),
+                  StrFormat("%.1f", mbps)});
+  }
+  for (size_t group : {size_t{1}, size_t{32}}) {
+    const std::string path = TempWalPath();
+    auto sink = FileSink::Open(path);
+    CCR_CHECK(sink.ok());
+    uint64_t bytes = 0;
+    double rate;
+    if (group == 1) {
+      rate = AppendThroughput(file_records, sink->get(), &bytes);
+    } else {
+      rate = GroupAppendThroughput(file_records, sink->get(), group);
+      auto image = ReadFileImage(path);
+      bytes = image.ok() ? image->size() : 0;
+    }
+    const double mbps = rate * static_cast<double>(bytes) /
+                        static_cast<double>(file_records.size()) / 1e6;
+    table.AddRow({"file", StrFormat("%zu", group),
+                  StrFormat("%zu", file_records.size()),
+                  StrFormat("%.0f", rate), StrFormat("%.1f", mbps)});
+    std::remove(path.c_str());
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BenchReplay() {
+  std::printf(
+      "scenario: replay — crash-recovery scan rate vs journal length,\n"
+      "and full engine restart (scan + redo through the recovery manager)\n");
+  TablePrinter table({"records", "bytes", "scan records/s", "scan MB/s"});
+  for (size_t n : {size_t{1000}, size_t{10000}, size_t{50000}}) {
+    const auto records = MakeRecords(n);
+    std::string image;
+    for (const auto& record : records) image += EncodeCommitRecord(record);
+    const auto start = std::chrono::steady_clock::now();
+    RecoveryReport report;
+    auto scanned = ScanJournalImage(image, &report);
+    const double seconds = Seconds(start);
+    CCR_CHECK(scanned.ok() && report.records_replayed == n);
+    table.AddRow(
+        {StrFormat("%zu", n), StrFormat("%zu", image.size()),
+         StrFormat("%.0f", seconds > 0 ? static_cast<double>(n) / seconds : 0),
+         StrFormat("%.1f", seconds > 0
+                               ? static_cast<double>(image.size()) / seconds / 1e6
+                               : 0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  TablePrinter engine({"method", "records", "restart records/s"});
+  const size_t n = 5000;
+  const auto records = MakeRecords(n);
+  std::string image;
+  for (const auto& record : records) image += EncodeCommitRecord(record);
+  for (int method = 0; method < 2; ++method) {
+    auto ba = MakeBankAccount();
+    TxnManager manager;
+    std::unique_ptr<RecoveryManager> recovery;
+    if (method == 0) {
+      recovery = std::make_unique<UipRecovery>(ba);
+    } else {
+      recovery = std::make_unique<DuRecovery>(ba);
+    }
+    manager.AddObject("BA", ba,
+                      method == 0 ? MakeNrbcConflict(ba) : MakeNfcConflict(ba),
+                      std::move(recovery));
+    const auto start = std::chrono::steady_clock::now();
+    RecoveryReport report;
+    CCR_CHECK(manager.RestartFromImage(image, &report).ok());
+    const double seconds = Seconds(start);
+    engine.AddRow(
+        {method == 0 ? "UIP" : "DU", StrFormat("%zu", n),
+         StrFormat("%.0f", seconds > 0 ? static_cast<double>(n) / seconds : 0)});
+  }
+  std::printf("%s\n", engine.ToString().c_str());
+}
+
+void BenchFaultSweep() {
+  std::printf(
+      "scenario: fault sweep — recovery outcomes under injected faults\n");
+  const auto records = MakeRecords(64);
+  std::string image;
+  std::vector<size_t> boundaries = {0};
+  for (const auto& record : records) {
+    image += EncodeCommitRecord(record);
+    boundaries.push_back(image.size());
+  }
+
+  TablePrinter table({"fault", "trials", "recovered", "rejected", "expected"});
+  // Boundary crashes: clean prefix, no truncation.
+  size_t ok = 0;
+  for (size_t n = 0; n < boundaries.size(); ++n) {
+    RecoveryReport report;
+    auto scanned = ScanJournalImage(
+        std::string_view(image).substr(0, boundaries[n]), &report);
+    if (scanned.ok() && report.records_replayed == n && !report.corrupt_tail) {
+      ++ok;
+    }
+  }
+  table.AddRow({"boundary crash", StrFormat("%zu", boundaries.size()),
+                StrFormat("%zu", ok), "0", "all recovered"});
+
+  // Torn writes: cut mid-record at varied depths; truncate to last boundary.
+  size_t trials = 0;
+  ok = 0;
+  Random rng(4);
+  for (size_t n = 0; n + 1 < boundaries.size(); ++n) {
+    const size_t cut = boundaries[n] + 1 +
+                       rng.Uniform(boundaries[n + 1] - boundaries[n] - 1);
+    RecoveryReport report;
+    auto scanned =
+        ScanJournalImage(std::string_view(image).substr(0, cut), &report);
+    ++trials;
+    if (scanned.ok() && report.records_replayed == n && report.corrupt_tail) {
+      ++ok;
+    }
+  }
+  table.AddRow({"torn write", StrFormat("%zu", trials), StrFormat("%zu", ok),
+                "0", "all recovered"});
+
+  // Tail byte flips: truncate the tail record, keep the prefix.
+  trials = ok = 0;
+  for (size_t off = boundaries[boundaries.size() - 2]; off < image.size();
+       off += 5) {
+    std::string corrupted = image;
+    FlipByte(&corrupted, off, 0x10);
+    RecoveryReport report;
+    auto scanned = ScanJournalImage(corrupted, &report);
+    ++trials;
+    if (scanned.ok() && report.records_replayed == records.size() - 1) ++ok;
+  }
+  table.AddRow({"tail byte flip", StrFormat("%zu", trials),
+                StrFormat("%zu", ok), "0", "all recovered"});
+
+  // Mid-journal byte flips: a damaged durable prefix must be rejected.
+  trials = 0;
+  size_t rejected = 0;
+  for (size_t off = 0; off < boundaries[boundaries.size() - 2]; off += 97) {
+    std::string corrupted = image;
+    FlipByte(&corrupted, off, 0x10);
+    auto scanned = ScanJournalImage(corrupted, nullptr);
+    ++trials;
+    if (!scanned.ok()) ++rejected;
+  }
+  table.AddRow({"mid-journal flip", StrFormat("%zu", trials), "0",
+                StrFormat("%zu", rejected), "all rejected"});
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  std::printf("PERF-JOURNAL: durable redo journal — append, replay, faults\n\n");
+  BenchAppend();
+  BenchReplay();
+  BenchFaultSweep();
+  std::printf(
+      "Shape to check: memory-sink appends well above file-sink appends\n"
+      "(fdatasync dominates); group commit recovering most of the gap at\n"
+      "G=32; scan rate roughly flat in journal length (linear walk); the\n"
+      "fault matrix all-recovered / all-rejected exactly as labeled.\n");
+  return 0;
+}

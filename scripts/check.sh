@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command gate: build + full tier-1 test suite, then the crash-recovery
+# suite (ctest label `crash`) under AddressSanitizer and ThreadSanitizer.
+#
+#   scripts/check.sh           # everything
+#   scripts/check.sh --fast    # tier-1 only (skip sanitizer builds)
+#
+# Uses the CMake presets in CMakePresets.json (default / asan / tsan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> tier-1: configure + build + full ctest (preset: default)"
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default -j "${JOBS}"
+
+if [[ "${FAST}" == 1 ]]; then
+  echo "==> --fast: skipping sanitizer crash suites"
+  exit 0
+fi
+
+for san in asan tsan; do
+  echo "==> crash suite under ${san} (ctest -L crash)"
+  cmake --preset "${san}"
+  cmake --build --preset "${san}" -j "${JOBS}"
+  ctest --preset "crash-${san}" -j "${JOBS}"
+done
+
+echo "==> all checks passed"

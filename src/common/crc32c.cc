@@ -1,0 +1,64 @@
+// Copyright 2026 The ccr Authors.
+
+#include "common/crc32c.h"
+
+namespace ccr {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli polynomial
+
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tab = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte alignment would not help correctness, but
+  // slice-by-8 wants 8 bytes per step regardless of alignment (loads are
+  // assembled byte-wise, so this stays UB-free on any platform).
+  while (n >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               (static_cast<uint32_t>(p[1]) << 8) |
+                               (static_cast<uint32_t>(p[2]) << 16) |
+                               (static_cast<uint32_t>(p[3]) << 24));
+    crc = tab.t[7][lo & 0xff] ^ tab.t[6][(lo >> 8) & 0xff] ^
+          tab.t[5][(lo >> 16) & 0xff] ^ tab.t[4][lo >> 24] ^
+          tab.t[3][p[4]] ^ tab.t[2][p[5]] ^ tab.t[1][p[6]] ^ tab.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace ccr

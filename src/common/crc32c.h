@@ -1,0 +1,25 @@
+// Copyright 2026 The ccr Authors.
+//
+// CRC32C (Castagnoli polynomial, as used by iSCSI, ext4, and LevelDB-family
+// journals). Software slice-by-8 implementation — fast enough for journal
+// framing without depending on SSE4.2 intrinsics being available.
+
+#ifndef CCR_COMMON_CRC32C_H_
+#define CCR_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccr {
+
+// CRC32C of `n` bytes at `data`.
+uint32_t Crc32c(const void* data, size_t n);
+
+// Incremental form: extends `crc` (a previous Crc32c/Crc32cExtend result,
+// or 0 for an empty prefix) with `n` more bytes. Crc32cExtend(0, d, n) ==
+// Crc32c(d, n).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_CRC32C_H_

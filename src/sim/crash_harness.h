@@ -1,0 +1,64 @@
+// Copyright 2026 The ccr Authors.
+//
+// Crash-restart scenario over the multithreaded engine: run a workload
+// with a durable journal, kill the "machine" at an arbitrary byte offset
+// of the on-disk image (losing all volatile state), recover a freshly
+// built system from the surviving bytes, and audit the result against the
+// commit order the run actually produced:
+//
+//   1. the scanned records must be a prefix of the run's commit order
+//      (per object — each object's records appear in its commit order);
+//   2. every recovered object's committed state must equal an independent
+//      spec-level replay of that prefix (RecoverState, not the engine).
+//
+// This is the driver-level crash scenario behind the randomized
+// crash-restart property tests and the fault sweep in bench_journal.
+
+#ifndef CCR_SIM_CRASH_HARNESS_H_
+#define CCR_SIM_CRASH_HARNESS_H_
+
+#include <functional>
+#include <string>
+
+#include "sim/driver.h"
+#include "txn/journal_io.h"
+
+namespace ccr {
+
+// Builds the system's objects into a fresh manager. Called twice per
+// scenario: once for the pre-crash run, once for the post-crash restart —
+// a crash loses every volatile structure, so recovery must start from a
+// newly constructed engine.
+using SystemFactory = std::function<void(TxnManager* manager)>;
+
+struct CrashScenarioOptions {
+  DriverOptions driver;
+  // Crash point as a fraction of the final image size (0 = before any
+  // record reached the disk, 1 = clean shutdown). The byte offset this
+  // lands on is arbitrary — usually mid-record, exercising the torn-tail
+  // truncation rule.
+  double crash_fraction = 0.5;
+};
+
+struct CrashScenarioResult {
+  uint64_t image_bytes = 0;      // journal bytes on disk at full run
+  uint64_t crash_offset = 0;     // bytes surviving the crash
+  size_t records_total = 0;      // commit records the full run journaled
+  RecoveryReport report;         // what the post-crash scan found
+  Status status;                 // recovery outcome (scan + replay)
+  bool prefix_of_commit_order = false;  // audit (1) above
+  bool state_matches_prefix = false;    // audit (2) above
+
+  bool ok() const {
+    return status.ok() && prefix_of_commit_order && state_matches_prefix;
+  }
+};
+
+// Runs the full scenario described above.
+CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
+                                     const TxnBody& body,
+                                     const CrashScenarioOptions& options);
+
+}  // namespace ccr
+
+#endif  // CCR_SIM_CRASH_HARNESS_H_

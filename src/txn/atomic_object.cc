@@ -272,6 +272,27 @@ void AtomicObject::Abort(TxnId txn) {
   if (detector_ != nullptr) detector_->Forget(txn);
 }
 
+Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Operation& op : ops) {
+    std::vector<Outcome> outcomes = recovery_->Candidates(txn, op.inv());
+    bool applied = false;
+    for (Outcome& outcome : outcomes) {
+      if (outcome.result != op.result()) continue;
+      recovery_->Apply(txn, op, std::move(outcome.next));
+      applied = true;
+      break;
+    }
+    if (!applied) {
+      return Status::Internal(StrFormat(
+          "crash replay stuck: %s of %s not enabled at %s",
+          op.ToString().c_str(), TxnName(txn).c_str(), id_.c_str()));
+    }
+  }
+  recovery_->Commit(txn);
+  return Status::OK();
+}
+
 std::unique_ptr<SpecState> AtomicObject::CommittedState() const {
   std::lock_guard<std::mutex> lock(mu_);
   return recovery_->CommittedState();

@@ -128,6 +128,16 @@ class AtomicObject {
   // object or manager locks.
   void WakeKilled(TxnId txn);
 
+  // Crash-restart replay (TxnManager::Restart): re-applies one committed
+  // transaction's operations at this object through the recovery manager
+  // and commits them, bypassing conflict locking and history recording —
+  // recovery runs single-threaded with no active transactions, and the
+  // replayed events belong to the pre-crash history, not this run's.
+  // Requires each op's recorded result to be enabled in the replay view
+  // (kInternal otherwise: the journal was written under a conflict
+  // relation too weak for its recovery method, or the image lies).
+  Status ReplayCommitted(TxnId txn, const OpSeq& ops);
+
   // Committed-state snapshot, for invariant checks outside any transaction.
   std::unique_ptr<SpecState> CommittedState() const;
 

@@ -51,8 +51,10 @@ void DuRecovery::Commit(TxnId txn) {
   ++stats_.commits;
   auto it = workspaces_.find(txn);
   if (it == workspaces_.end()) return;  // read-free transaction
-  if (journal_ != nullptr) {
-    // The intentions list is literally the redo record.
+  if (journal_ != nullptr && !it->second.intentions.empty()) {
+    // The intentions list is literally the redo record. A workspace created
+    // by Candidates alone (every invocation disabled) has no intentions and
+    // therefore no record — journaling it would write an empty record.
     journal_->AppendCommit(txn, it->second.intentions);
   }
   // Apply the intentions list to the base copy, in list order.

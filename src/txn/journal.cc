@@ -3,17 +3,29 @@
 #include "txn/journal.h"
 
 #include "common/macros.h"
+#include "txn/journal_io.h"
 
 namespace ccr {
 
 void Journal::AppendCommit(TxnId txn, OpSeq ops) {
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(CommitRecord{txn, std::move(ops)});
+  if (writer_ != nullptr) {
+    const Status s = writer_->Append(records_.back());
+    CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
+                  s.ToString().c_str());
+  }
 }
 
 std::vector<Journal::CommitRecord> Journal::Records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_;
+}
+
+void Journal::ForEachRecord(
+    const std::function<void(const CommitRecord&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CommitRecord& record : records_) fn(record);
 }
 
 size_t Journal::size() const {
@@ -33,7 +45,9 @@ Journal Journal::Prefix(size_t n) const {
 std::unique_ptr<SpecState> RecoverState(const Adt& adt,
                                         const Journal& journal) {
   std::unique_ptr<SpecState> state = adt.spec().InitialState();
-  for (const Journal::CommitRecord& record : journal.Records()) {
+  // Visitation, not Records(): the crash-at-every-prefix audits call this
+  // per prefix, and a deep copy per call made them O(n²) in journal bytes.
+  journal.ForEachRecord([&](const Journal::CommitRecord& record) {
     for (const Operation& op : record.ops) {
       auto nexts = adt.spec().Next(*state, op);
       CCR_CHECK_MSG(nexts.size() == 1,
@@ -41,7 +55,7 @@ std::unique_ptr<SpecState> RecoverState(const Adt& adt,
                     op.ToString().c_str(), TxnName(record.txn).c_str());
       state = std::move(nexts[0]);
     }
-  }
+  });
   return state;
 }
 

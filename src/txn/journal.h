@@ -20,13 +20,16 @@
 // i.e., the abort-recovery theory is what makes this crash recovery
 // correct, which is the interaction the paper is about.
 //
-// The journal is in-memory here (the "disk" of the simulation); commit
-// records are atomic, modeling a write-ahead log whose commit record is the
-// durability point.
+// The in-memory record vector is the volatile view (it dies with the
+// process in a simulated crash); attaching a JournalWriter additionally
+// streams every commit record to a durable byte sink in the checksummed
+// frame format of journal_format.h, and crash recovery scans that image
+// back (see ScanJournalImage / TxnManager::RestartFromImage).
 
 #ifndef CCR_TXN_JOURNAL_H_
 #define CCR_TXN_JOURNAL_H_
 
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -34,6 +37,8 @@
 #include "core/event.h"
 
 namespace ccr {
+
+class JournalWriter;
 
 class Journal {
  public:
@@ -49,11 +54,33 @@ class Journal {
   explicit Journal(std::vector<CommitRecord> records)
       : records_(std::move(records)) {}
 
+  // Movable so StatusOr<Journal> works (ScanJournalImage). The mutex is
+  // not moved — the source must be quiescent, which recovery-time use is.
+  Journal(Journal&& other) noexcept
+      : records_(std::move(other.records_)), writer_(other.writer_) {}
+  Journal& operator=(Journal&& other) noexcept {
+    records_ = std::move(other.records_);
+    writer_ = other.writer_;
+    return *this;
+  }
+
+  // Durable mode: every AppendCommit is also framed and streamed through
+  // `writer` (under the journal mutex, so the writer sees appends
+  // serialized in commit order). Set before first use; the writer must
+  // outlive the journal's last append.
+  void set_writer(JournalWriter* writer) { writer_ = writer; }
+
   // Appends one atomic commit record (the durability point of `txn`).
   void AppendCommit(TxnId txn, OpSeq ops);
 
-  // All records, in commit order.
+  // All records, in commit order. Deep-copies; prefer ForEachRecord on hot
+  // or O(n²)-prone paths (crash-at-every-prefix audits).
   std::vector<CommitRecord> Records() const;
+
+  // Visits every record in commit order without copying. The journal mutex
+  // is held for the whole visitation: `fn` must not reenter this journal
+  // or block on anything that appends to it.
+  void ForEachRecord(const std::function<void(const CommitRecord&)>& fn) const;
 
   size_t size() const;
 
@@ -64,6 +91,7 @@ class Journal {
  private:
   mutable std::mutex mu_;
   std::vector<CommitRecord> records_;
+  JournalWriter* writer_ = nullptr;
 };
 
 // Crash recovery: rebuilds the committed state of an object by replaying

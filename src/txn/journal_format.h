@@ -1,0 +1,78 @@
+// Copyright 2026 The ccr Authors.
+//
+// Durable on-disk format of the redo journal. Each commit record is framed
+// as
+//
+//   [u32 payload_size][u32 crc32c(payload)][payload bytes]
+//
+// with both integers little-endian. The payload is textual, reusing the
+// operation/value encoding of core/history_io: a first line naming the
+// committing transaction, then one line per operation in the record's
+// (response/intentions) order:
+//
+//   txn <id>
+//   op <object> <code> <name> <result-literal> [arg-literals...]
+//
+// The CRC covers the payload only; the length prefix is validated
+// structurally (a frame must fit inside the image). A record's frame
+// reaching the disk in full, checksum intact, IS the transaction's
+// durability point at that object.
+//
+// Crash images are scanned with a torn-tail truncation rule:
+//
+//   * a record whose frame runs past the end of the image, or whose
+//     checksum fails, ends the valid prefix;
+//   * if no intact record exists anywhere after the failure point, the
+//     failure is a torn/corrupt *tail* — the write the crash interrupted
+//     (or bit rot on the final record). Its transaction never reached its
+//     durability point; the tail is truncated and reported, and recovery
+//     proceeds from the valid prefix;
+//   * if an intact record DOES follow, the journal is corrupt in the
+//     middle — a prefix that was once durable has been damaged, which no
+//     truncation rule can repair honestly. The scan rejects the image
+//     (kInternal) instead of silently dropping committed transactions.
+
+#ifndef CCR_TXN_JOURNAL_FORMAT_H_
+#define CCR_TXN_JOURNAL_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "txn/journal.h"
+
+namespace ccr {
+
+// Frame header: u32 payload size + u32 crc32c.
+inline constexpr size_t kJournalFrameHeaderSize = 8;
+
+// The textual payload of one commit record (no frame).
+std::string EncodeCommitPayload(const Journal::CommitRecord& record);
+
+// Inverse of EncodeCommitPayload. kInvalidArgument on malformed payloads
+// (only reachable through writer bugs or checksum collisions — the scanner
+// verifies the CRC first).
+StatusOr<Journal::CommitRecord> DecodeCommitPayload(std::string_view payload);
+
+// The full framed bytes of one commit record as the writer appends them.
+std::string EncodeCommitRecord(const Journal::CommitRecord& record);
+
+// What a crash image scan found and did.
+struct RecoveryReport {
+  size_t records_replayed = 0;  // intact records in the valid prefix
+  size_t bytes_truncated = 0;   // tail bytes dropped by the truncation rule
+  bool corrupt_tail = false;    // true iff a torn/corrupt tail was dropped
+
+  std::string ToString() const;
+};
+
+// Scans a journal image as found after a crash and returns the valid
+// prefix as an in-memory Journal, applying the torn-tail truncation rule
+// above. `report` (optional) receives what happened. Mid-journal
+// corruption — an intact record after a damaged one — returns kInternal.
+StatusOr<Journal> ScanJournalImage(std::string_view image,
+                                   RecoveryReport* report);
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_JOURNAL_FORMAT_H_

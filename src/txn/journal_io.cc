@@ -1,0 +1,134 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/journal_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+StatusOr<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument(StrFormat("cannot open %s: %s",
+                                             path.c_str(),
+                                             std::strerror(errno)));
+  }
+  return std::unique_ptr<FileSink>(new FileSink(file));
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSink::Append(std::string_view bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Internal(StrFormat("journal write failed: %s",
+                                      std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileSink::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal(StrFormat("journal flush failed: %s",
+                                      std::strerror(errno)));
+  }
+#ifndef _WIN32
+  if (fdatasync(fileno(file_)) != 0) {
+    return Status::Internal(StrFormat("journal fdatasync failed: %s",
+                                      std::strerror(errno)));
+  }
+#endif
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileImage(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound(StrFormat("cannot read %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  std::string image;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    image.append(buf, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::Internal(StrFormat("read of %s failed", path.c_str()));
+  }
+  return image;
+}
+
+std::string_view FaultInjector::Admit(size_t index, std::string_view encoded) {
+  if (dead_) return {};
+  switch (kind_) {
+    case Kind::kNone:
+      return encoded;
+    case Kind::kCrash:
+      if (index >= record_) {
+        dead_ = true;
+        return {};
+      }
+      return encoded;
+    case Kind::kTear:
+      if (index == record_) {
+        dead_ = true;
+        return encoded.substr(0, std::min(keep_bytes_, encoded.size()));
+      }
+      if (index > record_) {
+        dead_ = true;
+        return {};
+      }
+      return encoded;
+  }
+  return encoded;
+}
+
+void FlipByte(std::string* image, size_t offset, uint8_t mask) {
+  CCR_CHECK_MSG(offset < image->size(), "flip at %zu beyond image of %zu",
+                offset, image->size());
+  (*image)[offset] = static_cast<char>(
+      static_cast<uint8_t>((*image)[offset]) ^ mask);
+}
+
+JournalWriter::JournalWriter(ByteSink* sink, FaultInjector fault)
+    : sink_(sink), fault_(fault) {
+  CCR_CHECK(sink_ != nullptr);
+}
+
+Status JournalWriter::Append(const Journal::CommitRecord& record) {
+  const std::string encoded = EncodeCommitRecord(record);
+  const std::string_view admitted = fault_.Admit(records_seen_++, encoded);
+  if (!admitted.empty()) {
+    CCR_RETURN_IF_ERROR(sink_->Append(admitted));
+    bytes_written_ += admitted.size();
+  }
+  if (admitted.size() == encoded.size()) {
+    ++records_appended_;
+    boundaries_.push_back(bytes_written_);
+    return sink_->Sync();
+  }
+  // The injected crash interrupted (or preceded) this write; the caller's
+  // simulated process is gone, so there is nothing to report upward — the
+  // in-memory journal keeps the record, the disk never sees it.
+  return Status::OK();
+}
+
+uint64_t JournalWriter::boundary(size_t index) const {
+  CCR_CHECK_MSG(index < boundaries_.size(), "boundary %zu of %zu", index,
+                boundaries_.size());
+  return boundaries_[index];
+}
+
+}  // namespace ccr

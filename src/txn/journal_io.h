@@ -1,0 +1,169 @@
+// Copyright 2026 The ccr Authors.
+//
+// The byte-level side of the durable journal: a sink abstraction over the
+// "disk" (in-memory image for tests and fault sweeps, a real append-only
+// file for deployments), a JournalWriter that frames commit records through
+// an optional FaultInjector, and a JournalReader that scans a crash image
+// back into an in-memory Journal under the torn-tail truncation rule of
+// journal_format.h.
+//
+// Fault injection happens at the writer/sink boundary, which is exactly
+// where real crashes land: a crash at a record boundary loses whole
+// records, a torn write loses the suffix of one record, and at-rest bit
+// rot flips bytes in the stored image.
+
+#ifndef CCR_TXN_JOURNAL_IO_H_
+#define CCR_TXN_JOURNAL_IO_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/journal_format.h"
+
+namespace ccr {
+
+// Destination for journal bytes. Append-only; Sync is the durability
+// barrier (a record is crash-safe only once the Sync after it returns).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  virtual Status Append(std::string_view bytes) = 0;
+  virtual Status Sync() = 0;
+};
+
+// The simulation's disk: an inspectable (and corruptible) byte string.
+class MemorySink : public ByteSink {
+ public:
+  Status Append(std::string_view bytes) override {
+    image_.append(bytes.data(), bytes.size());
+    return Status::OK();
+  }
+  Status Sync() override { return Status::OK(); }
+
+  const std::string& image() const { return image_; }
+  std::string* mutable_image() { return &image_; }
+
+ private:
+  std::string image_;
+};
+
+// A real append-only file. Sync flushes user-space buffers and issues
+// fdatasync, the actual durability point.
+class FileSink : public ByteSink {
+ public:
+  // Opens (creating or truncating) `path` for appending.
+  static StatusOr<std::unique_ptr<FileSink>> Open(const std::string& path);
+
+  ~FileSink() override;
+
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+
+ private:
+  explicit FileSink(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+};
+
+// Reads a whole journal image back from a file (the post-crash disk).
+StatusOr<std::string> ReadFileImage(const std::string& path);
+
+// Write-path fault injection. A fault is positioned by *record index* (the
+// i-th appended record, 0-based):
+//
+//   None           — all bytes reach the disk.
+//   CrashAtRecord  — records [0, i) reach the disk; record i and everything
+//                    after are lost (the process died before the write).
+//   TearRecord     — record i reaches the disk only as its first
+//                    `keep_bytes` bytes; everything after is lost (the
+//                    crash interrupted the write itself).
+//
+// At-rest corruption is not a write-path event; use FlipByte on the stored
+// image instead.
+class FaultInjector {
+ public:
+  static FaultInjector None() { return FaultInjector(Kind::kNone, 0, 0); }
+  static FaultInjector CrashAtRecord(size_t record) {
+    return FaultInjector(Kind::kCrash, record, 0);
+  }
+  static FaultInjector TearRecord(size_t record, size_t keep_bytes) {
+    return FaultInjector(Kind::kTear, record, keep_bytes);
+  }
+
+  // The prefix of `encoded` the disk receives for the record at `index`;
+  // empty once the injected crash has happened.
+  std::string_view Admit(size_t index, std::string_view encoded);
+
+  // True once the fault has fired: the simulated process is dead and no
+  // further bytes reach the disk.
+  bool dead() const { return dead_; }
+
+ private:
+  enum class Kind { kNone, kCrash, kTear };
+
+  FaultInjector(Kind kind, size_t record, size_t keep_bytes)
+      : kind_(kind), record_(record), keep_bytes_(keep_bytes) {}
+
+  Kind kind_;
+  size_t record_;
+  size_t keep_bytes_;
+  bool dead_ = false;
+};
+
+// XORs `mask` into byte `offset` of a stored image (at-rest bit rot).
+void FlipByte(std::string* image, size_t offset, uint8_t mask = 0x01);
+
+// Frames commit records into a sink, through the fault injector. Calls are
+// expected to be externally serialized (Journal::AppendCommit forwards
+// under the journal mutex).
+class JournalWriter {
+ public:
+  explicit JournalWriter(ByteSink* sink,
+                         FaultInjector fault = FaultInjector::None());
+
+  // Encodes `record`, passes it through the injector, and appends whatever
+  // the injector admits. Each append is followed by Sync: the commit
+  // record is the durability point, so it must be on disk before the
+  // commit is acknowledged.
+  Status Append(const Journal::CommitRecord& record);
+
+  size_t records_appended() const { return records_appended_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Byte offset at which record `index` started (index <= records seen so
+  // far); boundary(n) for n == records seen is the current end offset.
+  // These are the crash points of the boundary fault sweep.
+  uint64_t boundary(size_t index) const;
+
+ private:
+  ByteSink* sink_;
+  FaultInjector fault_;
+  size_t records_seen_ = 0;      // records offered (including dropped ones)
+  size_t records_appended_ = 0;  // records fully admitted to the sink
+  uint64_t bytes_written_ = 0;
+  std::vector<uint64_t> boundaries_{0};
+};
+
+// Scans a crash image back into an in-memory Journal (see
+// ScanJournalImage for the truncation rule and the mid-journal-corruption
+// error contract).
+class JournalReader {
+ public:
+  explicit JournalReader(std::string_view image) : image_(image) {}
+
+  StatusOr<Journal> Scan(RecoveryReport* report) const {
+    return ScanJournalImage(image_, report);
+  }
+
+ private:
+  std::string_view image_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_JOURNAL_IO_H_

@@ -14,15 +14,6 @@ OptimisticObject::OptimisticObject(
   base_ = adt_->spec().InitialState();
 }
 
-OptimisticObject::Workspace& OptimisticObject::GetWorkspace(TxnId txn) {
-  auto it = workspaces_.find(txn);
-  if (it != workspaces_.end()) return it->second;
-  Workspace ws;
-  ws.snapshot_version = version_;
-  ws.state = base_->Clone();
-  return workspaces_.emplace(txn, std::move(ws)).first->second;
-}
-
 StatusOr<Value> OptimisticObject::Execute(TxnId txn, const Invocation& inv) {
   if (inv.object() != id_) {
     return Status::InvalidArgument(
@@ -30,13 +21,24 @@ StatusOr<Value> OptimisticObject::Execute(TxnId txn, const Invocation& inv) {
                   id_.c_str()));
   }
   std::lock_guard<std::mutex> lock(mu_);
-  Workspace& ws = GetWorkspace(txn);
-  std::vector<Outcome> outcomes = adt_->spec().Outcomes(*ws.state, inv);
+  // The workspace is materialized only on the first *successful* execute: a
+  // transaction whose every invocation was disabled must leave no trace —
+  // an empty workspace would pin `oldest` in the validation-window trim and
+  // keep committed_ records alive indefinitely.
+  auto it = workspaces_.find(txn);
+  const SpecState& view = it != workspaces_.end() ? *it->second.state : *base_;
+  std::vector<Outcome> outcomes = adt_->spec().Outcomes(view, inv);
   if (outcomes.empty()) {
     return Status::IllegalState(
         StrFormat("%s disabled in %s's snapshot view",
                   inv.ToString().c_str(), TxnName(txn).c_str()));
   }
+  if (it == workspaces_.end()) {
+    Workspace ws;
+    ws.snapshot_version = version_;
+    it = workspaces_.emplace(txn, std::move(ws)).first;
+  }
+  Workspace& ws = it->second;
   Outcome& chosen = outcomes.front();
   const Operation op(inv, chosen.result);
   ws.intentions.push_back(op);
@@ -132,6 +134,11 @@ std::unique_ptr<SpecState> OptimisticObject::CommittedState() const {
 OccStats OptimisticObject::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+size_t OptimisticObject::validation_window_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.size();
 }
 
 }  // namespace ccr

@@ -73,7 +73,16 @@ class OptimisticObject {
 
   OccStats stats() const;
 
+  // Number of committed records retained for backward validation. Observability
+  // for the window-trim logic: with no live workspaces this returns to 0 after
+  // every commit (a transaction that never executed successfully must not pin
+  // the window).
+  size_t validation_window_size() const;
+
  private:
+  // Created lazily by the first successful Execute (a transaction with no
+  // executed operations must not exist in workspaces_, or it would pin the
+  // validation-window trim).
   struct Workspace {
     uint64_t snapshot_version = 0;
     std::unique_ptr<SpecState> state;  // snapshot ⊕ intentions
@@ -84,9 +93,6 @@ class OptimisticObject {
     uint64_t version;  // version assigned by this commit
     OpSeq ops;
   };
-
-  // Caller holds mu_. Creates the workspace on first use.
-  Workspace& GetWorkspace(TxnId txn);
 
   const ObjectId id_;
   std::shared_ptr<const Adt> adt_;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "txn/journal_format.h"
 
 namespace ccr {
 
@@ -40,6 +41,77 @@ AtomicObject* TxnManager::object(const ObjectId& id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(id);
   return it == objects_.end() ? nullptr : it->second.get();
+}
+
+std::vector<AtomicObject*> TxnManager::objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AtomicObject*> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) out.push_back(obj.get());
+  return out;
+}
+
+Status TxnManager::Restart(const Journal& journal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!live_.empty()) {
+      return Status::IllegalState(
+          "Restart with live transactions — recovery runs on a fresh "
+          "manager before any transaction begins");
+    }
+  }
+  // Detach journals during replay: the records being replayed are already
+  // durable, and re-appending them would double the journal.
+  const std::vector<AtomicObject*> objs = objects();
+  std::map<AtomicObject*, Journal*> detached;
+  for (AtomicObject* obj : objs) {
+    detached[obj] = obj->recovery().journal();
+    obj->recovery().set_journal(nullptr);
+  }
+  Status status = Status::OK();
+  TxnId max_txn = 0;
+  journal.ForEachRecord([&](const Journal::CommitRecord& record) {
+    if (!status.ok()) return;
+    max_txn = std::max(max_txn, record.txn);
+    // A record's ops may interleave objects (response order); group them
+    // per object, preserving per-object order — object states are
+    // independent, so the grouped replay is effect-equal.
+    std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
+    for (const Operation& op : record.ops) {
+      AtomicObject* obj = object(op.object());
+      if (obj == nullptr) {
+        status = Status::Internal(StrFormat(
+            "journal names unknown object %s — restart system does not "
+            "match the journaled one", op.object().c_str()));
+        return;
+      }
+      auto it = std::find_if(grouped.begin(), grouped.end(),
+                             [&](const auto& g) { return g.first == obj; });
+      if (it == grouped.end()) {
+        grouped.emplace_back(obj, OpSeq{});
+        it = std::prev(grouped.end());
+      }
+      it->second.push_back(op);
+    }
+    for (auto& [obj, ops] : grouped) {
+      status = obj->ReplayCommitted(record.txn, ops);
+      if (!status.ok()) return;
+    }
+  });
+  for (auto& [obj, jnl] : detached) obj->recovery().set_journal(jnl);
+  // Post-restart transactions must not reuse replayed ids: a reused id
+  // would journal a second commit record under an id that already has one.
+  if (status.ok() && max_txn >= next_txn_.load(std::memory_order_relaxed)) {
+    next_txn_.store(max_txn + 1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status TxnManager::RestartFromImage(std::string_view image,
+                                    RecoveryReport* report) {
+  StatusOr<Journal> scanned = ScanJournalImage(image, report);
+  if (!scanned.ok()) return scanned.status();
+  return Restart(*scanned);
 }
 
 std::shared_ptr<Transaction> TxnManager::Begin() {

@@ -17,10 +17,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string_view>
+#include <vector>
 
 #include "txn/atomic_object.h"
 
 namespace ccr {
+
+class Journal;
+struct RecoveryReport;
 
 struct TxnManagerOptions {
   bool record_history = true;
@@ -56,6 +61,27 @@ class TxnManager {
                           std::unique_ptr<RecoveryManager> recovery);
 
   AtomicObject* object(const ObjectId& id) const;
+
+  // All registered objects (registration order). Stable once setup is done;
+  // used by crash harnesses to attach journals and audit recovered state.
+  std::vector<AtomicObject*> objects() const;
+
+  // Crash restart: replays a journal's commit records in commit order
+  // through the objects' recovery managers, rebuilding every object's
+  // committed state. Call on a freshly built manager (same objects
+  // re-added, no live transactions). Records naming unknown objects or
+  // operations not enabled at replay are kInternal — the journal and the
+  // system configuration disagree. Journals attached to the recovery
+  // managers are detached for the duration (replayed commits are already
+  // durable; re-journaling them would double them).
+  Status Restart(const Journal& journal);
+
+  // Scans a crash image (the durable journal's post-crash bytes) under the
+  // torn-tail truncation rule and replays the valid prefix via Restart.
+  // `report` (optional) receives the scan outcome. Mid-journal corruption
+  // is rejected with kInternal — a durable prefix was damaged, which
+  // truncation cannot repair honestly.
+  Status RestartFromImage(std::string_view image, RecoveryReport* report);
 
   // Transaction lifecycle.
   std::shared_ptr<Transaction> Begin();

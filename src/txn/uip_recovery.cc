@@ -42,13 +42,13 @@ void UipRecovery::Commit(TxnId txn) {
   ++stats_.commits;
   if (journal_ != nullptr) {
     // The transaction's operations, in response order, are its redo record.
-    OpSeq ops;
+    // A read-free transaction has no record: an empty commit record redoes
+    // nothing and only bloats the journal and slows replay.
     auto it = pending_ops_.find(txn);
-    if (it != pending_ops_.end()) {
-      ops = std::move(it->second);
-      pending_ops_.erase(it);
+    if (it != pending_ops_.end() && !it->second.empty()) {
+      journal_->AppendCommit(txn, std::move(it->second));
     }
-    journal_->AppendCommit(txn, std::move(ops));
+    if (it != pending_ops_.end()) pending_ops_.erase(it);
   }
   // A transaction with no log entries has nothing to fold; remembering it
   // would leak (nothing ever erases it again).

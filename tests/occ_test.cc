@@ -101,6 +101,31 @@ TEST_F(OccTest, ValidationWindowOnlyCoversPostSnapshotCommits) {
   EXPECT_TRUE(obj_.Commit(2).ok());
 }
 
+// Regression: a transaction whose every invocation was disabled must leave
+// no workspace — Execute used to materialize one before checking
+// enabledness, and the empty workspace pinned `oldest` in the
+// validation-window trim, keeping committed records alive indefinitely.
+TEST(OccLazyWorkspaceTest, DisabledInvocationLeavesNoWorkspace) {
+  auto ctr = MakeCounter();
+  OptimisticObject obj("CTR", ctr, MakeNfcConflict(ctr));
+  // Decrement at the floor: partial operation, disabled in the snapshot.
+  StatusOr<Value> r = obj.Execute(1, ctr->DecInv(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIllegalState);
+  // Transaction 1 left no trace, so once these commits retire, no live
+  // snapshot pins the window and it trims to empty.
+  for (TxnId t = 2; t <= 5; ++t) {
+    ASSERT_TRUE(obj.Execute(t, ctr->IncInv(1)).ok());
+    ASSERT_TRUE(obj.Commit(t).ok());
+  }
+  EXPECT_EQ(obj.validation_window_size(), 0u);
+  // A disabled-only transaction can still abort (and commit) cleanly.
+  obj.Abort(1);
+  StatusOr<Value> retry = obj.Execute(1, ctr->DecInv(1));
+  ASSERT_TRUE(retry.ok());
+  ASSERT_TRUE(obj.Commit(1).ok());
+}
+
 TEST_F(OccTest, UserAbortDiscardsWorkspace) {
   ASSERT_TRUE(obj_.Execute(1, ba_->DepositInv(5)).ok());
   obj_.Abort(1);

@@ -15,8 +15,19 @@
 //  3. fault sweep — the recovery matrix: boundary crashes and torn/corrupt
 //     tails must recover by truncation; mid-journal corruption must be
 //     rejected. Reports counts over a sweep of injected faults.
+//
+//  4. group commit (PERF-GC) — the end-to-end experiment: a contended
+//     multithreaded workload committing through a file-backed journal in
+//     each DurabilityMode. kSync pays a per-record fdatasync inside the
+//     object critical section; kGroup sequences under the lock and batches
+//     the sync on the flusher (early lock release); kRelaxed acknowledges
+//     before durability. Reports commit throughput, ack latency, batch
+//     shape, and sync counts — plus a crash sweep asserting that in every
+//     mode no acknowledged commit is ever lost.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -24,7 +35,10 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "sim/crash_harness.h"
+#include "sim/driver.h"
 #include "txn/du_recovery.h"
+#include "txn/group_commit.h"
 #include "txn/journal_format.h"
 #include "txn/journal_io.h"
 #include "txn/txn_manager.h"
@@ -260,6 +274,136 @@ void BenchFaultSweep() {
   std::printf("%s\n", table.ToString().c_str());
 }
 
+const char* ModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kSync:
+      return "sync";
+    case DurabilityMode::kGroup:
+      return "group";
+    case DurabilityMode::kRelaxed:
+      return "relaxed";
+  }
+  return "?";
+}
+
+// PERF-GC: end-to-end group commit. One contended bank account, 32 worker
+// threads, every commit durable through a file-backed journal. (The ideal
+// kGroup speedup is one batch of W committers per sync vs W serialized
+// syncs, so it scales with the worker count.)
+void BenchGroupCommit() {
+  std::printf(
+      "scenario: group commit (PERF-GC) — 32 workers committing through a\n"
+      "file-backed journal; kSync pays fdatasync per record inside the\n"
+      "object critical section, kGroup batches it behind early lock\n"
+      "release, kRelaxed acks before durability\n");
+  TablePrinter table({"mode", "txn/s", "ack p50", "ack p99", "batches",
+                      "recs/batch", "syncs"});
+  for (const DurabilityMode mode :
+       {DurabilityMode::kSync, DurabilityMode::kGroup,
+        DurabilityMode::kRelaxed}) {
+    const std::string path = TempWalPath();
+    std::remove(path.c_str());
+    auto sink = FileSink::Open(path);
+    CCR_CHECK(sink.ok());
+    JournalWriter writer(sink->get());
+    GroupCommitOptions gc;
+    gc.mode = mode;
+    GroupCommitPipeline pipeline(&writer, gc);
+    Journal journal;
+    journal.set_pipeline(&pipeline);
+
+    auto ba = MakeBankAccount();
+    TxnManager manager;
+    manager.AddObject("BA", ba, MakeNrbcConflict(ba),
+                      std::make_unique<UipRecovery>(ba));
+    manager.object("BA")->recovery().set_journal(&journal);
+    manager.set_commit_pipeline(&pipeline);
+
+    DriverOptions options;
+    options.threads = 32;
+    options.txns_per_thread = 150;
+    const DriverResult result = RunWorkload(
+        &manager,
+        [ba](TxnManager* m, Transaction* txn, Random* rng) -> Status {
+          const StatusOr<Value> r =
+              m->Execute(txn, ba->DepositInv(rng->UniformRange(1, 99)));
+          return r.ok() ? Status::OK() : r.status();
+        },
+        options);
+    pipeline.Drain();
+
+    table.AddRow({ModeName(mode), StrFormat("%.0f", result.throughput),
+                  StrFormat("%lluus",
+                            static_cast<unsigned long long>(result.ack_p50_us)),
+                  StrFormat("%lluus",
+                            static_cast<unsigned long long>(result.ack_p99_us)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(result.gc_batches)),
+                  StrFormat("%.1f", result.gc_records_per_batch),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(result.gc_syncs))});
+    std::remove(path.c_str());
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+// The ack-durability matrix: crash sweep x every durability mode, counting
+// acknowledged-but-lost commits. Must be zero everywhere — in kRelaxed the
+// durability promise is the watermark, which is what the harness audits.
+void BenchGroupCommitFaultSweep() {
+  std::printf(
+      "scenario: ack-durability sweep — crash fractions x durability\n"
+      "modes; an acknowledged commit must never be lost\n");
+  const SystemFactory factory = [](TxnManager* manager) {
+    auto ba = MakeBankAccount();
+    manager->AddObject("BA", ba, MakeNrbcConflict(ba),
+                       std::make_unique<UipRecovery>(ba));
+  };
+  const auto ba = MakeBankAccount();
+  const TxnBody body = [ba](TxnManager* manager, Transaction* txn,
+                            Random* rng) -> Status {
+    const StatusOr<Value> r =
+        manager->Execute(txn, ba->DepositInv(rng->UniformRange(1, 9)));
+    return r.ok() ? Status::OK() : r.status();
+  };
+
+  TablePrinter table(
+      {"mode", "crashes", "acked (min..max)", "acked lost", "audits"});
+  for (const DurabilityMode mode :
+       {DurabilityMode::kSync, DurabilityMode::kGroup,
+        DurabilityMode::kRelaxed}) {
+    size_t crashes = 0;
+    size_t lost = 0;
+    size_t audits_ok = 0;
+    size_t min_acked = SIZE_MAX;
+    size_t max_acked = 0;
+    for (const uint64_t seed : {7u, 19u, 31u}) {
+      for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        CrashScenarioOptions options;
+        options.driver.threads = 4;
+        options.driver.txns_per_thread = 40;
+        options.driver.seed = seed;
+        options.crash_fraction = fraction;
+        options.group_commit.mode = mode;
+        const CrashScenarioResult result =
+            RunCrashScenario(factory, body, options);
+        ++crashes;
+        if (!result.acked_recovered) ++lost;
+        if (result.ok()) ++audits_ok;
+        min_acked = std::min(min_acked, result.acked_records);
+        max_acked = std::max(max_acked, result.acked_records);
+      }
+    }
+    table.AddRow({ModeName(mode), StrFormat("%zu", crashes),
+                  StrFormat("%zu..%zu", min_acked, max_acked),
+                  StrFormat("%zu", lost),
+                  StrFormat("%zu/%zu ok", audits_ok, crashes)});
+    CCR_CHECK_MSG(lost == 0, "acknowledged commits lost in mode %s",
+                  ModeName(mode));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
 }  // namespace
 }  // namespace ccr
 
@@ -269,10 +413,15 @@ int main() {
   BenchAppend();
   BenchReplay();
   BenchFaultSweep();
+  BenchGroupCommit();
+  BenchGroupCommitFaultSweep();
   std::printf(
       "Shape to check: memory-sink appends well above file-sink appends\n"
       "(fdatasync dominates); group commit recovering most of the gap at\n"
       "G=32; scan rate roughly flat in journal length (linear walk); the\n"
-      "fault matrix all-recovered / all-rejected exactly as labeled.\n");
+      "fault matrices all-recovered / all-rejected exactly as labeled;\n"
+      "kGroup engine throughput an order of magnitude above kSync with ack\n"
+      "p50 within ~2x the linger, and zero acknowledged commits lost in\n"
+      "any durability mode.\n");
   return 0;
 }

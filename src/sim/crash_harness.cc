@@ -32,21 +32,29 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   CrashScenarioResult result;
 
   // The pre-crash world: a fresh system journaling durably to an
-  // in-memory "disk".
+  // in-memory "disk" through the group-commit pipeline (mode per
+  // options; kSync reproduces the per-record-sync baseline).
   TxnManager manager;
   factory(&manager);
   MemorySink sink;
   JournalWriter writer(&sink);
+  GroupCommitPipeline pipeline(&writer, options.group_commit);
   Journal journal;
-  journal.set_writer(&writer);
+  journal.set_pipeline(&pipeline);
+  manager.set_commit_pipeline(&pipeline);
   for (AtomicObject* obj : manager.objects()) {
     obj->recovery().set_journal(&journal);
   }
   RunWorkload(&manager, body, options.driver);
+  // Flush everything sequenced before inspecting the disk — the flusher
+  // may still hold a lingering batch (and under kRelaxed, acknowledged
+  // but not yet durable records).
+  pipeline.Drain();
 
   const std::string& image = sink.image();
   result.image_bytes = image.size();
   result.records_total = journal.size();
+  result.syncs_total = writer.sync_offsets().size();
 
   // The crash: everything volatile dies; only the first crash_offset bytes
   // of the disk survive.
@@ -56,11 +64,30 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   const std::string_view crashed =
       std::string_view(image).substr(0, result.crash_offset);
 
+  // The acknowledgment audit's ground truth: a sync whose offset exceeds
+  // the surviving bytes cannot have completed before the crash, so the
+  // acknowledged transactions are exactly those whose record lies under
+  // the last completed sync. (Under kRelaxed the engine acks earlier by
+  // contract; the watermark — which is what this computes — is still the
+  // only durability promise made.)
+  uint64_t last_sync = 0;
+  for (const uint64_t off : writer.sync_offsets()) {
+    if (off <= result.crash_offset) last_sync = std::max(last_sync, off);
+  }
+  for (size_t i = 0; i < writer.records_appended(); ++i) {
+    if (writer.boundary(i + 1) <= last_sync) ++result.acked_records;
+  }
+
   // Restart: a newly built system recovered from the surviving bytes.
   TxnManager restarted;
   factory(&restarted);
   result.status = restarted.RestartFromImage(crashed, &result.report);
   if (!result.status.ok()) return result;
+
+  // Audit 3: every record a completed sync covered — every possibly
+  // acknowledged commit — survived recovery.
+  result.acked_recovered = result.report.records_replayed >=
+                           result.acked_records;
 
   // Audit 1: the scanned records are a prefix of the run's commit order.
   StatusOr<Journal> scanned = ScanJournalImage(crashed, nullptr);

@@ -9,10 +9,18 @@
 //   1. the scanned records must be a prefix of the run's commit order
 //      (per object — each object's records appear in its commit order);
 //   2. every recovered object's committed state must equal an independent
-//      spec-level replay of that prefix (RecoverState, not the engine).
+//      spec-level replay of that prefix (RecoverState, not the engine);
+//   3. the ack-durability contract: every commit record covered by a
+//      completed sync at or below the crash offset — i.e. every
+//      transaction whose commit could have been *acknowledged* before the
+//      crash — is recovered. Unacknowledged records may go either way but
+//      must still recover to a clean prefix (audits 1 and 2).
 //
-// This is the driver-level crash scenario behind the randomized
-// crash-restart property tests and the fault sweep in bench_journal.
+// The run journals through a GroupCommitPipeline in any DurabilityMode
+// (kSync per-record baseline, kGroup batched, kRelaxed fire-and-forget),
+// so crash points land mid-batch as well as mid-record. This is the
+// driver-level crash scenario behind the randomized crash-restart
+// property tests and the fault sweeps in bench_journal.
 
 #ifndef CCR_SIM_CRASH_HARNESS_H_
 #define CCR_SIM_CRASH_HARNESS_H_
@@ -21,6 +29,7 @@
 #include <string>
 
 #include "sim/driver.h"
+#include "txn/group_commit.h"
 #include "txn/journal_io.h"
 
 namespace ccr {
@@ -35,22 +44,33 @@ struct CrashScenarioOptions {
   DriverOptions driver;
   // Crash point as a fraction of the final image size (0 = before any
   // record reached the disk, 1 = clean shutdown). The byte offset this
-  // lands on is arbitrary — usually mid-record, exercising the torn-tail
-  // truncation rule.
+  // lands on is arbitrary — usually mid-record (and, under kGroup,
+  // mid-batch), exercising the torn-tail truncation rule.
   double crash_fraction = 0.5;
+  // How the run journals. kSync is the PR 3 per-record-fdatasync
+  // behavior; kGroup batches the durability point behind early lock
+  // release; kRelaxed acknowledges before durability.
+  GroupCommitOptions group_commit{DurabilityMode::kSync};
 };
 
 struct CrashScenarioResult {
   uint64_t image_bytes = 0;      // journal bytes on disk at full run
   uint64_t crash_offset = 0;     // bytes surviving the crash
   size_t records_total = 0;      // commit records the full run journaled
+  size_t syncs_total = 0;        // syncs the full run issued (batches)
+  // Records covered by the last sync whose offset <= crash_offset: the
+  // transactions that could have been acknowledged before the crash. (A
+  // sync with offset > crash_offset cannot have returned before it.)
+  size_t acked_records = 0;
   RecoveryReport report;         // what the post-crash scan found
   Status status;                 // recovery outcome (scan + replay)
   bool prefix_of_commit_order = false;  // audit (1) above
   bool state_matches_prefix = false;    // audit (2) above
+  bool acked_recovered = false;         // audit (3) above
 
   bool ok() const {
-    return status.ok() && prefix_of_commit_order && state_matches_prefix;
+    return status.ok() && prefix_of_commit_order && state_matches_prefix &&
+           acked_recovered;
   }
 };
 

@@ -7,11 +7,12 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "txn/group_commit.h"
 
 namespace ccr {
 
 std::string DriverResult::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "committed=%llu retries=%llu throughput=%.0f txn/s "
       "p50=%lluus p99=%lluus mean=%.1fus "
       "waits=%llu wakeups=%llu spurious=%llu killwakes=%llu maxq=%llu "
@@ -27,6 +28,17 @@ std::string DriverResult::ToString() const {
       static_cast<unsigned long long>(max_queue_depth),
       static_cast<unsigned long long>(wait_p99_us),
       static_cast<unsigned long long>(events_recorded));
+  if (gc_syncs > 0 || gc_records > 0) {
+    out += StrFormat(
+        " gcrecords=%llu gcbatches=%llu gcsyncs=%llu recs/batch=%.1f "
+        "ackp50=%lluus ackp99=%lluus",
+        static_cast<unsigned long long>(gc_records),
+        static_cast<unsigned long long>(gc_batches),
+        static_cast<unsigned long long>(gc_syncs), gc_records_per_batch,
+        static_cast<unsigned long long>(ack_p50_us),
+        static_cast<unsigned long long>(ack_p99_us));
+  }
+  return out;
 }
 
 DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
@@ -38,6 +50,10 @@ DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
   const uint64_t retries_before = manager->stats().retries;
   const uint64_t events_before = manager->recorder_stats().events;
   const ObjectStats obj_before = manager->AggregateObjectStats();
+  GroupCommitStats gc_before;
+  if (manager->commit_pipeline() != nullptr) {
+    gc_before = manager->commit_pipeline()->stats();
+  }
   const auto start = std::chrono::steady_clock::now();
   for (int w = 0; w < options.threads; ++w) {
     workers.emplace_back([&, w] {
@@ -88,6 +104,20 @@ DriverResult RunWorkload(TxnManager* manager, const TxnBody& body,
   result.max_queue_depth = obj_after.max_queue_depth;
   result.wait_p99_us = obj_after.wait_time_us.Percentile(99);
   result.events_recorded = manager->recorder_stats().events - events_before;
+  if (GroupCommitPipeline* pipeline = manager->commit_pipeline()) {
+    const GroupCommitStats gc_after = pipeline->stats();
+    result.gc_records = gc_after.records_flushed - gc_before.records_flushed;
+    result.gc_batches = gc_after.batches - gc_before.batches;
+    result.gc_syncs = gc_after.syncs - gc_before.syncs;
+    result.gc_records_per_batch =
+        result.gc_batches > 0
+            ? static_cast<double>(result.gc_records) / result.gc_batches
+            : 0;
+    // Percentiles are over the pipeline's lifetime (LatencyRecorder has no
+    // delta); benches use one pipeline per run, so this is the run's view.
+    result.ack_p50_us = gc_after.ack_latency_us.Percentile(50);
+    result.ack_p99_us = gc_after.ack_latency_us.Percentile(99);
+  }
   return result;
 }
 

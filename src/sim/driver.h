@@ -45,6 +45,17 @@ struct DriverResult {
   // history recorder (0 when record_history is off).
   uint64_t events_recorded = 0;
 
+  // Group-commit pipeline activity for this run (all zero when no pipeline
+  // is attached to the manager). Deltas over the run for the counters;
+  // records/batch and the ack percentiles are the pipeline's cumulative
+  // view, which benches reset by using a fresh pipeline per run.
+  uint64_t gc_records = 0;   // commit records flushed to the sink
+  uint64_t gc_batches = 0;   // flush cycles (== records in kSync mode)
+  uint64_t gc_syncs = 0;     // fdatasync (sink Sync) calls issued
+  double gc_records_per_batch = 0;
+  uint64_t ack_p50_us = 0;   // commit-to-acknowledgment latency
+  uint64_t ack_p99_us = 0;
+
   std::string ToString() const;
 };
 

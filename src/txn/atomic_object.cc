@@ -247,10 +247,15 @@ StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
   }
 }
 
-void AtomicObject::Commit(TxnId txn) {
+Lsn AtomicObject::Commit(TxnId txn) {
+  Lsn lsn = kNoLsn;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    recovery_->Commit(txn);
+    // Under a group-commit pipeline this only *sequences* the commit
+    // record (assigns its LSN, enqueues it) — the fdatasync happens on the
+    // flusher thread after mu_ is released, so the waiters woken below run
+    // during the sync instead of behind it.
+    lsn = recovery_->Commit(txn);
     held_.erase(txn);
     // Recorded under mu_ so the object-local event order matches effect
     // order — dynamic atomicity is a local property (Lemma 1), so per-object
@@ -259,6 +264,7 @@ void AtomicObject::Commit(TxnId txn) {
     WakeOnFinishLocked(txn);
   }
   if (detector_ != nullptr) detector_->Forget(txn);
+  return lsn;
 }
 
 void AtomicObject::Abort(TxnId txn) {

@@ -118,8 +118,13 @@ class AtomicObject {
 
   // Commit/abort this transaction's work at this object: release its
   // operation locks, let recovery finalize or undo, and wake the waiters
-  // blocked on it. Called by the manager for each touched object.
-  void Commit(TxnId txn);
+  // blocked on it. Called by the manager for each touched object. Commit
+  // returns the LSN its commit record was sequenced at (kNoLsn when
+  // nothing was journaled); under a group-commit pipeline the object lock
+  // is released on return with durability still pending — the manager
+  // waits for the LSN *after* releasing every touched object (early lock
+  // release).
+  Lsn Commit(TxnId txn);
   void Abort(TxnId txn);
 
   // Wakes `txn`'s waiter (if it is blocked here) so a kill is observed

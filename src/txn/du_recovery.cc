@@ -47,15 +47,16 @@ void DuRecovery::Apply(TxnId txn, const Operation& op,
   ws.state = std::move(next);
 }
 
-void DuRecovery::Commit(TxnId txn) {
+Lsn DuRecovery::Commit(TxnId txn) {
   ++stats_.commits;
   auto it = workspaces_.find(txn);
-  if (it == workspaces_.end()) return;  // read-free transaction
+  if (it == workspaces_.end()) return kNoLsn;  // read-free transaction
+  Lsn lsn = kNoLsn;
   if (journal_ != nullptr && !it->second.intentions.empty()) {
     // The intentions list is literally the redo record. A workspace created
     // by Candidates alone (every invocation disabled) has no intentions and
     // therefore no record — journaling it would write an empty record.
-    journal_->AppendCommit(txn, it->second.intentions);
+    lsn = journal_->AppendCommit(txn, it->second.intentions);
   }
   // Apply the intentions list to the base copy, in list order.
   for (const Operation& op : it->second.intentions) {
@@ -67,6 +68,7 @@ void DuRecovery::Commit(TxnId txn) {
   }
   workspaces_.erase(it);
   ++base_version_;
+  return lsn;
 }
 
 void DuRecovery::Abort(TxnId txn) {

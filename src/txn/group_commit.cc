@@ -1,0 +1,163 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/group_commit.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+#include "txn/journal_io.h"
+
+namespace ccr {
+
+GroupCommitPipeline::GroupCommitPipeline(JournalWriter* writer,
+                                         GroupCommitOptions options)
+    : writer_(writer), options_(options) {
+  CCR_CHECK(writer_ != nullptr);
+  CCR_CHECK(options_.max_batch > 0);
+  if (options_.mode != DurabilityMode::kSync) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+GroupCommitPipeline::~GroupCommitPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Lsn GroupCommitPipeline::Sequence(Journal::CommitRecord record) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const Lsn lsn = next_lsn_++;
+  ++stats_.records_sequenced;
+  if (options_.mode == DurabilityMode::kSync) {
+    // Baseline: the durability point stays inside the caller's critical
+    // section — append + fdatasync per record, ack-ready on return.
+    const Status s = writer_->Append(record);
+    CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
+                  s.ToString().c_str());
+    ++stats_.records_flushed;
+    ++stats_.batches;
+    ++stats_.syncs;
+    stats_.max_batch_observed = std::max<uint64_t>(stats_.max_batch_observed, 1);
+    durable_lsn_.store(lsn, std::memory_order_release);
+    return lsn;
+  }
+  queue_.push_back(std::move(record));
+  lk.unlock();
+  work_cv_.notify_one();
+  return lsn;
+}
+
+void GroupCommitPipeline::WaitDurable(Lsn lsn) {
+  if (lsn == kNoLsn) return;
+  if (options_.mode != DurabilityMode::kGroup) return;
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  ++waiters_;
+  // A blocked committer cuts the flusher's linger short: it cannot produce
+  // more records, so lingering past it only adds ack latency.
+  work_cv_.notify_one();
+  durable_cv_.wait(lk, [&] {
+    return durable_lsn_.load(std::memory_order_relaxed) >= lsn;
+  });
+  --waiters_;
+}
+
+void GroupCommitPipeline::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const Lsn target = next_lsn_ - 1;
+  ++waiters_;
+  work_cv_.notify_all();
+  durable_cv_.wait(lk, [&] {
+    return durable_lsn_.load(std::memory_order_relaxed) >= target;
+  });
+  --waiters_;
+}
+
+void GroupCommitPipeline::RecordAckLatency(uint64_t us) {
+  // Own mutex: every durable committer records here right after waking, so
+  // putting this under mu_ would stack a batch worth of committers against
+  // the flusher and the sequencers.
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  ack_latency_us_.Record(us);
+}
+
+GroupCommitStats GroupCommitPipeline::stats() const {
+  GroupCommitStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  out.ack_latency_us = ack_latency_us_;
+  return out;
+}
+
+void GroupCommitPipeline::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained and told to stop
+      continue;
+    }
+    // Linger: give the batch a chance to fill before paying the sync. Wakes
+    // early when the batch fills, a committer blocks on the watermark (no
+    // straggler can come from a blocked thread — flushing now is strictly
+    // better for it), or shutdown begins.
+    if (queue_.size() < options_.max_batch && options_.max_delay_us > 0 &&
+        waiters_ == 0 && !stop_) {
+      work_cv_.wait_for(lk, std::chrono::microseconds(options_.max_delay_us),
+                        [&] {
+                          return queue_.size() >= options_.max_batch ||
+                                 waiters_ > 0 || stop_;
+                        });
+    }
+    // Take up to max_batch records; anything beyond flushes next cycle
+    // (immediately — the queue is non-empty, so the wait above falls
+    // through).
+    std::deque<Journal::CommitRecord> batch;
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const Lsn high = durable_lsn_.load(std::memory_order_relaxed) +
+                     static_cast<Lsn>(take);
+    lk.unlock();
+    FlushBatch(&batch, high);
+    lk.lock();
+  }
+}
+
+void GroupCommitPipeline::FlushBatch(std::deque<Journal::CommitRecord>* batch,
+                                     Lsn high) {
+  // Encode + append off the lock: sequencers keep enqueueing (and object
+  // critical sections keep draining) while this batch hits the disk.
+  for (const Journal::CommitRecord& record : *batch) {
+    const Status s = writer_->AppendNoSync(record);
+    CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
+                  s.ToString().c_str());
+  }
+  const Status s = writer_->Sync();
+  CCR_CHECK_MSG(s.ok(), "durable journal sync failed: %s",
+                s.ToString().c_str());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.records_flushed += batch->size();
+    ++stats_.batches;
+    ++stats_.syncs;
+    stats_.max_batch_observed =
+        std::max<uint64_t>(stats_.max_batch_observed, batch->size());
+    durable_lsn_.store(high, std::memory_order_release);
+  }
+  // Notify off the lock: a batch wakes every blocked committer, and waking
+  // them into a held mutex just reconvoys them.
+  durable_cv_.notify_all();
+}
+
+}  // namespace ccr

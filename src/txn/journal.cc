@@ -3,18 +3,37 @@
 #include "txn/journal.h"
 
 #include "common/macros.h"
+#include "txn/group_commit.h"
 #include "txn/journal_io.h"
 
 namespace ccr {
 
-void Journal::AppendCommit(TxnId txn, OpSeq ops) {
+Lsn Journal::AppendCommit(TxnId txn, OpSeq ops) {
   std::lock_guard<std::mutex> lock(mu_);
+  CCR_CHECK_MSG(writer_ == nullptr || pipeline_ == nullptr,
+                "journal has both a direct writer and a pipeline");
+  const Lsn lsn = static_cast<Lsn>(records_.size()) + 1;
+  if (pipeline_ != nullptr) {
+    // Sequence only: copy into the volatile view, hand the original to the
+    // pipeline. Called under the journal mutex, so the pipeline's LSN
+    // order equals records_ order (the pipeline's counter is asserted
+    // against ours).
+    records_.push_back(CommitRecord{txn, ops});
+    const Lsn sequenced = pipeline_->Sequence(CommitRecord{txn, std::move(ops)});
+    CCR_CHECK_MSG(sequenced == lsn,
+                  "pipeline LSN %llu diverged from journal LSN %llu — the "
+                  "pipeline is shared with another journal",
+                  static_cast<unsigned long long>(sequenced),
+                  static_cast<unsigned long long>(lsn));
+    return lsn;
+  }
   records_.push_back(CommitRecord{txn, std::move(ops)});
   if (writer_ != nullptr) {
     const Status s = writer_->Append(records_.back());
     CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
                   s.ToString().c_str());
   }
+  return writer_ != nullptr ? lsn : kNoLsn;
 }
 
 std::vector<Journal::CommitRecord> Journal::Records() const {

@@ -38,7 +38,16 @@
 
 namespace ccr {
 
+class GroupCommitPipeline;
 class JournalWriter;
+
+// Log sequence number: the 1-based position of a commit record in the
+// shared journal. LSNs are assigned under the journal mutex, so LSN order
+// is exactly the journal's record order (and hence commit order). kNoLsn
+// means "nothing was journaled" — no journal attached, or a read-free
+// transaction.
+using Lsn = uint64_t;
+inline constexpr Lsn kNoLsn = 0;
 
 class Journal {
  public:
@@ -57,21 +66,37 @@ class Journal {
   // Movable so StatusOr<Journal> works (ScanJournalImage). The mutex is
   // not moved — the source must be quiescent, which recovery-time use is.
   Journal(Journal&& other) noexcept
-      : records_(std::move(other.records_)), writer_(other.writer_) {}
+      : records_(std::move(other.records_)),
+        writer_(other.writer_),
+        pipeline_(other.pipeline_) {}
   Journal& operator=(Journal&& other) noexcept {
     records_ = std::move(other.records_);
     writer_ = other.writer_;
+    pipeline_ = other.pipeline_;
     return *this;
   }
 
-  // Durable mode: every AppendCommit is also framed and streamed through
-  // `writer` (under the journal mutex, so the writer sees appends
-  // serialized in commit order). Set before first use; the writer must
-  // outlive the journal's last append.
+  // Durable mode, per-record sync: every AppendCommit is also framed and
+  // streamed through `writer` (under the journal mutex, so the writer sees
+  // appends serialized in commit order), with one fdatasync per record —
+  // inside the caller's critical section. Set before first use; the writer
+  // must outlive the journal's last append. Mutually exclusive with
+  // set_pipeline.
   void set_writer(JournalWriter* writer) { writer_ = writer; }
 
-  // Appends one atomic commit record (the durability point of `txn`).
-  void AppendCommit(TxnId txn, OpSeq ops);
+  // Durable mode, group commit: every AppendCommit is *sequenced* through
+  // `pipeline` (assigned an LSN, enqueued for the background flusher) and
+  // returns without touching the disk — the caller's critical section
+  // never pays for a sync. In the pipeline's kSync baseline mode the
+  // append+sync still happens inline. Mutually exclusive with set_writer.
+  void set_pipeline(GroupCommitPipeline* pipeline) { pipeline_ = pipeline; }
+
+  // Appends one atomic commit record and returns its LSN (kNoLsn when the
+  // journal is volatile-only — no writer or pipeline attached; the
+  // in-memory record is still kept). With a pipeline attached the record
+  // is durable only once the pipeline's watermark reaches the returned
+  // LSN; the transaction's ack must wait for it (TxnManager::Commit does).
+  Lsn AppendCommit(TxnId txn, OpSeq ops);
 
   // All records, in commit order. Deep-copies; prefer ForEachRecord on hot
   // or O(n²)-prone paths (crash-at-every-prefix audits).
@@ -92,6 +117,7 @@ class Journal {
   mutable std::mutex mu_;
   std::vector<CommitRecord> records_;
   JournalWriter* writer_ = nullptr;
+  GroupCommitPipeline* pipeline_ = nullptr;
 };
 
 // Crash recovery: rebuilds the committed state of an object by replaying

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -14,12 +15,54 @@
 
 namespace ccr {
 
+namespace {
+
+// Crash-consistency rule: creating a file makes its *directory entry* a
+// separate piece of mutable state — fdatasync on the file fd makes the
+// bytes durable, but only an fsync of the parent directory makes the entry
+// (the name -> inode link) durable. Without it, a crash right after
+// creation can lose the whole journal file even though every record in it
+// was synced. (POSIX leaves entry durability to the directory; ext4 &
+// friends all require the directory fsync.)
+Status SyncParentDir(const std::string& path) {
+#ifndef _WIN32
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot open journal directory %s: %s",
+                                      dir.c_str(), std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal(StrFormat("fsync of journal directory %s "
+                                      "failed: %s",
+                                      dir.c_str(),
+                                      std::strerror(saved_errno)));
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::InvalidArgument(StrFormat("cannot open %s: %s",
                                              path.c_str(),
                                              std::strerror(errno)));
+  }
+  const Status dir_sync = SyncParentDir(path);
+  if (!dir_sync.ok()) {
+    std::fclose(file);
+    return dir_sync;
   }
   return std::unique_ptr<FileSink>(new FileSink(file));
 }
@@ -108,6 +151,11 @@ JournalWriter::JournalWriter(ByteSink* sink, FaultInjector fault)
 }
 
 Status JournalWriter::Append(const Journal::CommitRecord& record) {
+  CCR_RETURN_IF_ERROR(AppendNoSync(record));
+  return Sync();
+}
+
+Status JournalWriter::AppendNoSync(const Journal::CommitRecord& record) {
   const std::string encoded = EncodeCommitRecord(record);
   const std::string_view admitted = fault_.Admit(records_seen_++, encoded);
   if (!admitted.empty()) {
@@ -117,11 +165,20 @@ Status JournalWriter::Append(const Journal::CommitRecord& record) {
   if (admitted.size() == encoded.size()) {
     ++records_appended_;
     boundaries_.push_back(bytes_written_);
-    return sink_->Sync();
   }
-  // The injected crash interrupted (or preceded) this write; the caller's
-  // simulated process is gone, so there is nothing to report upward — the
-  // in-memory journal keeps the record, the disk never sees it.
+  // Partial admit: the injected crash interrupted (or preceded) this
+  // write; the caller's simulated process is gone, so there is nothing to
+  // report upward — the in-memory journal keeps the record, the disk never
+  // sees it.
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  // A dead (crashed) simulated process issues no further syncs: nothing
+  // written after the fault point may become a durable watermark.
+  if (fault_.dead()) return Status::OK();
+  CCR_RETURN_IF_ERROR(sink_->Sync());
+  sync_offsets_.push_back(bytes_written_);
   return Status::OK();
 }
 

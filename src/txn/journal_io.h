@@ -56,7 +56,9 @@ class MemorySink : public ByteSink {
 // fdatasync, the actual durability point.
 class FileSink : public ByteSink {
  public:
-  // Opens (creating or truncating) `path` for appending.
+  // Opens (creating or truncating) `path` for appending, then fsyncs the
+  // parent directory so the newly created directory entry is itself
+  // durable (see journal_io.cc for the crash-consistency rule).
   static StatusOr<std::unique_ptr<FileSink>> Open(const std::string& path);
 
   ~FileSink() override;
@@ -120,7 +122,8 @@ void FlipByte(std::string* image, size_t offset, uint8_t mask = 0x01);
 
 // Frames commit records into a sink, through the fault injector. Calls are
 // expected to be externally serialized (Journal::AppendCommit forwards
-// under the journal mutex).
+// under the journal mutex in per-record-sync mode; the group-commit
+// flusher is a single thread).
 class JournalWriter {
  public:
   explicit JournalWriter(ByteSink* sink,
@@ -129,8 +132,19 @@ class JournalWriter {
   // Encodes `record`, passes it through the injector, and appends whatever
   // the injector admits. Each append is followed by Sync: the commit
   // record is the durability point, so it must be on disk before the
-  // commit is acknowledged.
+  // commit is acknowledged. (The per-record-sync baseline path.)
   Status Append(const Journal::CommitRecord& record);
+
+  // Appends without syncing — the group-commit path. The record is NOT
+  // durable until the next Sync() returns; the pipeline advances its
+  // durable watermark (and acknowledges committers) only after that sync.
+  Status AppendNoSync(const Journal::CommitRecord& record);
+
+  // Durability barrier for everything appended so far. Records the synced
+  // byte offset (see sync_offsets). A no-op once the injected fault has
+  // fired: the simulated process is dead, and a dead process issues no
+  // more fdatasyncs.
+  Status Sync();
 
   size_t records_appended() const { return records_appended_; }
   uint64_t bytes_written() const { return bytes_written_; }
@@ -140,6 +154,14 @@ class JournalWriter {
   // These are the crash points of the boundary fault sweep.
   uint64_t boundary(size_t index) const;
 
+  // Byte offsets covered by each completed Sync, in order — the durable
+  // watermarks. A crash preserving X image bytes can only have happened
+  // after the syncs with offset <= X (a sync with offset > X could not
+  // have returned), so the transactions acknowledged before that crash are
+  // exactly those whose record's end offset lies under such a sync. The
+  // ack-durability audits of the crash harness are built on this.
+  const std::vector<uint64_t>& sync_offsets() const { return sync_offsets_; }
+
  private:
   ByteSink* sink_;
   FaultInjector fault_;
@@ -147,6 +169,7 @@ class JournalWriter {
   size_t records_appended_ = 0;  // records fully admitted to the sink
   uint64_t bytes_written_ = 0;
   std::vector<uint64_t> boundaries_{0};
+  std::vector<uint64_t> sync_offsets_;
 };
 
 // Scans a crash image back into an in-memory Journal (see

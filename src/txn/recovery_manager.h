@@ -18,6 +18,7 @@
 
 #include "core/event.h"
 #include "core/spec.h"
+#include "txn/journal.h"
 
 namespace ccr {
 
@@ -33,8 +34,6 @@ struct RecoveryStats {
   uint64_t intention_ops = 0;    // intentions applied at DU commit
   uint64_t workspace_rebuilds = 0;  // DU workspace recomputations
 };
-
-class Journal;
 
 class RecoveryManager {
  public:
@@ -59,7 +58,11 @@ class RecoveryManager {
   virtual void Apply(TxnId txn, const Operation& op,
                      std::unique_ptr<SpecState> next) = 0;
 
-  virtual void Commit(TxnId txn) = 0;
+  // Finalizes `txn` at this object. Returns the LSN of the commit record
+  // this call sequenced into the attached journal (kNoLsn when no journal
+  // is attached or the transaction journaled nothing) — the caller must
+  // not acknowledge the transaction until that LSN is durable.
+  virtual Lsn Commit(TxnId txn) = 0;
   virtual void Abort(TxnId txn) = 0;
 
   // Snapshot of the state all *non-aborted* work yields under this method's

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "txn/group_commit.h"
 #include "txn/journal_format.h"
 
 namespace ccr {
@@ -68,6 +69,11 @@ Status TxnManager::Restart(const Journal& journal) {
     detached[obj] = obj->recovery().journal();
     obj->recovery().set_journal(nullptr);
   }
+  // One id->object map for the whole replay: the per-op object(...) lookup
+  // took the manager mutex once per journaled operation, which dominated
+  // restart on long journals.
+  std::map<ObjectId, AtomicObject*> by_id;
+  for (AtomicObject* obj : objs) by_id.emplace(obj->id(), obj);
   Status status = Status::OK();
   TxnId max_txn = 0;
   journal.ForEachRecord([&](const Journal::CommitRecord& record) {
@@ -77,21 +83,19 @@ Status TxnManager::Restart(const Journal& journal) {
     // per object, preserving per-object order — object states are
     // independent, so the grouped replay is effect-equal.
     std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
+    std::map<AtomicObject*, size_t> group_index;
     for (const Operation& op : record.ops) {
-      AtomicObject* obj = object(op.object());
-      if (obj == nullptr) {
+      const auto found = by_id.find(op.object());
+      if (found == by_id.end()) {
         status = Status::Internal(StrFormat(
             "journal names unknown object %s — restart system does not "
             "match the journaled one", op.object().c_str()));
         return;
       }
-      auto it = std::find_if(grouped.begin(), grouped.end(),
-                             [&](const auto& g) { return g.first == obj; });
-      if (it == grouped.end()) {
-        grouped.emplace_back(obj, OpSeq{});
-        it = std::prev(grouped.end());
-      }
-      it->second.push_back(op);
+      AtomicObject* obj = found->second;
+      const auto [it, inserted] = group_index.emplace(obj, grouped.size());
+      if (inserted) grouped.emplace_back(obj, OpSeq{});
+      grouped[it->second].second.push_back(op);
     }
     for (auto& [obj, ops] : grouped) {
       status = obj->ReplayCommitted(record.txn, ops);
@@ -137,27 +141,52 @@ Status TxnManager::Commit(Transaction* txn) {
   if (!txn->active()) {
     return Status::IllegalState("commit of a finished transaction");
   }
+  const auto commit_start = std::chrono::steady_clock::now();
   if (!txn->TryLatchCommit()) {
     // A kill won the arbitration (possibly racing this very call): the
     // victim must abort; committing would violate the victim choice another
     // waiter depends on. The CAS makes the active->committed transition
     // atomic w.r.t. Kill — a kill can no longer land between a flag check
     // and the per-object commit loop.
-    Status s = Abort(txn);
-    (void)s;
+    const Status s = Abort(txn);
+    // A failed abort here would leak the victim's operation locks forever —
+    // every waiter parked on them would starve. It can only fail if the
+    // transaction already finished, which the active() check above and the
+    // one-driving-thread contract exclude; anything else is corruption.
+    CCR_CHECK_MSG(s.ok(), "abort of commit-racing kill victim %s failed: %s",
+                  TxnName(txn->id()).c_str(), s.ToString().c_str());
     return Status::Deadlock(StrFormat(
         "%s was killed before commit", TxnName(txn->id()).c_str()));
   }
   // Atomic commitment: commit at every touched object (single-process, so
-  // no prepare phase is needed — there is no partial failure mode).
+  // no prepare phase is needed — there is no partial failure mode). Each
+  // object's lock is released as its Commit returns; under a group-commit
+  // pipeline the records are only sequenced here and the disk sync is
+  // still pending when the last lock is dropped.
+  Lsn high_lsn = kNoLsn;
   for (AtomicObject* obj : txn->touched()) {
-    obj->Commit(txn->id());
+    high_lsn = std::max(high_lsn, obj->Commit(txn->id()));
   }
   txn->set_state(TxnState::kCommitted);
   detector_.Forget(txn->id());
-  std::lock_guard<std::mutex> lock(mu_);
-  live_.erase(txn->id());
-  ++stats_.committed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(txn->id());
+    ++stats_.committed;
+  }
+  // The acknowledgment point: with a pipeline attached, block (holding no
+  // locks) until the transaction's highest LSN is durable. LSNs are
+  // assigned in commit order under the journal mutex, so waiting for our
+  // own highest LSN transitively waits for every commit this transaction
+  // could have read from — an acknowledged commit never depends on a
+  // lost one.
+  if (pipeline_ != nullptr && high_lsn != kNoLsn) {
+    pipeline_->WaitDurable(high_lsn);
+    pipeline_->RecordAckLatency(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - commit_start)
+            .count()));
+  }
   return Status::OK();
 }
 

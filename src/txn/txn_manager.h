@@ -24,6 +24,7 @@
 
 namespace ccr {
 
+class GroupCommitPipeline;
 class Journal;
 struct RecoveryReport;
 
@@ -83,7 +84,20 @@ class TxnManager {
   // truncation cannot repair honestly.
   Status RestartFromImage(std::string_view image, RecoveryReport* report);
 
-  // Transaction lifecycle.
+  // Attaches the group-commit pipeline whose durable watermark gates
+  // commit acknowledgment: Commit returns only once the transaction's
+  // highest sequenced LSN is durable (a no-op in the pipeline's kSync and
+  // kRelaxed modes). The journals attached to this manager's objects must
+  // feed the same pipeline. Set before the first transaction; optional.
+  void set_commit_pipeline(GroupCommitPipeline* pipeline) {
+    pipeline_ = pipeline;
+  }
+  GroupCommitPipeline* commit_pipeline() const { return pipeline_; }
+
+  // Transaction lifecycle. Commit acknowledges durability: when a
+  // group-commit pipeline is attached, it releases every touched object's
+  // locks first (early lock release) and only then blocks until the
+  // transaction's highest LSN is durable.
   std::shared_ptr<Transaction> Begin();
   StatusOr<Value> Execute(Transaction* txn, const Invocation& inv);
   Status Commit(Transaction* txn);
@@ -119,6 +133,7 @@ class TxnManager {
   TxnManagerOptions options_;
   HistoryRecorder recorder_;
   DeadlockDetector detector_;
+  GroupCommitPipeline* pipeline_ = nullptr;
 
   std::atomic<TxnId> next_txn_{1};
   // Retries are counted lock-free: the retry loop is per-worker hot and

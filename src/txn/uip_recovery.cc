@@ -38,15 +38,16 @@ void UipRecovery::Apply(TxnId txn, const Operation& op,
   if (journal_ != nullptr) pending_ops_[txn].push_back(op);
 }
 
-void UipRecovery::Commit(TxnId txn) {
+Lsn UipRecovery::Commit(TxnId txn) {
   ++stats_.commits;
+  Lsn lsn = kNoLsn;
   if (journal_ != nullptr) {
     // The transaction's operations, in response order, are its redo record.
     // A read-free transaction has no record: an empty commit record redoes
     // nothing and only bloats the journal and slows replay.
     auto it = pending_ops_.find(txn);
     if (it != pending_ops_.end() && !it->second.empty()) {
-      journal_->AppendCommit(txn, std::move(it->second));
+      lsn = journal_->AppendCommit(txn, std::move(it->second));
     }
     if (it != pending_ops_.end()) pending_ops_.erase(it);
   }
@@ -54,6 +55,7 @@ void UipRecovery::Commit(TxnId txn) {
   // would leak (nothing ever erases it again).
   if (live_counts_.count(txn) > 0) committed_in_log_.insert(txn);
   Checkpoint();
+  return lsn;
 }
 
 void UipRecovery::Checkpoint() {

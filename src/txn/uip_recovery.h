@@ -49,7 +49,7 @@ class UipRecovery final : public RecoveryManager {
   std::vector<Outcome> Candidates(TxnId txn, const Invocation& inv) override;
   void Apply(TxnId txn, const Operation& op,
              std::unique_ptr<SpecState> next) override;
-  void Commit(TxnId txn) override;
+  Lsn Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
   std::unique_ptr<SpecState> CurrentState() const override;
   std::unique_ptr<SpecState> CommittedState() const override;

@@ -24,19 +24,38 @@
 //     before durability. Reports commit throughput, ack latency, batch
 //     shape, and sync counts — plus a crash sweep asserting that in every
 //     mode no acknowledged commit is ever lost.
+//
+//  5. restart (PERF-RESTART) — checkpoint-aware restart cost. A segmented
+//     journal directory is grown 10x in total history with a fuzzy
+//     checkpoint covering all but a fixed-size tail: restart time must
+//     stay flat (it replays only the tail), while the no-checkpoint
+//     baseline grows linearly with history. Also compares single-threaded
+//     vs parallel tail replay on a multi-object workload.
+//     `--restart-smoke` runs a scaled-down restart check and exits (the
+//     fast path scripts/check.sh --fast uses).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <set>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "adt/bank_account.h"
+#include "adt/int_set.h"
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "sim/crash_harness.h"
 #include "sim/driver.h"
+#include "txn/checkpoint.h"
 #include "txn/du_recovery.h"
 #include "txn/group_commit.h"
 #include "txn/journal_format.h"
@@ -404,17 +423,304 @@ void BenchGroupCommitFaultSweep() {
   std::printf("%s\n", table.ToString().c_str());
 }
 
+// ---------------------------------------------------------------------------
+// PERF-RESTART: checkpoint-aware restart vs total journal history
+// ---------------------------------------------------------------------------
+
+constexpr int kRestartObjects = 8;
+
+std::string RestartObjectId(int i) { return StrFormat("BA%d", i); }
+
+void RestartFactory(TxnManager* manager) {
+  for (int i = 0; i < kRestartObjects; ++i) {
+    auto ba = MakeBankAccount(RestartObjectId(i));
+    manager->AddObject(RestartObjectId(i), ba, MakeNrbcConflict(ba),
+                       std::make_unique<UipRecovery>(ba));
+  }
+}
+
+// Records spread across the kRestartObjects accounts (1-2 deposits each).
+std::vector<Journal::CommitRecord> MakeMultiObjectRecords(size_t n) {
+  std::vector<std::shared_ptr<BankAccount>> accounts;
+  for (int i = 0; i < kRestartObjects; ++i) {
+    accounts.push_back(MakeBankAccount(RestartObjectId(i)));
+  }
+  Random rng(7);
+  std::vector<Journal::CommitRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    OpSeq ops;
+    const int count = 1 + static_cast<int>(rng.Uniform(2));
+    for (int j = 0; j < count; ++j) {
+      const auto& ba = accounts[rng.Uniform(kRestartObjects)];
+      ops.push_back(ba->Deposit(rng.UniformRange(1, 99)));
+    }
+    records.push_back({static_cast<TxnId>(i + 1), std::move(ops)});
+  }
+  return records;
+}
+
+std::string MakeRestartTempDir() {
+  char buf[] = "/tmp/ccr_bench_restart_XXXXXX";
+  CCR_CHECK(::mkdtemp(buf) != nullptr);
+  return buf;
+}
+
+void RemoveRestartTempDir(const std::string& dir) {
+  if (auto names = ListDir(dir); names.ok()) {
+    for (const std::string& name : *names) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+// Replays one ground-truth record into the replica (grouped per object) so
+// its fuzzy checkpoint carries exact per-object LSNs.
+void MirrorRecord(TxnManager* replica, const Journal::CommitRecord& record,
+                  Lsn lsn) {
+  std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
+  for (const Operation& op : record.ops) {
+    AtomicObject* obj = replica->object(op.object());
+    CCR_CHECK(obj != nullptr);
+    bool found = false;
+    for (auto& [existing, ops] : grouped) {
+      if (existing == obj) {
+        ops.push_back(op);
+        found = true;
+        break;
+      }
+    }
+    if (!found) grouped.emplace_back(obj, OpSeq{op});
+  }
+  for (auto& [obj, ops] : grouped) {
+    CCR_CHECK(obj->ReplayCommitted(record.txn, ops, lsn).ok());
+  }
+  replica->AdvanceTxnWatermark(record.txn);
+}
+
+// Writes `records` into a fresh segmented journal under `dir`; when
+// checkpoint_at > 0, a fuzzy checkpoint is taken at that LSN and every
+// segment it covers is truncated — the directory then holds checkpoint +
+// tail, which is what a long-running system's disk looks like.
+void BuildRestartDir(const std::string& dir,
+                     const std::vector<Journal::CommitRecord>& records,
+                     size_t checkpoint_at,
+                     const std::function<void(TxnManager*)>& factory) {
+  SegmentedSinkOptions options;
+  options.max_segment_bytes = 1 << 16;
+  auto sink = SegmentedFileSink::Open(dir, 1, options);
+  CCR_CHECK(sink.ok());
+  TxnManager replica;
+  factory(&replica);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Lsn lsn = static_cast<Lsn>(i) + 1;
+    CCR_CHECK((*sink)->Append(EncodeCommitRecord(records[i])).ok());
+    MirrorRecord(&replica, records[i], lsn);
+    if ((i + 1) % 512 == 0) CCR_CHECK((*sink)->Sync().ok());
+    if (checkpoint_at > 0 && i + 1 == checkpoint_at) {
+      CCR_CHECK((*sink)->Sync().ok());
+      Checkpointer checkpointer(dir);
+      auto written = checkpointer.Write(&replica, lsn);
+      CCR_CHECK(written.ok());
+      CCR_CHECK((*sink)->TruncateBelow(*written).ok());
+    }
+  }
+  CCR_CHECK((*sink)->Sync().ok());
+}
+
+// Restarts a fresh system from `dir`, audits the recovered balances
+// against the ground-truth records, and returns elapsed seconds.
+double TimedRestart(const std::string& dir, int threads, size_t high_lsn,
+                    const std::function<void(TxnManager*)>& factory,
+                    const std::function<void(TxnManager&)>& audit,
+                    RestartSummary* summary) {
+  // Best of three: the first restart after building the directory pays
+  // cold page-cache costs that have nothing to do with replay.
+  double best = 0;
+  for (int run = 0; run < 3; ++run) {
+    TxnManager restarted;
+    factory(&restarted);
+    const auto start = std::chrono::steady_clock::now();
+    auto result = restarted.RestartFromDir(dir, RestartOptions{threads});
+    const double seconds = Seconds(start);
+    CCR_CHECK(result.ok());
+    CCR_CHECK(result->high_lsn == high_lsn);
+    audit(restarted);
+    if (run == 0 || seconds < best) {
+      best = seconds;
+      *summary = *result;
+    }
+  }
+  return best;
+}
+
+// Ground-truth audit for the bank-account workload: every balance equals
+// the sum of the deposits the records carry.
+std::function<void(TxnManager&)> BalanceAudit(
+    const std::vector<Journal::CommitRecord>& records) {
+  auto expected = std::make_shared<std::map<std::string, int64_t>>();
+  for (const auto& record : records) {
+    for (const Operation& op : record.ops) {
+      (*expected)[op.object()] += op.inv().args()[0].AsInt();
+    }
+  }
+  return [expected](TxnManager& restarted) {
+    for (AtomicObject* obj : restarted.objects()) {
+      const int64_t balance =
+          TypedSpecAutomaton<Int64State>::Unwrap(*obj->CommittedState()).v;
+      CCR_CHECK(balance == (*expected)[obj->id()]);
+    }
+  };
+}
+
+// The wide-tail workload uses IntSet objects: every insert's spec-level
+// replay copies the whole set, so per-record replay cost grows with state
+// size and the tail replay — not the serial segment scan — dominates
+// restart. That is the regime where the per-object thread fan-out matters.
+std::string RestartSetId(int i) { return StrFormat("SET%d", i); }
+
+void RestartSetFactory(TxnManager* manager) {
+  for (int i = 0; i < kRestartObjects; ++i) {
+    auto set = MakeIntSet(RestartSetId(i));
+    manager->AddObject(RestartSetId(i), set, MakeNrbcConflict(set),
+                       std::make_unique<UipRecovery>(set));
+  }
+}
+
+// One distinct-element insert per record, spread across the sets.
+std::vector<Journal::CommitRecord> MakeSetRecords(size_t n) {
+  std::vector<std::shared_ptr<IntSet>> sets;
+  for (int i = 0; i < kRestartObjects; ++i) {
+    sets.push_back(MakeIntSet(RestartSetId(i)));
+  }
+  Random rng(11);
+  std::vector<Journal::CommitRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& set = sets[rng.Uniform(kRestartObjects)];
+    records.push_back({static_cast<TxnId>(i + 1),
+                       OpSeq{set->Insert(static_cast<int64_t>(i))}});
+  }
+  return records;
+}
+
+std::function<void(TxnManager&)> SetAudit(
+    const std::vector<Journal::CommitRecord>& records) {
+  auto expected =
+      std::make_shared<std::map<std::string, std::set<int64_t>>>();
+  for (const auto& record : records) {
+    for (const Operation& op : record.ops) {
+      (*expected)[op.object()].insert(op.inv().args()[0].AsInt());
+    }
+  }
+  return [expected](TxnManager& restarted) {
+    for (AtomicObject* obj : restarted.objects()) {
+      const std::unique_ptr<SpecState> state = obj->CommittedState();
+      CCR_CHECK(TypedSpecAutomaton<SetState>::Unwrap(*state).elems ==
+                (*expected)[obj->id()]);
+    }
+  };
+}
+
+void BenchRestart(bool smoke) {
+  std::printf(
+      "scenario: restart (PERF-RESTART) — checkpoint + tail replay vs full\n"
+      "history; restart cost must track the tail, not total history\n"
+      "(hardware threads: %u — the 4-thread rows can only beat 1-thread\n"
+      "when more than one core is available; on a single core they tie)\n",
+      std::thread::hardware_concurrency());
+  const size_t base = smoke ? 500 : 20000;
+  const size_t tail = smoke ? 100 : 2000;
+  TablePrinter table({"history", "checkpoint", "tail records", "threads",
+                      "restart ms", "tail records/s"});
+  for (const size_t mult : {size_t{1}, size_t{10}}) {
+    const size_t n = base * mult;
+    const auto records = MakeMultiObjectRecords(n);
+    const auto audit = BalanceAudit(records);
+    {
+      const std::string dir = MakeRestartTempDir();
+      BuildRestartDir(dir, records, n - tail, RestartFactory);
+      for (const int threads : {1, 4}) {
+        RestartSummary summary;
+        const double seconds = TimedRestart(dir, threads, records.size(),
+                                            RestartFactory, audit, &summary);
+        CCR_CHECK(summary.checkpoint_anchor == n - tail);
+        table.AddRow(
+            {StrFormat("%zu", n), "yes", StrFormat("%zu", summary.tail_records),
+             StrFormat("%d", threads), StrFormat("%.2f", seconds * 1e3),
+             StrFormat("%.0f",
+                       seconds > 0
+                           ? static_cast<double>(summary.tail_records) / seconds
+                           : 0)});
+      }
+      RemoveRestartTempDir(dir);
+    }
+    {
+      const std::string dir = MakeRestartTempDir();
+      BuildRestartDir(dir, records, 0, RestartFactory);
+      RestartSummary summary;
+      const double seconds = TimedRestart(dir, 1, records.size(),
+                                          RestartFactory, audit, &summary);
+      CCR_CHECK(summary.checkpoint_anchor == 0);
+      table.AddRow({StrFormat("%zu", n), "no",
+                    StrFormat("%zu", summary.tail_records), "1",
+                    StrFormat("%.2f", seconds * 1e3),
+                    StrFormat("%.0f",
+                              seconds > 0
+                                  ? static_cast<double>(summary.tail_records) /
+                                        seconds
+                                  : 0)});
+    }
+  }
+  // Wide tail over IntSet objects: replay cost per record grows with set
+  // size, so the per-object parallel replay — not the serial segment scan
+  // — dominates, and the thread fan-out shows through end to end.
+  {
+    const size_t n = smoke ? 2000 : 16000;
+    const auto records = MakeSetRecords(n);
+    const auto audit = SetAudit(records);
+    const std::string dir = MakeRestartTempDir();
+    BuildRestartDir(dir, records, n / 2, RestartSetFactory);
+    for (const int threads : {1, 4}) {
+      RestartSummary summary;
+      const double seconds = TimedRestart(dir, threads, records.size(),
+                                          RestartSetFactory, audit, &summary);
+      table.AddRow({StrFormat("%zu (set)", n), "yes",
+                    StrFormat("%zu", summary.tail_records),
+                    StrFormat("%d", threads),
+                    StrFormat("%.2f", seconds * 1e3),
+                    StrFormat("%.0f",
+                              seconds > 0
+                                  ? static_cast<double>(summary.tail_records) /
+                                        seconds
+                                  : 0)});
+    }
+    RemoveRestartTempDir(dir);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
 }  // namespace
 }  // namespace ccr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--restart-smoke") == 0) {
+      std::printf("PERF-RESTART smoke: checkpoint + tail restart audit\n\n");
+      BenchRestart(/*smoke=*/true);
+      std::printf("restart smoke OK\n");
+      return 0;
+    }
+  }
   std::printf("PERF-JOURNAL: durable redo journal — append, replay, faults\n\n");
   BenchAppend();
   BenchReplay();
   BenchFaultSweep();
   BenchGroupCommit();
   BenchGroupCommitFaultSweep();
+  BenchRestart(/*smoke=*/false);
   std::printf(
       "Shape to check: memory-sink appends well above file-sink appends\n"
       "(fdatasync dominates); group commit recovering most of the gap at\n"
@@ -422,6 +728,9 @@ int main() {
       "fault matrices all-recovered / all-rejected exactly as labeled;\n"
       "kGroup engine throughput an order of magnitude above kSync with ack\n"
       "p50 within ~2x the linger, and zero acknowledged commits lost in\n"
-      "any durability mode.\n");
+      "any durability mode; checkpointed restart time flat (within ~20%%)\n"
+      "across the 10x history growth while the no-checkpoint baseline\n"
+      "grows ~10x; on the replay-bound set rows, 4-thread tail replay\n"
+      "beats single-threaded given >1 hardware thread (ties on 1 core).\n");
   return 0;
 }

@@ -18,6 +18,10 @@ cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
+echo "==> restart smoke: checkpoint + tail replay audit (bench_journal)"
+cmake --build --preset default -j "${JOBS}" --target bench_journal
+./build/bench/bench_journal --restart-smoke
+
 if [[ "${FAST}" == 1 ]]; then
   echo "==> --fast: skipping sanitizer crash suites"
   exit 0

@@ -2,6 +2,8 @@
 
 #include "adt/bank_account.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 
 namespace ccr {
@@ -216,6 +218,19 @@ std::optional<std::unique_ptr<SpecState>> BankAccount::InverseApply(
   }
   if (undone < 0) return std::nullopt;  // cannot undo out of domain
   return std::make_unique<TypedState<Int64State>>(Int64State{undone});
+}
+
+std::string BankAccount::EncodeState(const SpecState& state) const {
+  return EncodeInt64State(TypedSpecAutomaton<Int64State>::Unwrap(state).v);
+}
+
+StatusOr<std::unique_ptr<SpecState>> BankAccount::DecodeState(
+    std::string_view encoded) const {
+  StatusOr<int64_t> v = DecodeInt64State(encoded);
+  if (!v.ok()) return v.status();
+  std::unique_ptr<SpecState> out =
+      std::make_unique<TypedState<Int64State>>(Int64State{*v});
+  return out;
 }
 
 std::shared_ptr<BankAccount> MakeBankAccount(std::string object_name) {

@@ -81,6 +81,11 @@ class BankAccount final : public Adt {
       const SpecState& state, const Operation& op) const override;
   bool supports_inverse() const override { return true; }
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
   // Observer operations covering balances [0, max] — the probe universe for
   // exact bounded equieffectiveness checks.
   std::vector<Operation> BalanceProbes(int64_t max_balance) const;

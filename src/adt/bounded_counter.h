@@ -84,6 +84,11 @@ class BoundedCounter final : public Adt {
       const SpecState& state, const Operation& op) const override;
   bool supports_inverse() const override { return true; }
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
   std::vector<Operation> LevelProbes() const;
 
  private:

@@ -2,6 +2,8 @@
 
 #include "adt/counter.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 
 namespace ccr {
@@ -175,6 +177,19 @@ std::optional<std::unique_ptr<SpecState>> Counter::InverseApply(
   }
   if (undone < 0) return std::nullopt;
   return std::make_unique<TypedState<Int64State>>(Int64State{undone});
+}
+
+std::string Counter::EncodeState(const SpecState& state) const {
+  return EncodeInt64State(TypedSpecAutomaton<Int64State>::Unwrap(state).v);
+}
+
+StatusOr<std::unique_ptr<SpecState>> Counter::DecodeState(
+    std::string_view encoded) const {
+  StatusOr<int64_t> v = DecodeInt64State(encoded);
+  if (!v.ok()) return v.status();
+  std::unique_ptr<SpecState> out =
+      std::make_unique<TypedState<Int64State>>(Int64State{*v});
+  return out;
 }
 
 std::shared_ptr<Counter> MakeCounter(std::string object_name) {

@@ -59,6 +59,11 @@ class Counter final : public Adt {
       const SpecState& state, const Operation& op) const override;
   bool supports_inverse() const override { return true; }
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
   std::vector<Operation> ReadProbes(int64_t max_value) const;
 
  private:

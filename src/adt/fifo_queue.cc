@@ -2,6 +2,8 @@
 
 #include "adt/fifo_queue.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -175,6 +177,19 @@ bool FifoQueue::RightCommutesBackward(const Operation& p,
 
 bool FifoQueue::IsUpdate(const Operation& op) const {
   return op.code() == kEnq || op.code() == kDeq;
+}
+
+std::string FifoQueue::EncodeState(const SpecState& state) const {
+  return EncodeInt64List(TypedSpecAutomaton<QueueState>::Unwrap(state).items);
+}
+
+StatusOr<std::unique_ptr<SpecState>> FifoQueue::DecodeState(
+    std::string_view encoded) const {
+  StatusOr<std::vector<int64_t>> items = DecodeInt64List(encoded);
+  if (!items.ok()) return items.status();
+  std::unique_ptr<SpecState> out = std::make_unique<TypedState<QueueState>>(
+      QueueState{*std::move(items)});
+  return out;
 }
 
 std::shared_ptr<FifoQueue> MakeFifoQueue(std::string object_name) {

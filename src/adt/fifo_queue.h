@@ -66,6 +66,11 @@ class FifoQueue final : public Adt {
                              const Operation& q) const override;
   bool IsUpdate(const Operation& op) const override;
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
  private:
   std::string object_name_;
   FifoQueueSpec spec_;

@@ -2,6 +2,8 @@
 
 #include "adt/int_set.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -221,6 +223,23 @@ bool IntSet::RightCommutesBackward(const Operation& p,
 
 bool IntSet::IsUpdate(const Operation& op) const {
   return op.code() == kInsert || op.code() == kRemove;
+}
+
+std::string IntSet::EncodeState(const SpecState& state) const {
+  const SetState& s = TypedSpecAutomaton<SetState>::Unwrap(state);
+  return EncodeInt64List(
+      std::vector<int64_t>(s.elems.begin(), s.elems.end()));
+}
+
+StatusOr<std::unique_ptr<SpecState>> IntSet::DecodeState(
+    std::string_view encoded) const {
+  StatusOr<std::vector<int64_t>> elems = DecodeInt64List(encoded);
+  if (!elems.ok()) return elems.status();
+  SetState s;
+  s.elems.insert(elems->begin(), elems->end());
+  std::unique_ptr<SpecState> out =
+      std::make_unique<TypedState<SetState>>(std::move(s));
+  return out;
 }
 
 std::shared_ptr<IntSet> MakeIntSet(std::string object_name) {

@@ -77,6 +77,11 @@ class IntSet final : public Adt {
   bool IsUpdate(const Operation& op) const override;
   // No inverse support: see header comment.
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
  private:
   std::string object_name_;
   IntSetSpec spec_;

@@ -2,6 +2,8 @@
 
 #include "adt/kv_store.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -203,6 +205,37 @@ bool KvStore::RightCommutesBackward(const Operation& p,
 
 bool KvStore::IsUpdate(const Operation& op) const {
   return op.code() == kPut || op.code() == kDel;
+}
+
+std::string KvStore::EncodeState(const SpecState& state) const {
+  const KvState& s = TypedSpecAutomaton<KvState>::Unwrap(state);
+  std::string out;
+  for (const auto& [key, value] : s.entries) {
+    if (!out.empty()) out += ' ';
+    out += EscapeToken(key);
+    out += StrFormat(" %lld", static_cast<long long>(value));
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<SpecState>> KvStore::DecodeState(
+    std::string_view encoded) const {
+  const std::vector<std::string_view> tokens = SplitTokens(encoded);
+  if (tokens.size() % 2 != 0) {
+    return Status::InvalidArgument("kv state needs key/value pairs: " +
+                                   std::string(encoded));
+  }
+  KvState s;
+  for (size_t i = 0; i < tokens.size(); i += 2) {
+    StatusOr<std::string> key = UnescapeToken(tokens[i]);
+    if (!key.ok()) return key.status();
+    StatusOr<int64_t> value = ParseInt64Token(tokens[i + 1]);
+    if (!value.ok()) return value.status();
+    s.entries[*std::move(key)] = *value;
+  }
+  std::unique_ptr<SpecState> out =
+      std::make_unique<TypedState<KvState>>(std::move(s));
+  return out;
 }
 
 std::shared_ptr<KvStore> MakeKvStore(std::string object_name) {

@@ -2,6 +2,8 @@
 
 #include "adt/register.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 
 namespace ccr {
@@ -105,6 +107,19 @@ bool Register::RightCommutesBackward(const Operation& p,
 
 bool Register::IsUpdate(const Operation& op) const {
   return op.code() == kWrite;
+}
+
+std::string Register::EncodeState(const SpecState& state) const {
+  return EncodeInt64State(TypedSpecAutomaton<Int64State>::Unwrap(state).v);
+}
+
+StatusOr<std::unique_ptr<SpecState>> Register::DecodeState(
+    std::string_view encoded) const {
+  StatusOr<int64_t> v = DecodeInt64State(encoded);
+  if (!v.ok()) return v.status();
+  std::unique_ptr<SpecState> out =
+      std::make_unique<TypedState<Int64State>>(Int64State{*v});
+  return out;
 }
 
 std::shared_ptr<Register> MakeRegister(std::string object_name) {

@@ -56,6 +56,11 @@ class Register final : public Adt {
   // Writes are not invertible from the operation alone (the overwritten
   // value is lost), so UIP recovery uses replay.
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
  private:
   std::string object_name_;
   RegisterSpec spec_;

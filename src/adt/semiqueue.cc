@@ -2,6 +2,8 @@
 
 #include "adt/semiqueue.h"
 
+#include "adt/state_codec.h"
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -186,6 +188,41 @@ bool Semiqueue::RightCommutesBackward(const Operation& p,
 
 bool Semiqueue::IsUpdate(const Operation& op) const {
   return op.code() == kEnq || op.code() == kDeq;
+}
+
+std::string Semiqueue::EncodeState(const SpecState& state) const {
+  const BagState& s = TypedSpecAutomaton<BagState>::Unwrap(state);
+  std::string out;
+  for (const auto& [elem, count] : s.counts) {
+    if (!out.empty()) out += ' ';
+    out += StrFormat("%lld %lld", static_cast<long long>(elem),
+                     static_cast<long long>(count));
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<SpecState>> Semiqueue::DecodeState(
+    std::string_view encoded) const {
+  const std::vector<std::string_view> tokens = SplitTokens(encoded);
+  if (tokens.size() % 2 != 0) {
+    return Status::InvalidArgument("bag state needs elem/count pairs: " +
+                                   std::string(encoded));
+  }
+  BagState s;
+  for (size_t i = 0; i < tokens.size(); i += 2) {
+    StatusOr<int64_t> elem = ParseInt64Token(tokens[i]);
+    if (!elem.ok()) return elem.status();
+    StatusOr<int64_t> count = ParseInt64Token(tokens[i + 1]);
+    if (!count.ok()) return count.status();
+    if (*count <= 0) {
+      return Status::InvalidArgument("bag counts must be positive: " +
+                                     std::string(encoded));
+    }
+    s.counts[*elem] = *count;
+  }
+  std::unique_ptr<SpecState> out =
+      std::make_unique<TypedState<BagState>>(std::move(s));
+  return out;
 }
 
 std::shared_ptr<Semiqueue> MakeSemiqueue(std::string object_name) {

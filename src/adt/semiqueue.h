@@ -72,6 +72,11 @@ class Semiqueue final : public Adt {
                              const Operation& q) const override;
   bool IsUpdate(const Operation& op) const override;
 
+  bool supports_state_codec() const override { return true; }
+  std::string EncodeState(const SpecState& state) const override;
+  StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const override;
+
  private:
   std::string object_name_;
   SemiqueueSpec spec_;

@@ -1,0 +1,122 @@
+// Copyright 2026 The ccr Authors.
+
+#include "adt/state_codec.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace ccr {
+
+std::string EncodeInt64State(int64_t v) {
+  return StrFormat("i %lld", static_cast<long long>(v));
+}
+
+StatusOr<int64_t> DecodeInt64State(std::string_view encoded) {
+  const std::vector<std::string_view> tokens = SplitTokens(encoded);
+  if (tokens.size() != 2 || tokens[0] != "i") {
+    return Status::InvalidArgument("int64 state must be 'i <v>': " +
+                                   std::string(encoded));
+  }
+  return ParseInt64Token(tokens[1]);
+}
+
+std::string EncodeInt64List(const std::vector<int64_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += StrFormat("%lld", static_cast<long long>(values[i]));
+  }
+  return out;
+}
+
+StatusOr<std::vector<int64_t>> DecodeInt64List(std::string_view encoded) {
+  std::vector<int64_t> out;
+  for (const std::string_view token : SplitTokens(encoded)) {
+    StatusOr<int64_t> v = ParseInt64Token(token);
+    if (!v.ok()) return v.status();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view encoded) {
+  std::vector<std::string_view> out;
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    while (pos < encoded.size() && encoded[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < encoded.size() && encoded[end] != ' ') ++end;
+    if (end > pos) out.push_back(encoded.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+namespace {
+
+bool NeedsEscape(char c) {
+  return c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EscapeToken(std::string_view raw) {
+  if (raw.empty()) return "%";  // lone '%': the empty-string sentinel
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (NeedsEscape(c)) {
+      out += StrFormat("%%%02x", static_cast<unsigned char>(c));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeToken(std::string_view token) {
+  if (token == "%") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size()) {
+      return Status::InvalidArgument("truncated escape in token: " +
+                                     std::string(token));
+    }
+    const int hi = HexDigit(token[i + 1]);
+    const int lo = HexDigit(token[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad escape in token: " +
+                                     std::string(token));
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+StatusOr<int64_t> ParseInt64Token(std::string_view token) {
+  const std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (buf.empty() || end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed integer token: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace ccr

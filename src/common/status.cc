@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kAborted,           // transaction aborted (by user or system)
   kTimedOut,          // lock wait timed out
   kNotSupported,      // optional capability (e.g. inverse ops) unavailable
+  kUnavailable,       // component is gone (e.g. simulated crash fired)
   kInternal,          // invariant failure surfaced as an error
 };
 
@@ -65,6 +66,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -13,8 +13,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "core/spec.h"
 
 namespace ccr {
@@ -56,6 +58,26 @@ class Adt {
   }
 
   virtual bool supports_inverse() const { return false; }
+
+  // Checkpoint state codec: a newline-free byte encoding of an abstract
+  // state and its inverse, so a committed state can be written into (and
+  // reloaded from) a durable checkpoint image (txn/checkpoint.h). The
+  // encoding must round-trip exactly: Decode(Encode(s)) equals s. ADTs
+  // that implement both report supports_state_codec() true; objects whose
+  // ADT does not cannot participate in checkpoints and keep full-journal
+  // replay.
+  virtual bool supports_state_codec() const { return false; }
+
+  // Only called when supports_state_codec(); the default is a placeholder.
+  virtual std::string EncodeState(const SpecState& state) const {
+    return state.ToString();
+  }
+
+  virtual StatusOr<std::unique_ptr<SpecState>> DecodeState(
+      std::string_view encoded) const {
+    (void)encoded;
+    return Status::Internal("ADT " + name() + " has no state codec");
+  }
 };
 
 }  // namespace ccr

@@ -3,6 +3,15 @@
 #include "sim/crash_harness.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/string_util.h"
+#include "txn/checkpoint.h"
 
 namespace ccr {
 namespace {
@@ -23,6 +32,65 @@ bool SameRecord(const Journal::CommitRecord& a,
                 const Journal::CommitRecord& b) {
   return a.txn == b.txn && a.ops == b.ops;
 }
+
+// Applies one ground-truth record to the replica manager: group ops per
+// object (preserving per-object order) and replay each group at `lsn`, so
+// the replica's per-object last-committed LSNs track the durable journal
+// exactly — which is what makes its fuzzy checkpoints sound.
+Status MirrorApply(TxnManager* replica, const Journal::CommitRecord& record,
+                   Lsn lsn) {
+  std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
+  for (const Operation& op : record.ops) {
+    AtomicObject* obj = replica->object(op.object());
+    if (obj == nullptr) {
+      return Status::Internal(StrFormat(
+          "workload touched object %s the factory did not build",
+          op.object().c_str()));
+    }
+    bool found = false;
+    for (auto& [existing, ops] : grouped) {
+      if (existing == obj) {
+        ops.push_back(op);
+        found = true;
+        break;
+      }
+    }
+    if (!found) grouped.emplace_back(obj, OpSeq{op});
+  }
+  for (auto& [obj, ops] : grouped) {
+    CCR_RETURN_IF_ERROR(obj->ReplayCommitted(record.txn, ops, lsn));
+  }
+  replica->AdvanceTxnWatermark(record.txn);
+  return Status::OK();
+}
+
+// Temp directory for one scenario's segmented journal + checkpoints.
+// Removed (with contents) on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    char buf[] = "/tmp/ccr_ckpt_XXXXXX";
+#ifndef _WIN32
+    if (::mkdtemp(buf) != nullptr) path_ = buf;
+#endif
+  }
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    if (StatusOr<std::vector<std::string>> names = ListDir(path_);
+        names.ok()) {
+      for (const std::string& name : *names) {
+        std::remove((path_ + "/" + name).c_str());
+      }
+    }
+#ifndef _WIN32
+    ::rmdir(path_.c_str());
+#endif
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace
 
@@ -103,6 +171,133 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   // Audit 2: every recovered object equals the spec-level replay of its
   // projection of that prefix — RecoverState, independent of the engine
   // path Restart used.
+  result.state_matches_prefix = true;
+  for (AtomicObject* obj : restarted.objects()) {
+    Journal per_object(
+        {Journal::CommitRecord{1, ProjectOps(prefix, obj->id())}});
+    const std::unique_ptr<SpecState> expected =
+        RecoverState(obj->adt(), per_object);
+    if (!obj->CommittedState()->Equals(*expected)) {
+      result.state_matches_prefix = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CheckpointCrashResult RunCheckpointCrashScenario(
+    const SystemFactory& factory, const TxnBody& body,
+    const CheckpointCrashOptions& options) {
+  CheckpointCrashResult result;
+
+  // Phase 1 — ground truth. The workload runs against a volatile journal;
+  // its in-memory record sequence is the commit order the durable replay
+  // below will feed through the segmented sink. (The group-commit pipeline
+  // aborts the process on writer errors by design, so the crash-injected
+  // sink cannot sit behind a live workload; feeding the recorded sequence
+  // through the sink directly gives the harness record-exact control over
+  // what the "disk" received.)
+  TxnManager workload_manager;
+  factory(&workload_manager);
+  Journal journal;
+  for (AtomicObject* obj : workload_manager.objects()) {
+    obj->recovery().set_journal(&journal);
+  }
+  RunWorkload(&workload_manager, body, options.driver);
+  const std::vector<Journal::CommitRecord> records = journal.Records();
+  result.records_total = records.size();
+
+  // Phase 2 — the durable run. Replay the sequence through a segmented
+  // sink with the crash point armed, mirror-applying every record that
+  // reached the disk into a replica manager; maintenance passes checkpoint
+  // the replica and truncate dead segments. Once the armed point fires,
+  // everything else fails fast — the tail after it is lost.
+  ScopedTempDir dir;
+  if (dir.path().empty()) {
+    result.status = Status::Internal("cannot create scenario temp dir");
+    return result;
+  }
+  CrashPoints crash;
+  if (!options.crash_point.empty()) crash.Arm(options.crash_point);
+  SegmentedSinkOptions sink_options;
+  sink_options.max_segment_bytes = options.max_segment_bytes;
+  sink_options.crash = &crash;
+  StatusOr<std::unique_ptr<SegmentedFileSink>> sink =
+      SegmentedFileSink::Open(dir.path(), 1, sink_options);
+  if (!sink.ok()) {
+    result.status = sink.status();
+    return result;
+  }
+  TxnManager replica;
+  factory(&replica);
+  Checkpointer checkpointer(dir.path(), CheckpointerOptions{2, &crash});
+  const size_t every = options.checkpoint_every > 0
+                           ? options.checkpoint_every
+                           : std::max<size_t>(1, records.size() / 3);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Lsn lsn = static_cast<Lsn>(i) + 1;
+    const Status append = (*sink)->Append(EncodeCommitRecord(records[i]));
+    if (!append.ok()) {
+      if (!crash.dead()) result.status = append;  // real failure, not crash
+      break;
+    }
+    // Crash points sit at operation boundaries, so a successful Append put
+    // the whole record on the (simulated) disk.
+    ++result.records_appended;
+    const Status sync = (*sink)->Sync();
+    if (sync.ok()) ++result.acked_records;
+    const Status mirror = MirrorApply(&replica, records[i], lsn);
+    if (!mirror.ok()) {
+      result.status = mirror;
+      break;
+    }
+    if (!sync.ok()) {
+      if (!crash.dead()) result.status = sync;
+      break;
+    }
+    if ((i + 1) % every == 0) {
+      // Maintenance pass. The anchor is captured before the checkpoint
+      // walk (here trivially: the replay is synchronous, so every record
+      // <= lsn is in the replica); truncation runs only after Write
+      // returned — i.e. only below a durable checkpoint.
+      const StatusOr<Lsn> written = checkpointer.Write(&replica, lsn);
+      if (written.ok()) {
+        ++result.checkpoints_written;
+        const size_t before = (*sink)->segment_count();
+        const Status trunc = (*sink)->TruncateBelow(*written);
+        if (trunc.ok()) {
+          if ((*sink)->segment_count() < before) ++result.truncations;
+        } else if (!crash.dead()) {
+          result.status = trunc;
+          break;
+        }
+      } else if (!crash.dead()) {
+        result.status = written.status();
+        break;
+      }
+      if (crash.dead()) break;
+    }
+  }
+  result.crash_fired = crash.fired();
+  if (!result.status.ok()) return result;
+
+  // Phase 3 — recovery and audit. A fresh system restarts from whatever
+  // the directory holds; it must land on exactly the appended prefix.
+  TxnManager restarted;
+  factory(&restarted);
+  StatusOr<RestartSummary> summary = restarted.RestartFromDir(
+      dir.path(), RestartOptions{options.replay_threads});
+  if (!summary.ok()) {
+    result.status = summary.status();
+    return result;
+  }
+  result.summary = *summary;
+  result.recovered_all_appended =
+      result.summary.high_lsn == static_cast<Lsn>(result.records_appended);
+
+  const std::vector<Journal::CommitRecord> prefix(
+      records.begin(),
+      records.begin() + static_cast<ptrdiff_t>(result.records_appended));
   result.state_matches_prefix = true;
   for (AtomicObject* obj : restarted.objects()) {
     Journal per_object(

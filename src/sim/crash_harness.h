@@ -79,6 +79,61 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
                                      const TxnBody& body,
                                      const CrashScenarioOptions& options);
 
+// ---------------------------------------------------------------------------
+// Checkpoint/segment crash scenario: the maintenance-path counterpart of
+// RunCrashScenario. A workload first runs against a volatile journal to fix
+// the ground-truth commit-record sequence; the harness then replays that
+// sequence through a SegmentedFileSink (one append + sync per record — the
+// per-record ack point) into a temp directory, mirror-applying each
+// acknowledged record into a live replica manager so fuzzy checkpoints of
+// the replica carry exact per-object LSNs. Every `checkpoint_every`
+// records a maintenance pass runs: capture the anchor, write a checkpoint,
+// truncate dead segments. One named crash point (journal_io.h /
+// checkpoint.h) is armed; when it fires the simulated machine is dead —
+// every later append, checkpoint, and truncation fails, and the remaining
+// records are lost. Finally a freshly built system restarts from the
+// directory and is audited:
+//
+//   1. recovery succeeds and lands on exactly the appended prefix — the
+//      (checkpoint, tail) pair on disk is consistent at every crash point;
+//   2. every recovered object's state equals an independent spec-level
+//      replay of that prefix (so in particular 0 acked-but-lost records).
+// ---------------------------------------------------------------------------
+
+struct CheckpointCrashOptions {
+  DriverOptions driver;
+  // Small so the scenario actually rotates (and truncates) segments.
+  uint64_t max_segment_bytes = 512;
+  // Records between maintenance passes (checkpoint + truncate); 0 picks
+  // roughly thirds of the run.
+  size_t checkpoint_every = 0;
+  // Named crash point to arm (rot.*, trunc.*, ckpt.*); empty = no crash.
+  std::string crash_point;
+  int replay_threads = 1;
+};
+
+struct CheckpointCrashResult {
+  size_t records_total = 0;     // ground-truth records the workload produced
+  size_t records_appended = 0;  // prefix that reached the disk before death
+  size_t acked_records = 0;     // append + sync both returned OK
+  bool crash_fired = false;     // the armed point was actually reached
+  size_t checkpoints_written = 0;
+  size_t truncations = 0;       // maintenance passes that removed segments
+  Status status;                // restart outcome
+  RestartSummary summary;
+  bool recovered_all_appended = false;  // audit (1) above
+  bool state_matches_prefix = false;    // audit (2) above
+
+  bool ok() const {
+    return status.ok() && recovered_all_appended && state_matches_prefix &&
+           acked_records <= records_appended;
+  }
+};
+
+CheckpointCrashResult RunCheckpointCrashScenario(
+    const SystemFactory& factory, const TxnBody& body,
+    const CheckpointCrashOptions& options);
+
 }  // namespace ccr
 
 #endif  // CCR_SIM_CRASH_HARNESS_H_

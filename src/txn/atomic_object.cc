@@ -256,6 +256,7 @@ Lsn AtomicObject::Commit(TxnId txn) {
     // flusher thread after mu_ is released, so the waiters woken below run
     // during the sync instead of behind it.
     lsn = recovery_->Commit(txn);
+    if (lsn != kNoLsn) last_lsn_ = lsn;
     held_.erase(txn);
     // Recorded under mu_ so the object-local event order matches effect
     // order — dynamic atomicity is a local property (Lemma 1), so per-object
@@ -278,7 +279,7 @@ void AtomicObject::Abort(TxnId txn) {
   if (detector_ != nullptr) detector_->Forget(txn);
 }
 
-Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops) {
+Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops, Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Operation& op : ops) {
     std::vector<Outcome> outcomes = recovery_->Candidates(txn, op.inv());
@@ -296,12 +297,44 @@ Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops) {
     }
   }
   recovery_->Commit(txn);
+  if (lsn != kNoLsn && lsn > last_lsn_) last_lsn_ = lsn;
   return Status::OK();
 }
 
 std::unique_ptr<SpecState> AtomicObject::CommittedState() const {
   std::lock_guard<std::mutex> lock(mu_);
   return recovery_->CommittedState();
+}
+
+AtomicObject::CheckpointSnapshot AtomicObject::SnapshotForCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // State and LSN under one acquisition of the mutex that Commit sequences
+  // records under: every record with lsn <= last_lsn_ is in this state,
+  // every later one is not — the exact page-LSN pairing fuzzy replay needs.
+  CheckpointSnapshot snap;
+  snap.state = recovery_->CommittedState();
+  snap.lsn = last_lsn_;
+  return snap;
+}
+
+void AtomicObject::InstallCheckpoint(std::unique_ptr<SpecState> state,
+                                     Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_->InstallCommittedState(std::move(state));
+  last_lsn_ = lsn;
+  held_.clear();
+}
+
+void AtomicObject::ResetForRecovery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_->InstallCommittedState(adt_->spec().InitialState());
+  last_lsn_ = kNoLsn;
+  held_.clear();
+}
+
+Lsn AtomicObject::last_committed_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_lsn_;
 }
 
 ObjectStats AtomicObject::stats() const {

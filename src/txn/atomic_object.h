@@ -136,15 +136,41 @@ class AtomicObject {
   // Crash-restart replay (TxnManager::Restart): re-applies one committed
   // transaction's operations at this object through the recovery manager
   // and commits them, bypassing conflict locking and history recording —
-  // recovery runs single-threaded with no active transactions, and the
-  // replayed events belong to the pre-crash history, not this run's.
-  // Requires each op's recorded result to be enabled in the replay view
-  // (kInternal otherwise: the journal was written under a conflict
-  // relation too weak for its recovery method, or the image lies).
-  Status ReplayCommitted(TxnId txn, const OpSeq& ops);
+  // recovery replays with no active transactions, and the replayed events
+  // belong to the pre-crash history, not this run's. `lsn` is the record's
+  // journal position (advances last_committed_lsn); parallel restart may
+  // call this from several threads, but always with distinct objects per
+  // thread — within one object, calls stay ordered. Requires each op's
+  // recorded result to be enabled in the replay view (kInternal otherwise:
+  // the journal was written under a conflict relation too weak for its
+  // recovery method, or the image lies).
+  Status ReplayCommitted(TxnId txn, const OpSeq& ops, Lsn lsn = kNoLsn);
 
   // Committed-state snapshot, for invariant checks outside any transaction.
   std::unique_ptr<SpecState> CommittedState() const;
+
+  // Fuzzy-checkpoint support. A snapshot pairs the committed state with the
+  // LSN of the last commit record sequenced at this object; both are read
+  // under the same critical section that sequences commits, so the pair is
+  // exact: replaying records with lsn > snapshot.lsn onto snapshot.state
+  // reconstructs any later committed state.
+  struct CheckpointSnapshot {
+    std::unique_ptr<SpecState> state;
+    Lsn lsn = kNoLsn;
+  };
+  CheckpointSnapshot SnapshotForCheckpoint() const;
+
+  // Restart-only: replaces the committed state with a checkpoint image and
+  // primes last_committed_lsn so tail replay skips covered records.
+  void InstallCheckpoint(std::unique_ptr<SpecState> state, Lsn lsn);
+
+  // Restart-only: back to the ADT's initial state, discarding all recovery
+  // bookkeeping — the fail-atomic landing point when a restart errors out.
+  void ResetForRecovery();
+
+  // LSN of the newest commit record sequenced at this object (kNoLsn if
+  // none since the last reset/restart without a checkpoint).
+  Lsn last_committed_lsn() const;
 
   ObjectStats stats() const;
   RecoveryStats recovery_stats() const;
@@ -200,6 +226,7 @@ class AtomicObject {
   std::function<void(TxnId)> kill_fn_;
 
   mutable std::mutex mu_;
+  Lsn last_lsn_ = kNoLsn;        // newest commit LSN sequenced here
   std::map<TxnId, OpSeq> held_;  // operation locks of active transactions
   std::list<Waiter*> queue_;     // blocked callers, FIFO arrival order
   Random choice_rng_;

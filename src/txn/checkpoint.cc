@@ -1,0 +1,271 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/adt.h"
+#include "txn/txn_manager.h"
+
+namespace ccr {
+namespace {
+
+constexpr std::string_view kCheckpointPrefix = "checkpoint.";
+constexpr std::string_view kCheckpointTmp = "checkpoint.tmp";
+
+// Parses "checkpoint.<digits>" into its anchor; nullopt for other names
+// (including checkpoint.tmp).
+std::optional<Lsn> ParseCheckpointAnchor(const std::string& name) {
+  if (name.size() <= kCheckpointPrefix.size() ||
+      std::string_view(name).substr(0, kCheckpointPrefix.size()) !=
+          kCheckpointPrefix) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(kCheckpointPrefix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return static_cast<Lsn>(std::strtoull(digits.c_str(), nullptr, 10));
+}
+
+// Checkpoint files of `dir`, newest (highest anchor) first.
+StatusOr<std::vector<std::pair<Lsn, std::string>>> ListCheckpoints(
+    const std::string& dir) {
+  StatusOr<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<std::pair<Lsn, std::string>> found;
+  for (const std::string& name : *names) {
+    if (const std::optional<Lsn> anchor = ParseCheckpointAnchor(name)) {
+      found.emplace_back(*anchor, dir + "/" + name);
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+Status SimulatedCrash(std::string_view point) {
+  return Status::Unavailable(
+      StrFormat("simulated crash at %.*s", static_cast<int>(point.size()),
+                point.data()));
+}
+
+bool CrashFires(CrashPoints* crash, std::string_view point) {
+  return crash != nullptr && crash->Hit(point);
+}
+
+}  // namespace
+
+std::string EncodeCheckpointPayload(const CheckpointImage& image) {
+  std::string out = StrFormat(
+      "ckpt %llu %llu\n", static_cast<unsigned long long>(image.anchor),
+      static_cast<unsigned long long>(image.max_txn));
+  for (const CheckpointImage::ObjectEntry& entry : image.objects) {
+    out += StrFormat("obj %s %llu %s\n", entry.id.c_str(),
+                     static_cast<unsigned long long>(entry.lsn),
+                     entry.encoded.c_str());
+  }
+  return out;
+}
+
+StatusOr<CheckpointImage> DecodeCheckpointPayload(std::string_view payload) {
+  std::istringstream lines{std::string(payload)};
+  std::string line;
+  if (!std::getline(lines, line)) {
+    return Status::Internal("empty checkpoint payload");
+  }
+  CheckpointImage image;
+  {
+    unsigned long long anchor = 0, max_txn = 0;
+    char trailing = 0;
+    if (std::sscanf(line.c_str(), "ckpt %llu %llu%c", &anchor, &max_txn,
+                    &trailing) != 2) {
+      return Status::Internal("checkpoint payload must start 'ckpt "
+                              "<anchor> <max_txn>'");
+    }
+    image.anchor = static_cast<Lsn>(anchor);
+    image.max_txn = static_cast<TxnId>(max_txn);
+  }
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    // "obj <id> <lsn> <encoded>": encoded is everything after the third
+    // space and may itself be empty.
+    if (line.rfind("obj ", 0) != 0) {
+      return Status::Internal("malformed checkpoint line: " + line);
+    }
+    const size_t id_end = line.find(' ', 4);
+    if (id_end == std::string::npos || id_end == 4) {
+      return Status::Internal("checkpoint obj line missing id: " + line);
+    }
+    const size_t lsn_end = line.find(' ', id_end + 1);
+    if (lsn_end == std::string::npos) {
+      return Status::Internal("checkpoint obj line missing state: " + line);
+    }
+    const std::string lsn_token = line.substr(id_end + 1, lsn_end - id_end - 1);
+    if (lsn_token.empty() ||
+        lsn_token.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::Internal("checkpoint obj line has bad LSN: " + line);
+    }
+    CheckpointImage::ObjectEntry entry;
+    entry.id = line.substr(4, id_end - 4);
+    entry.lsn = static_cast<Lsn>(std::strtoull(lsn_token.c_str(), nullptr, 10));
+    entry.encoded = line.substr(lsn_end + 1);
+    image.objects.push_back(std::move(entry));
+  }
+  return image;
+}
+
+std::string CheckpointFileName(Lsn anchor) {
+  return StrFormat("%.*s%012llu", static_cast<int>(kCheckpointPrefix.size()),
+                   kCheckpointPrefix.data(),
+                   static_cast<unsigned long long>(anchor));
+}
+
+Checkpointer::Checkpointer(std::string dir, CheckpointerOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  CCR_CHECK(options_.keep >= 1);
+}
+
+StatusOr<Lsn> Checkpointer::Write(TxnManager* manager, Lsn anchor) {
+  CCR_CHECK(manager != nullptr);
+  // Snapshot every object. The anchor was captured before this walk, so
+  // each snapshot includes every record with lsn <= anchor (plus possibly
+  // later ones — that is the fuzziness; the per-object LSN records exactly
+  // how much).
+  CheckpointImage image;
+  image.anchor = anchor;
+  image.max_txn = manager->max_assigned_txn();
+  for (AtomicObject* obj : manager->objects()) {
+    if (!obj->adt().supports_state_codec()) {
+      return Status::NotSupported(StrFormat(
+          "object %s's ADT %s has no state codec — cannot checkpoint",
+          obj->id().c_str(), obj->adt().name().c_str()));
+    }
+    if (obj->id().find_first_of(" \n\r\t") != std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "object id '%s' contains whitespace — not checkpointable",
+          obj->id().c_str()));
+    }
+    AtomicObject::CheckpointSnapshot snap = obj->SnapshotForCheckpoint();
+    CheckpointImage::ObjectEntry entry;
+    entry.id = obj->id();
+    entry.lsn = snap.lsn;
+    entry.encoded = obj->adt().EncodeState(*snap.state);
+    if (entry.encoded.find('\n') != std::string::npos) {
+      return Status::Internal(StrFormat(
+          "ADT %s state codec produced a newline", obj->adt().name().c_str()));
+    }
+    image.objects.push_back(std::move(entry));
+  }
+  const std::string framed = FrameBlob(EncodeCheckpointPayload(image));
+
+  // Fail-atomic publication: tmp + sync + rename + dirsync. Until the
+  // rename the live name set is unchanged; after the dirsync the new image
+  // is durable under its final name. No crash point leaves a torn file
+  // under a checkpoint.<anchor> name.
+  const std::string tmp = dir_ + "/" + std::string(kCheckpointTmp);
+  const std::string final_path = dir_ + "/" + CheckpointFileName(anchor);
+  if (CrashFires(options_.crash, "ckpt.before_tmp")) {
+    return SimulatedCrash("ckpt.before_tmp");
+  }
+  StatusOr<std::unique_ptr<FileSink>> sink = FileSink::Open(tmp);
+  if (!sink.ok()) return sink.status();
+  if (CrashFires(options_.crash, "ckpt.torn_tmp")) {
+    // The crash interrupted the image write: leave half the frame behind.
+    // It sits under the tmp name, which recovery never reads.
+    (void)(*sink)->Append(
+        std::string_view(framed).substr(0, framed.size() / 2));
+    (void)(*sink)->Close();
+    return SimulatedCrash("ckpt.torn_tmp");
+  }
+  CCR_RETURN_IF_ERROR((*sink)->Append(framed));
+  if (CrashFires(options_.crash, "ckpt.before_tmp_sync")) {
+    (void)(*sink)->Close();
+    return SimulatedCrash("ckpt.before_tmp_sync");
+  }
+  CCR_RETURN_IF_ERROR((*sink)->Sync());
+  CCR_RETURN_IF_ERROR((*sink)->Close());
+  if (CrashFires(options_.crash, "ckpt.before_rename")) {
+    return SimulatedCrash("ckpt.before_rename");
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal(StrFormat("cannot rename %s to %s: %s",
+                                      tmp.c_str(), final_path.c_str(),
+                                      std::strerror(errno)));
+  }
+  if (CrashFires(options_.crash, "ckpt.before_dirsync")) {
+    return SimulatedCrash("ckpt.before_dirsync");
+  }
+  CCR_RETURN_IF_ERROR(SyncDir(dir_));
+
+  // The image is durable; everything below is garbage collection, whose
+  // failure modes only leave extra old checkpoints behind.
+  if (CrashFires(options_.crash, "ckpt.before_gc")) {
+    return SimulatedCrash("ckpt.before_gc");
+  }
+  StatusOr<std::vector<std::pair<Lsn, std::string>>> checkpoints =
+      ListCheckpoints(dir_);
+  if (!checkpoints.ok()) return checkpoints.status();
+  bool removed = false;
+  for (size_t i = options_.keep; i < checkpoints->size(); ++i) {
+    if (std::remove((*checkpoints)[i].second.c_str()) != 0) {
+      return Status::Internal(
+          StrFormat("cannot remove old checkpoint %s: %s",
+                    (*checkpoints)[i].second.c_str(), std::strerror(errno)));
+    }
+    removed = true;
+  }
+  if (removed) CCR_RETURN_IF_ERROR(SyncDir(dir_));
+  return anchor;
+}
+
+StatusOr<CheckpointImage> Checkpointer::LoadNewest(const std::string& dir) {
+  StatusOr<std::vector<std::pair<Lsn, std::string>>> checkpoints =
+      ListCheckpoints(dir);
+  if (!checkpoints.ok()) return checkpoints.status();
+  Status last_error = Status::OK();
+  for (const auto& [anchor, path] : *checkpoints) {
+    StatusOr<std::string> file = ReadFileImage(path);
+    if (!file.ok()) {
+      last_error = file.status();
+      continue;
+    }
+    StatusOr<std::string> payload = UnframeBlob(*file);
+    if (!payload.ok()) {
+      // Torn or rotted image. Fall back to the previous checkpoint: any
+      // truncation keyed to this anchor can only have run after this image
+      // was durable AND intact, so the older image still has its tail.
+      last_error = payload.status();
+      continue;
+    }
+    StatusOr<CheckpointImage> image = DecodeCheckpointPayload(*payload);
+    if (!image.ok()) {
+      last_error = image.status();
+      continue;
+    }
+    if (image->anchor != anchor) {
+      last_error = Status::Internal(StrFormat(
+          "checkpoint %s declares anchor %llu", path.c_str(),
+          static_cast<unsigned long long>(image->anchor)));
+      continue;
+    }
+    return image;
+  }
+  if (!checkpoints->empty() && !last_error.ok()) {
+    // Every image on disk is damaged — surface that rather than silently
+    // replaying from nothing (the journal was truncated against one of
+    // these anchors).
+    return last_error;
+  }
+  return CheckpointImage{};
+}
+
+}  // namespace ccr

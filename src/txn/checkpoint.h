@@ -1,0 +1,112 @@
+// Copyright 2026 The ccr Authors.
+//
+// Fuzzy checkpoints for the segmented journal. A checkpoint is one
+// checksummed file, checkpoint.<anchor>, holding each object's committed
+// state (through its ADT's state codec) together with the LSN of the last
+// commit record sequenced at that object, plus the anchor — the journal's
+// high LSN captured BEFORE the object walk — and the highest assigned
+// transaction id.
+//
+// The checkpoint is *fuzzy*: objects are snapshotted one at a time with
+// transactions still running, so the per-object LSNs generally differ and
+// may exceed the anchor. Soundness comes from two facts. First, each
+// snapshot pairs state and LSN under the same object mutex that sequences
+// commit records, so it reflects exactly the records with lsn <= its LSN.
+// Second, the anchor is captured before any snapshot, so every record with
+// lsn <= anchor was sequenced — and therefore included — in every object's
+// snapshot. Restart replays the tail after the anchor, skipping at each
+// object the records at or below that object's checkpoint LSN; segments
+// wholly at or below the anchor of a *durable* checkpoint are dead and may
+// be truncated (DESIGN.md §4).
+//
+// The image is written fail-atomically: temp file + sync + rename + parent
+// directory fsync, so a crash at any point leaves either the old set of
+// checkpoints or the old set plus the complete new one — never a torn
+// file under a live checkpoint name. Loading falls back from a torn newest
+// image to the previous one, which is always sufficient: truncation
+// against the newer anchor can only have run after the newer image became
+// durable and intact.
+
+#ifndef CCR_TXN_CHECKPOINT_H_
+#define CCR_TXN_CHECKPOINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/journal.h"
+#include "txn/journal_io.h"
+
+namespace ccr {
+
+class TxnManager;
+
+// Decoded contents of one checkpoint image. A default-constructed image
+// (anchor 0, no objects) means "no checkpoint: replay everything".
+struct CheckpointImage {
+  struct ObjectEntry {
+    ObjectId id;
+    Lsn lsn = kNoLsn;     // last commit LSN the encoded state reflects
+    std::string encoded;  // ADT state-codec bytes (may be empty)
+  };
+
+  Lsn anchor = 0;      // journal high LSN at capture; tail replay starts after
+  TxnId max_txn = 0;   // highest assigned txn id at capture
+  std::vector<ObjectEntry> objects;
+};
+
+// Textual payload of a checkpoint image (framed with FrameBlob on disk):
+//
+//   ckpt <anchor> <max_txn>
+//   obj <id> <lsn> <encoded>
+//   ...
+//
+// `encoded` is everything after the third space (newline-free, possibly
+// empty). Object ids must be free of spaces and newlines.
+std::string EncodeCheckpointPayload(const CheckpointImage& image);
+StatusOr<CheckpointImage> DecodeCheckpointPayload(std::string_view payload);
+
+// File name "checkpoint.<anchor>" (zero-padded so lexicographic order is
+// numeric order).
+std::string CheckpointFileName(Lsn anchor);
+
+struct CheckpointerOptions {
+  // Durable checkpoints retained after a successful write; older ones are
+  // garbage-collected. Must be >= 1; the default keeps one fallback.
+  size_t keep = 2;
+  // Optional fault injection (ckpt.before_tmp, ckpt.torn_tmp,
+  // ckpt.before_tmp_sync, ckpt.before_rename, ckpt.before_dirsync,
+  // ckpt.before_gc). Not owned; may be shared with a SegmentedFileSink.
+  CrashPoints* crash = nullptr;
+};
+
+// Writes and loads checkpoint images in a journal directory.
+class Checkpointer {
+ public:
+  Checkpointer(std::string dir, CheckpointerOptions options = {});
+
+  // Snapshots every object of `manager` and writes checkpoint.<anchor>
+  // fail-atomically. `anchor` MUST have been read from the journal (its
+  // high LSN) before this call — the caller owns that ordering; Write
+  // cannot reconstruct it. kNotSupported if any object's ADT lacks a state
+  // codec (the system then keeps full-journal replay). On success the
+  // image is durable and older checkpoints beyond options.keep are
+  // garbage-collected. Returns the anchor written.
+  StatusOr<Lsn> Write(TxnManager* manager, Lsn anchor);
+
+  // Decodes the newest intact checkpoint in `dir`; falls back to older
+  // images when the newest is torn or corrupt, and returns the empty image
+  // (anchor 0) when none exists.
+  static StatusOr<CheckpointImage> LoadNewest(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  const std::string dir_;
+  const CheckpointerOptions options_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_CHECKPOINT_H_

@@ -84,6 +84,13 @@ std::unique_ptr<SpecState> DuRecovery::CommittedState() const {
   return base_->Clone();
 }
 
+
+void DuRecovery::InstallCommittedState(std::unique_ptr<SpecState> state) {
+  base_ = std::move(state);
+  ++base_version_;  // invalidate any cached workspace states
+  workspaces_.clear();
+}
+
 size_t DuRecovery::intentions_size(TxnId txn) const {
   auto it = workspaces_.find(txn);
   return it == workspaces_.end() ? 0 : it->second.intentions.size();

@@ -33,6 +33,7 @@ class DuRecovery final : public RecoveryManager {
   void Abort(TxnId txn) override;
   std::unique_ptr<SpecState> CurrentState() const override;
   std::unique_ptr<SpecState> CommittedState() const override;
+  void InstallCommittedState(std::unique_ptr<SpecState> state) override;
 
   size_t intentions_size(TxnId txn) const;
 

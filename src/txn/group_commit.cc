@@ -15,6 +15,11 @@ GroupCommitPipeline::GroupCommitPipeline(JournalWriter* writer,
     : writer_(writer), options_(options) {
   CCR_CHECK(writer_ != nullptr);
   CCR_CHECK(options_.max_batch > 0);
+  CCR_CHECK(options_.first_lsn >= 1);
+  next_lsn_ = options_.first_lsn;
+  // The watermark starts just below the first LSN so Drain/WaitDurable on
+  // an empty pipeline return immediately.
+  durable_lsn_.store(options_.first_lsn - 1, std::memory_order_release);
   if (options_.mode != DurabilityMode::kSync) {
     flusher_ = std::thread([this] { FlusherLoop(); });
   }

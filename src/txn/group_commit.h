@@ -84,6 +84,10 @@ struct GroupCommitOptions {
   // fdatasync form batch N+1) — the linger only earns its keep on an idle
   // log with sparse, ack-free (kRelaxed) arrivals.
   uint64_t max_delay_us = 500;
+  // First LSN this pipeline assigns. A post-restart pipeline continues the
+  // durable journal's LSN space (restart high watermark + 1); must match
+  // the journal's set_base_lsn + 1.
+  Lsn first_lsn = 1;
 };
 
 // Pipeline counters, all cumulative. In kSync mode every record is its own

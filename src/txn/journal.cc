@@ -8,11 +8,23 @@
 
 namespace ccr {
 
+void Journal::set_base_lsn(Lsn base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CCR_CHECK_MSG(records_.empty(),
+                "set_base_lsn on a journal that already has records");
+  base_lsn_ = base;
+}
+
+Lsn Journal::high_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_ + static_cast<Lsn>(records_.size());
+}
+
 Lsn Journal::AppendCommit(TxnId txn, OpSeq ops) {
   std::lock_guard<std::mutex> lock(mu_);
   CCR_CHECK_MSG(writer_ == nullptr || pipeline_ == nullptr,
                 "journal has both a direct writer and a pipeline");
-  const Lsn lsn = static_cast<Lsn>(records_.size()) + 1;
+  const Lsn lsn = base_lsn_ + static_cast<Lsn>(records_.size()) + 1;
   if (pipeline_ != nullptr) {
     // Sequence only: copy into the volatile view, hand the original to the
     // pipeline. Called under the journal mutex, so the pipeline's LSN

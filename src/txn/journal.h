@@ -67,10 +67,12 @@ class Journal {
   // not moved — the source must be quiescent, which recovery-time use is.
   Journal(Journal&& other) noexcept
       : records_(std::move(other.records_)),
+        base_lsn_(other.base_lsn_),
         writer_(other.writer_),
         pipeline_(other.pipeline_) {}
   Journal& operator=(Journal&& other) noexcept {
     records_ = std::move(other.records_);
+    base_lsn_ = other.base_lsn_;
     writer_ = other.writer_;
     pipeline_ = other.pipeline_;
     return *this;
@@ -90,6 +92,17 @@ class Journal {
   // never pays for a sync. In the pipeline's kSync baseline mode the
   // append+sync still happens inline. Mutually exclusive with set_writer.
   void set_pipeline(GroupCommitPipeline* pipeline) { pipeline_ = pipeline; }
+
+  // Post-restart continuation: the LSN space continues where the durable
+  // journal left off, so a recovered system's new records never collide
+  // with checkpointed per-object LSNs. The next AppendCommit returns
+  // base + 1. Must be called before any append (records must be empty);
+  // the attached pipeline's first_lsn must be set to base + 1 to match.
+  void set_base_lsn(Lsn base);
+
+  // Highest LSN assigned so far (base + in-memory record count) — the
+  // anchor a fuzzy checkpoint captures before walking objects.
+  Lsn high_lsn() const;
 
   // Appends one atomic commit record and returns its LSN (kNoLsn when the
   // journal is volatile-only — no writer or pipeline attached; the
@@ -116,6 +129,7 @@ class Journal {
  private:
   mutable std::mutex mu_;
   std::vector<CommitRecord> records_;
+  Lsn base_lsn_ = 0;
   JournalWriter* writer_ = nullptr;
   GroupCommitPipeline* pipeline_ = nullptr;
 };

@@ -25,14 +25,21 @@ uint32_t ReadLe32(std::string_view image, size_t pos) {
          (static_cast<uint32_t>(static_cast<uint8_t>(image[pos + 3])) << 24);
 }
 
+}  // namespace
+
 // True iff an intact frame (in-bounds length, matching checksum) starts at
 // `pos`. Decodability of the payload is checked separately by the scanner.
-bool IntactFrameAt(std::string_view image, size_t pos) {
+bool IntactJournalFrameAt(std::string_view image, size_t pos,
+                          uint32_t* payload_len) {
   if (pos + kJournalFrameHeaderSize > image.size()) return false;
   const uint32_t len = ReadLe32(image, pos);
   if (len > image.size() - pos - kJournalFrameHeaderSize) return false;
-  return Crc32c(image.data() + pos + kJournalFrameHeaderSize, len) ==
-         ReadLe32(image, pos + 4);
+  if (Crc32c(image.data() + pos + kJournalFrameHeaderSize, len) !=
+      ReadLe32(image, pos + 4)) {
+    return false;
+  }
+  if (payload_len != nullptr) *payload_len = len;
+  return true;
 }
 
 // True iff an intact frame starts anywhere strictly after `from`. Used to
@@ -40,15 +47,35 @@ bool IntactFrameAt(std::string_view image, size_t pos) {
 // mid-journal corruption (durable data follows — reject). The byte-by-byte
 // probe is O(tail²) in the worst case, but runs only on damaged images and
 // a false positive needs a 2^-32 checksum collision inside garbage.
-bool IntactFrameAfter(std::string_view image, size_t from) {
+bool IntactJournalFrameAfter(std::string_view image, size_t from) {
   for (size_t pos = from + 1;
        pos + kJournalFrameHeaderSize <= image.size(); ++pos) {
-    if (IntactFrameAt(image, pos)) return true;
+    if (IntactJournalFrameAt(image, pos, nullptr)) return true;
   }
   return false;
 }
 
-}  // namespace
+std::string FrameBlob(std::string_view payload) {
+  std::string out;
+  out.reserve(kJournalFrameHeaderSize + payload.size());
+  AppendLe32(&out, static_cast<uint32_t>(payload.size()));
+  AppendLe32(&out, Crc32c(payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+StatusOr<std::string> UnframeBlob(std::string_view image) {
+  uint32_t len = 0;
+  if (!IntactJournalFrameAt(image, 0, &len)) {
+    return Status::Internal("framed blob damaged (torn write or bit rot)");
+  }
+  if (kJournalFrameHeaderSize + len != image.size()) {
+    return Status::Internal(
+        StrFormat("framed blob has %zu trailing bytes",
+                  image.size() - kJournalFrameHeaderSize - len));
+  }
+  return std::string(image.substr(kJournalFrameHeaderSize, len));
+}
 
 std::string EncodeCommitPayload(const Journal::CommitRecord& record) {
   std::string out =
@@ -108,13 +135,7 @@ StatusOr<Journal::CommitRecord> DecodeCommitPayload(std::string_view payload) {
 }
 
 std::string EncodeCommitRecord(const Journal::CommitRecord& record) {
-  const std::string payload = EncodeCommitPayload(record);
-  std::string out;
-  out.reserve(kJournalFrameHeaderSize + payload.size());
-  AppendLe32(&out, static_cast<uint32_t>(payload.size()));
-  AppendLe32(&out, Crc32c(payload.data(), payload.size()));
-  out += payload;
-  return out;
+  return FrameBlob(EncodeCommitPayload(record));
 }
 
 std::string RecoveryReport::ToString() const {
@@ -123,27 +144,27 @@ std::string RecoveryReport::ToString() const {
                    corrupt_tail ? "yes" : "no");
 }
 
-StatusOr<Journal> ScanJournalImage(std::string_view image,
-                                   RecoveryReport* report) {
+Status ForEachJournalRecord(
+    std::string_view image,
+    const std::function<Status(Journal::CommitRecord&&)>& fn,
+    RecoveryReport* report) {
   RecoveryReport local;
-  std::vector<Journal::CommitRecord> records;
   size_t offset = 0;
   while (offset < image.size()) {
-    bool damaged = !IntactFrameAt(image, offset);
-    StatusOr<Journal::CommitRecord> decoded =
-        Status::InvalidArgument("frame damaged");
+    uint32_t len = 0;
+    bool damaged = !IntactJournalFrameAt(image, offset, &len);
     if (!damaged) {
-      const uint32_t len = ReadLe32(image, offset);
-      decoded = DecodeCommitPayload(
+      StatusOr<Journal::CommitRecord> decoded = DecodeCommitPayload(
           image.substr(offset + kJournalFrameHeaderSize, len));
       damaged = !decoded.ok();
       if (!damaged) {
-        records.push_back(std::move(*decoded));
+        CCR_RETURN_IF_ERROR(fn(std::move(*decoded)));
+        ++local.records_replayed;
         offset += kJournalFrameHeaderSize + len;
       }
     }
     if (damaged) {
-      if (IntactFrameAfter(image, offset)) {
+      if (IntactJournalFrameAfter(image, offset)) {
         return Status::Internal(StrFormat(
             "journal corrupt mid-image: damaged record at byte %zu is "
             "followed by an intact one — a durable prefix was damaged",
@@ -157,8 +178,20 @@ StatusOr<Journal> ScanJournalImage(std::string_view image,
       break;
     }
   }
-  local.records_replayed = records.size();
   if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
+StatusOr<Journal> ScanJournalImage(std::string_view image,
+                                   RecoveryReport* report) {
+  std::vector<Journal::CommitRecord> records;
+  CCR_RETURN_IF_ERROR(ForEachJournalRecord(
+      image,
+      [&records](Journal::CommitRecord&& record) {
+        records.push_back(std::move(record));
+        return Status::OK();
+      },
+      report));
   return Journal(std::move(records));
 }
 

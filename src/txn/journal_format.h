@@ -35,6 +35,7 @@
 #ifndef CCR_TXN_JOURNAL_FORMAT_H_
 #define CCR_TXN_JOURNAL_FORMAT_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -45,6 +46,25 @@ namespace ccr {
 
 // Frame header: u32 payload size + u32 crc32c.
 inline constexpr size_t kJournalFrameHeaderSize = 8;
+
+// Frames an arbitrary payload in the journal's [len][crc][payload] format.
+// Used for commit records, segment headers, and checkpoint images alike —
+// one checksummed container format for everything durable.
+std::string FrameBlob(std::string_view payload);
+
+// Inverse of FrameBlob for a single-frame image (checkpoint files): the
+// image must be exactly one intact frame. kInternal on damage (torn write
+// or bit rot) or trailing bytes.
+StatusOr<std::string> UnframeBlob(std::string_view image);
+
+// True iff an intact frame (in-bounds length, matching checksum) starts at
+// `pos` of `image`; `payload_len` (optional) receives its payload size.
+bool IntactJournalFrameAt(std::string_view image, size_t pos,
+                          uint32_t* payload_len);
+
+// True iff an intact frame starts anywhere strictly after `from` — the
+// probe that distinguishes a torn tail from mid-journal corruption.
+bool IntactJournalFrameAfter(std::string_view image, size_t from);
 
 // The textual payload of one commit record (no frame).
 std::string EncodeCommitPayload(const Journal::CommitRecord& record);
@@ -66,10 +86,24 @@ struct RecoveryReport {
   std::string ToString() const;
 };
 
+// Streams the commit records of a crash image in order, applying the
+// torn-tail truncation rule above, without materializing more than one
+// decoded record at a time — restart memory stays bounded by one record
+// instead of the whole journal. `fn` returning non-OK aborts the scan with
+// that error; mid-journal corruption returns kInternal; a truncated tail
+// is reported, not an error. `report` (optional) receives the outcome of
+// a completed scan.
+Status ForEachJournalRecord(
+    std::string_view image,
+    const std::function<Status(Journal::CommitRecord&&)>& fn,
+    RecoveryReport* report);
+
 // Scans a journal image as found after a crash and returns the valid
 // prefix as an in-memory Journal, applying the torn-tail truncation rule
 // above. `report` (optional) receives what happened. Mid-journal
 // corruption — an intact record after a damaged one — returns kInternal.
+// (Materializes every record; prefer ForEachJournalRecord on restart
+// paths.)
 StatusOr<Journal> ScanJournalImage(std::string_view image,
                                    RecoveryReport* report);
 

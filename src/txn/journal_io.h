@@ -16,7 +16,9 @@
 #define CCR_TXN_JOURNAL_IO_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +27,65 @@
 #include "txn/journal_format.h"
 
 namespace ccr {
+
+// fsyncs a directory fd so created/renamed/unlinked entries are durable.
+// File creation, segment rotation, truncation, and checkpoint rename all
+// require it — fdatasync on a file makes bytes durable, only the directory
+// fsync makes the name -> inode link (or its removal) durable.
+Status SyncDir(const std::string& dir);
+
+// SyncDir on `path`'s parent directory.
+Status SyncParentDir(const std::string& path);
+
+// Names of regular files directly in `dir` (unsorted, no "."/"..").
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+// Named crash points for maintenance-path fault injection (checkpoint
+// write, segment rotation, truncation). A component consults Hit(point) at
+// each named step; once the armed point fires the simulated process is
+// dead — Hit returns true for every subsequent call, so all further
+// durable operations fail fast with kUnavailable and nothing more reaches
+// the disk. Thread-safe (a checkpoint thread and the flusher may share
+// one).
+class CrashPoints {
+ public:
+  CrashPoints() = default;
+
+  // Arms one point; replaces any previous armament.
+  void Arm(std::string point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = std::move(point);
+  }
+
+  // True if the component must die here: either `point` is the armed one
+  // (fires it) or the process already died at an earlier point.
+  bool Hit(std::string_view point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return true;
+    if (!armed_.empty() && point == armed_) {
+      dead_ = true;
+      fired_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool dead() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dead_;
+  }
+  // True iff the armed point was actually reached (vs. dead never set).
+  bool fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string armed_;
+  bool dead_ = false;
+  bool fired_ = false;
+};
 
 // Destination for journal bytes. Append-only; Sync is the durability
 // barrier (a record is crash-safe only once the Sync after it returns).
@@ -66,6 +127,12 @@ class FileSink : public ByteSink {
   Status Append(std::string_view bytes) override;
   Status Sync() override;
 
+  // Flushes and closes, surfacing fflush/fclose errors — a buffered write
+  // can fail as late as close, and dropping that error would silently lose
+  // journal bytes. Idempotent; the destructor falls back to a
+  // close-and-log for sinks never explicitly closed.
+  Status Close();
+
  private:
   explicit FileSink(std::FILE* file) : file_(file) {}
 
@@ -74,6 +141,117 @@ class FileSink : public ByteSink {
 
 // Reads a whole journal image back from a file (the post-crash disk).
 StatusOr<std::string> ReadFileImage(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Segmented journal: journal.000001, journal.000002, ... in one directory.
+// Each segment starts with a header frame whose payload is "seg <lsn>\n"
+// (the LSN of its first commit record), followed by commit-record frames.
+// Rotation seals the active segment (sync + close) and opens the next;
+// truncation deletes sealed segments whose records all lie at or below a
+// durable checkpoint's anchor LSN — the active segment is never deleted.
+// ---------------------------------------------------------------------------
+
+// File name of segment `seq` inside `dir`.
+std::string SegmentFileName(uint64_t seq);
+
+struct SegmentedSinkOptions {
+  // Rotate once the active segment's record bytes exceed this.
+  uint64_t max_segment_bytes = 1 << 20;
+  // Optional fault injection for rotation/truncation crash points
+  // (rot.before_seal_sync, rot.before_seal_close, rot.after_create,
+  // rot.before_header_sync, trunc.before_unlink, trunc.after_unlink,
+  // trunc.before_dirsync). Not owned; may be shared with a Checkpointer.
+  CrashPoints* crash = nullptr;
+};
+
+// A ByteSink writing a segmented journal. Each Append call must carry
+// exactly one full encoded record frame (JournalWriter appends whole
+// frames; do not combine with FaultInjector partial admits) — the sink
+// counts records to assign segment-header LSNs. Thread-safe: a checkpoint
+// thread may truncate while the flusher appends.
+class SegmentedFileSink : public ByteSink {
+ public:
+  // Opens a NEW active segment in `dir` whose first record will carry
+  // `first_lsn`. Existing segments are left untouched; the new segment's
+  // sequence number is one past the highest already present, so a
+  // rotation- or restart-crash artifact never gets overwritten.
+  static StatusOr<std::unique_ptr<SegmentedFileSink>> Open(
+      const std::string& dir, Lsn first_lsn,
+      SegmentedSinkOptions options = {});
+
+  // Appends one record frame, rotating first if the active segment is
+  // full. kUnavailable once an armed crash point has fired (the simulated
+  // process is dead; no bytes of this record reach the disk).
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+
+  // Deletes every sealed segment whose records all have LSN <= anchor,
+  // then fsyncs the directory. The caller must hold a durable checkpoint
+  // covering `anchor` (the DESIGN.md §4 invariant: a segment may be
+  // deleted only when a durable checkpoint covers its highest LSN).
+  Status TruncateBelow(Lsn anchor);
+
+  // Live segments (sealed + active) and the LSN the next Append gets.
+  size_t segment_count() const;
+  Lsn next_lsn() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Sealed {
+    uint64_t seq;
+    Lsn first_lsn;
+    Lsn last_lsn;
+    std::string path;
+  };
+
+  SegmentedFileSink(std::string dir, uint64_t seq, Lsn first_lsn,
+                    SegmentedSinkOptions options,
+                    std::unique_ptr<FileSink> active);
+
+  // Seals the active segment and opens segment active_seq_+1. Caller
+  // holds mu_.
+  Status RotateLocked();
+  // Creates segment `seq` with its header frame for `first_lsn` and makes
+  // it the active segment. Caller holds mu_.
+  Status OpenSegmentLocked(uint64_t seq, Lsn first_lsn);
+
+  const std::string dir_;
+  const SegmentedSinkOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t active_seq_;
+  Lsn active_first_lsn_;
+  uint64_t active_record_bytes_ = 0;
+  Lsn next_lsn_;
+  std::unique_ptr<FileSink> active_;
+  std::vector<Sealed> sealed_;
+};
+
+// What a segmented-directory scan found and did.
+struct SegmentScanReport {
+  size_t segments = 0;           // segments visited (incl. ignored artifacts)
+  size_t records = 0;            // intact records delivered to fn
+  size_t records_skipped = 0;    // intact records at or below after_lsn
+  size_t bytes_truncated = 0;    // torn tail of the final segment
+  bool corrupt_tail = false;
+  // Final segments with no intact header — the artifact a crash during
+  // rotation (file created, header unwritten/torn) leaves behind.
+  size_t artifacts_ignored = 0;
+};
+
+// Streams the commit records of a segmented journal directory in LSN
+// order, skipping records with LSN <= after_lsn (they are covered by the
+// checkpoint whose anchor the caller passes). Validates segment
+// continuity: the first surviving segment must start at or below
+// after_lsn + 1 and each subsequent segment must continue exactly where
+// the previous ended (kInternal otherwise — truncation outran its
+// checkpoint or a segment vanished). A torn tail is legal only in the
+// final segment; damage anywhere else is kInternal. `fn(lsn, record)`
+// returning non-OK aborts the scan with that error.
+Status ForEachSegmentedRecord(
+    const std::string& dir, Lsn after_lsn,
+    const std::function<Status(Lsn, Journal::CommitRecord&&)>& fn,
+    SegmentScanReport* report);
 
 // Write-path fault injection. A fault is positioned by *record index* (the
 // i-th appended record, 0-based):

@@ -72,6 +72,13 @@ class RecoveryManager {
   // Snapshot of the state reflecting committed transactions only.
   virtual std::unique_ptr<SpecState> CommittedState() const = 0;
 
+  // Replaces the committed state wholesale and discards all in-flight
+  // per-transaction bookkeeping. Recovery-only: used to install a
+  // checkpointed committed image before tail replay, and to reset an object
+  // when replay fails partway (fail-atomic restart). Must not be called
+  // while transactions are active at this object.
+  virtual void InstallCommittedState(std::unique_ptr<SpecState> state) = 0;
+
   const RecoveryStats& stats() const { return stats_; }
 
  protected:

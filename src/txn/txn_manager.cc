@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/string_util.h"
+#include "txn/checkpoint.h"
 #include "txn/group_commit.h"
 #include "txn/journal_format.h"
 
@@ -52,7 +54,35 @@ std::vector<AtomicObject*> TxnManager::objects() const {
   return out;
 }
 
-Status TxnManager::Restart(const Journal& journal) {
+Status TxnManager::ReplayRecordGrouped(
+    const std::map<ObjectId, AtomicObject*>& by_id,
+    const Journal::CommitRecord& record, Lsn lsn) {
+  // A record's ops may interleave objects (response order); group them
+  // per object, preserving per-object order — object states are
+  // independent, so the grouped replay is effect-equal.
+  std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
+  std::map<AtomicObject*, size_t> group_index;
+  for (const Operation& op : record.ops) {
+    const auto found = by_id.find(op.object());
+    if (found == by_id.end()) {
+      return Status::Internal(StrFormat(
+          "journal names unknown object %s — restart system does not "
+          "match the journaled one", op.object().c_str()));
+    }
+    AtomicObject* obj = found->second;
+    const auto [it, inserted] = group_index.emplace(obj, grouped.size());
+    if (inserted) grouped.emplace_back(obj, OpSeq{});
+    grouped[it->second].second.push_back(op);
+  }
+  for (auto& [obj, ops] : grouped) {
+    CCR_RETURN_IF_ERROR(obj->ReplayCommitted(record.txn, ops, lsn));
+  }
+  return Status::OK();
+}
+
+Status TxnManager::RestartGuarded(
+    const std::function<Status(const std::map<ObjectId, AtomicObject*>&)>&
+        replay) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!live_.empty()) {
@@ -74,48 +104,189 @@ Status TxnManager::Restart(const Journal& journal) {
   // restart on long journals.
   std::map<ObjectId, AtomicObject*> by_id;
   for (AtomicObject* obj : objs) by_id.emplace(obj->id(), obj);
-  Status status = Status::OK();
-  TxnId max_txn = 0;
-  journal.ForEachRecord([&](const Journal::CommitRecord& record) {
-    if (!status.ok()) return;
-    max_txn = std::max(max_txn, record.txn);
-    // A record's ops may interleave objects (response order); group them
-    // per object, preserving per-object order — object states are
-    // independent, so the grouped replay is effect-equal.
-    std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
-    std::map<AtomicObject*, size_t> group_index;
-    for (const Operation& op : record.ops) {
-      const auto found = by_id.find(op.object());
-      if (found == by_id.end()) {
-        status = Status::Internal(StrFormat(
-            "journal names unknown object %s — restart system does not "
-            "match the journaled one", op.object().c_str()));
-        return;
-      }
-      AtomicObject* obj = found->second;
-      const auto [it, inserted] = group_index.emplace(obj, grouped.size());
-      if (inserted) grouped.emplace_back(obj, OpSeq{});
-      grouped[it->second].second.push_back(op);
-    }
-    for (auto& [obj, ops] : grouped) {
-      status = obj->ReplayCommitted(record.txn, ops);
-      if (!status.ok()) return;
-    }
-  });
-  for (auto& [obj, jnl] : detached) obj->recovery().set_journal(jnl);
-  // Post-restart transactions must not reuse replayed ids: a reused id
-  // would journal a second commit record under an id that already has one.
-  if (status.ok() && max_txn >= next_txn_.load(std::memory_order_relaxed)) {
-    next_txn_.store(max_txn + 1, std::memory_order_relaxed);
+
+  const Status status = replay(by_id);
+
+  if (!status.ok()) {
+    // Fail-atomicity: a half-replayed manager must not pass for a
+    // recovered one. Reset every object to its initial state while the
+    // journals are still detached, so the error path leaves exactly the
+    // "empty system" a caller can reason about (retry, or discard).
+    for (AtomicObject* obj : objs) obj->ResetForRecovery();
   }
+  for (auto& [obj, jnl] : detached) obj->recovery().set_journal(jnl);
   return status;
+}
+
+Status TxnManager::Restart(const Journal& journal) {
+  return RestartGuarded([&](const std::map<ObjectId, AtomicObject*>& by_id) {
+    Status status = Status::OK();
+    TxnId max_txn = 0;
+    Lsn lsn = 0;
+    journal.ForEachRecord([&](const Journal::CommitRecord& record) {
+      if (!status.ok()) return;
+      max_txn = std::max(max_txn, record.txn);
+      status = ReplayRecordGrouped(by_id, record, ++lsn);
+    });
+    // Post-restart transactions must not reuse replayed ids: a reused id
+    // would journal a second commit record under an id that already has
+    // one.
+    if (status.ok()) AdvanceTxnWatermark(max_txn);
+    return status;
+  });
 }
 
 Status TxnManager::RestartFromImage(std::string_view image,
                                     RecoveryReport* report) {
-  StatusOr<Journal> scanned = ScanJournalImage(image, report);
-  if (!scanned.ok()) return scanned.status();
-  return Restart(*scanned);
+  return RestartGuarded([&](const std::map<ObjectId, AtomicObject*>& by_id) {
+    // Stream the scan: each record is decoded, replayed, and discarded —
+    // the image is never materialized as a second in-memory journal.
+    TxnId max_txn = 0;
+    Lsn lsn = 0;
+    const Status status = ForEachJournalRecord(
+        image,
+        [&](Journal::CommitRecord&& record) {
+          max_txn = std::max(max_txn, record.txn);
+          return ReplayRecordGrouped(by_id, record, ++lsn);
+        },
+        report);
+    if (status.ok()) AdvanceTxnWatermark(max_txn);
+    return status;
+  });
+}
+
+StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
+                                                    RestartOptions options) {
+  RestartSummary summary;
+  const Status status = RestartGuarded([&](const std::map<
+                                           ObjectId, AtomicObject*>& by_id) {
+    StatusOr<CheckpointImage> image = Checkpointer::LoadNewest(dir);
+    if (!image.ok()) return image.status();
+    summary.checkpoint_anchor = image->anchor;
+
+    // Install the checkpointed states. An object in the image but not in
+    // this manager is a configuration mismatch (its truncated records are
+    // unrecoverable elsewhere); a manager object missing from the image
+    // simply replays its whole (surviving) history from the initial state.
+    std::map<AtomicObject*, Lsn> ckpt_lsn;
+    for (const CheckpointImage::ObjectEntry& entry : image->objects) {
+      const auto found = by_id.find(entry.id);
+      if (found == by_id.end()) {
+        return Status::Internal(StrFormat(
+            "checkpoint names unknown object %s — restart system does not "
+            "match the checkpointed one", entry.id.c_str()));
+      }
+      AtomicObject* obj = found->second;
+      StatusOr<std::unique_ptr<SpecState>> state =
+          obj->adt().DecodeState(entry.encoded);
+      if (!state.ok()) return state.status();
+      obj->InstallCheckpoint(std::move(*state), entry.lsn);
+      ckpt_lsn[obj] = entry.lsn;
+      ++summary.checkpoint_objects;
+    }
+
+    // Bucket the tail per object. Within a bucket records keep LSN order;
+    // across buckets there is no ordering requirement (object states are
+    // independent), which is exactly what lets the replay fan out.
+    struct TailEntry {
+      TxnId txn;
+      Lsn lsn;
+      OpSeq ops;
+    };
+    std::vector<std::pair<AtomicObject*, std::vector<TailEntry>>> buckets;
+    std::map<AtomicObject*, size_t> bucket_index;
+    TxnId max_txn = image->max_txn;
+    Lsn high_lsn = image->anchor;
+    Status bucket_status = Status::OK();
+    const Status scan_status = ForEachSegmentedRecord(
+        dir, image->anchor,
+        [&](Lsn lsn, Journal::CommitRecord&& record) {
+          max_txn = std::max(max_txn, record.txn);
+          high_lsn = std::max(high_lsn, lsn);
+          for (Operation& op : record.ops) {
+            const auto found = by_id.find(op.object());
+            if (found == by_id.end()) {
+              return Status::Internal(StrFormat(
+                  "journal names unknown object %s — restart system does "
+                  "not match the journaled one", op.object().c_str()));
+            }
+            AtomicObject* obj = found->second;
+            // The fuzzy overshoot: this object's snapshot already includes
+            // the record (its LSN is at or below the object's checkpoint
+            // LSN) even though the record lies past the anchor.
+            const auto covered = ckpt_lsn.find(obj);
+            if (covered != ckpt_lsn.end() && lsn <= covered->second) {
+              ++summary.tail_skipped;
+              continue;
+            }
+            const auto [bit, fresh] =
+                bucket_index.emplace(obj, buckets.size());
+            if (fresh) buckets.emplace_back(obj, std::vector<TailEntry>{});
+            std::vector<TailEntry>& bucket = buckets[bit->second].second;
+            if (!bucket.empty() && bucket.back().txn == record.txn &&
+                bucket.back().lsn == lsn) {
+              bucket.back().ops.push_back(std::move(op));
+            } else {
+              bucket.push_back(TailEntry{record.txn, lsn, OpSeq{std::move(op)}});
+            }
+          }
+          ++summary.tail_records;
+          return Status::OK();
+        },
+        &summary.scan);
+    if (!scan_status.ok()) return scan_status;
+    if (!bucket_status.ok()) return bucket_status;
+
+    // Fan the buckets out. Each worker owns whole buckets (claimed off an
+    // atomic cursor), so a given object is replayed by exactly one thread
+    // and needs no cross-thread ordering.
+    const int threads = std::max(
+        1, std::min<int>(options.replay_threads,
+                         static_cast<int>(buckets.size())));
+    Status replay_status = Status::OK();
+    if (threads <= 1) {
+      for (auto& [obj, bucket] : buckets) {
+        for (TailEntry& entry : bucket) {
+          replay_status =
+              obj->ReplayCommitted(entry.txn, entry.ops, entry.lsn);
+          if (!replay_status.ok()) break;
+        }
+        if (!replay_status.ok()) break;
+      }
+    } else {
+      std::atomic<size_t> cursor{0};
+      std::mutex error_mu;
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          for (;;) {
+            const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= buckets.size()) return;
+            auto& [obj, bucket] = buckets[i];
+            for (TailEntry& entry : bucket) {
+              const Status s =
+                  obj->ReplayCommitted(entry.txn, entry.ops, entry.lsn);
+              if (!s.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (replay_status.ok()) replay_status = s;
+                return;
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& worker : pool) worker.join();
+    }
+    if (!replay_status.ok()) return replay_status;
+
+    AdvanceTxnWatermark(max_txn);
+    summary.max_txn = max_txn;
+    summary.high_lsn = high_lsn;
+    return Status::OK();
+  });
+  if (!status.ok()) return status;
+  return summary;
 }
 
 std::shared_ptr<Transaction> TxnManager::Begin() {
@@ -230,6 +401,14 @@ Status TxnManager::RunTransaction(
         std::chrono::microseconds(backoff_rng.Uniform(max_us) + 1));
   }
   return Status::Aborted("transaction retry budget exhausted");
+}
+
+void TxnManager::AdvanceTxnWatermark(TxnId txn) {
+  TxnId expected = next_txn_.load(std::memory_order_relaxed);
+  while (txn + 1 > expected &&
+         !next_txn_.compare_exchange_weak(expected, txn + 1,
+                                          std::memory_order_relaxed)) {
+  }
 }
 
 void TxnManager::Kill(TxnId txn) {

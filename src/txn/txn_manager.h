@@ -17,10 +17,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "txn/atomic_object.h"
+#include "txn/journal_io.h"
 
 namespace ccr {
 
@@ -49,6 +51,27 @@ struct ManagerStats {
   uint64_t kills = 0;       // deadlock wounds/victims issued
 };
 
+struct RestartOptions {
+  // Threads replaying the post-checkpoint tail. The tail is bucketed per
+  // object (object states are independent; within one object records stay
+  // in LSN order), so the useful maximum is the number of objects with a
+  // non-empty tail.
+  int replay_threads = 1;
+};
+
+// What a checkpoint-aware restart found and did.
+struct RestartSummary {
+  Lsn checkpoint_anchor = 0;      // 0: no checkpoint, full replay
+  size_t checkpoint_objects = 0;  // object states installed from the image
+  size_t tail_records = 0;        // records replayed past the anchor
+  // Per-object record deliveries dropped because the object's own
+  // checkpoint LSN already covered them (the fuzzy overshoot).
+  size_t tail_skipped = 0;
+  Lsn high_lsn = 0;               // newest LSN on disk; journals resume after
+  TxnId max_txn = 0;              // watermark restored (checkpoint + tail)
+  SegmentScanReport scan;
+};
+
 class TxnManager {
  public:
   explicit TxnManager(TxnManagerOptions options = {});
@@ -75,14 +98,31 @@ class TxnManager {
   // system configuration disagree. Journals attached to the recovery
   // managers are detached for the duration (replayed commits are already
   // durable; re-journaling them would double them).
+  //
+  // Fail-atomic: on any error every object is reset to its ADT's initial
+  // state — a half-replayed restart never leaks into service as a valid
+  // one. The caller may retry with a repaired journal or discard the
+  // manager.
   Status Restart(const Journal& journal);
 
   // Scans a crash image (the durable journal's post-crash bytes) under the
-  // torn-tail truncation rule and replays the valid prefix via Restart.
+  // torn-tail truncation rule, replaying each record as it is decoded —
+  // restart memory stays bounded by one record, not the journal.
   // `report` (optional) receives the scan outcome. Mid-journal corruption
   // is rejected with kInternal — a durable prefix was damaged, which
-  // truncation cannot repair honestly.
+  // truncation cannot repair honestly. Fail-atomic like Restart.
   Status RestartFromImage(std::string_view image, RecoveryReport* report);
+
+  // Checkpoint-aware restart from a segmented journal directory: installs
+  // the newest intact checkpoint's per-object states, then replays only
+  // the records past its anchor, skipping per object what its checkpoint
+  // LSN already covers, fanned out over options.replay_threads (per-object
+  // buckets). Restart cost is the post-checkpoint tail, not total history.
+  // Fail-atomic like Restart. On success, resume journaling at
+  // summary.high_lsn + 1 (Journal::set_base_lsn, GroupCommitOptions::
+  // first_lsn, SegmentedFileSink::Open's first_lsn).
+  StatusOr<RestartSummary> RestartFromDir(const std::string& dir,
+                                          RestartOptions options = {});
 
   // Attaches the group-commit pipeline whose durable watermark gates
   // commit acknowledgment: Commit returns only once the transaction's
@@ -112,6 +152,18 @@ class TxnManager {
   // Marks a transaction as a deadlock victim.
   void Kill(TxnId txn);
 
+  // Highest transaction id assigned so far (0 before the first Begin).
+  // Checkpoints store it so a restart whose journal tail is empty still
+  // refuses to reuse pre-crash ids.
+  TxnId max_assigned_txn() const {
+    return next_txn_.load(std::memory_order_relaxed) - 1;
+  }
+
+  // Ensures ids <= txn are never assigned again. Restart calls this with
+  // the checkpoint's max_txn and the tail's highest replayed id; harnesses
+  // mirroring a foreign record stream call it directly.
+  void AdvanceTxnWatermark(TxnId txn);
+
   // History recorded so far (empty when record_history is false).
   History SnapshotHistory() const;
   bool recording() const { return options_.record_history; }
@@ -130,6 +182,20 @@ class TxnManager {
   DeadlockDetector* detector() { return &detector_; }
 
  private:
+  // Shared restart plumbing: refuses live transactions, detaches journals,
+  // runs `replay` over an id->object map, reattaches, and on error resets
+  // every object to its initial state (the fail-atomicity guarantee).
+  Status RestartGuarded(
+      const std::function<Status(const std::map<ObjectId, AtomicObject*>&)>&
+          replay);
+
+  // Groups `record`'s ops per object preserving per-object order and
+  // replays them at `lsn`. kInternal when the record names an object this
+  // manager does not have.
+  static Status ReplayRecordGrouped(
+      const std::map<ObjectId, AtomicObject*>& by_id,
+      const Journal::CommitRecord& record, Lsn lsn);
+
   TxnManagerOptions options_;
   HistoryRecorder recorder_;
   DeadlockDetector detector_;

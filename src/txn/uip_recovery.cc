@@ -147,4 +147,13 @@ std::unique_ptr<SpecState> UipRecovery::CommittedState() const {
   return state;
 }
 
+void UipRecovery::InstallCommittedState(std::unique_ptr<SpecState> state) {
+  base_ = std::move(state);
+  current_ = base_->Clone();
+  log_.clear();
+  committed_in_log_.clear();
+  live_counts_.clear();
+  pending_ops_.clear();
+}
+
 }  // namespace ccr

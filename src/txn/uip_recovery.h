@@ -53,6 +53,7 @@ class UipRecovery final : public RecoveryManager {
   void Abort(TxnId txn) override;
   std::unique_ptr<SpecState> CurrentState() const override;
   std::unique_ptr<SpecState> CommittedState() const override;
+  void InstallCommittedState(std::unique_ptr<SpecState> state) override;
 
   // Log length after checkpointing (for tests and diagnostics).
   size_t log_size() const { return log_.size(); }

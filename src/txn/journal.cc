@@ -20,6 +20,11 @@ Lsn Journal::high_lsn() const {
   return base_lsn_ + static_cast<Lsn>(records_.size());
 }
 
+Lsn Journal::base_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_;
+}
+
 Lsn Journal::AppendCommit(TxnId txn, OpSeq ops) {
   std::lock_guard<std::mutex> lock(mu_);
   CCR_CHECK_MSG(writer_ == nullptr || pipeline_ == nullptr,

@@ -104,6 +104,10 @@ class Journal {
   // anchor a fuzzy checkpoint captures before walking objects.
   Lsn high_lsn() const;
 
+  // The LSN the record space starts after: the first record carries
+  // base_lsn() + 1. Zero unless set_base_lsn was called.
+  Lsn base_lsn() const;
+
   // Appends one atomic commit record and returns its LSN (kNoLsn when the
   // journal is volatile-only — no writer or pipeline attached; the
   // in-memory record is still kept). With a pipeline attached the record

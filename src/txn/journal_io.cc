@@ -295,6 +295,53 @@ bool CrashFires(CrashPoints* crash, std::string_view point) {
   return crash != nullptr && crash->Hit(point);
 }
 
+// Truncates `path` to `size` bytes and fsyncs the file. No directory sync
+// is needed: truncation changes the inode, not the directory entry.
+Status TruncateFileTo(const std::string& path, size_t size) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("cannot open %s for truncate: %s",
+                                      path.c_str(), std::strerror(errno)));
+  }
+  Status status = Status::OK();
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    status = Status::Internal(StrFormat("cannot truncate %s to %zu: %s",
+                                        path.c_str(), size,
+                                        std::strerror(errno)));
+  } else if (::fsync(fd) != 0) {
+    status = Status::Internal(StrFormat("fsync after truncate of %s "
+                                        "failed: %s",
+                                        path.c_str(), std::strerror(errno)));
+  }
+  ::close(fd);
+  return status;
+#else
+  (void)path;
+  (void)size;
+  return Status::Internal("truncate unsupported on this platform");
+#endif
+}
+
+// A torn tail (a crash mid-write of the last record) is tolerated by the
+// scan only while its segment is the FINAL one. The resume protocol then
+// opens a higher-numbered segment, which would turn the still-present torn
+// bytes into mid-sequence damage — and a second restart would reject the
+// directory forever. So before a reopen buries the segment, physically cut
+// the torn bytes off (ftruncate + fsync). Damage *followed by* an intact
+// frame is real mid-image corruption: nothing may be cut (durable records
+// lie past it) — leave the bytes for the scan to reject loudly.
+Status TruncateTornTail(const std::string& path, const std::string& image) {
+  size_t offset = 0;
+  uint32_t len = 0;
+  while (offset < image.size() && IntactJournalFrameAt(image, offset, &len)) {
+    offset += kJournalFrameHeaderSize + len;
+  }
+  if (offset >= image.size()) return Status::OK();  // clean tail
+  if (IntactJournalFrameAfter(image, offset)) return Status::OK();
+  return TruncateFileTo(path, offset);
+}
+
 Status SimulatedCrash(std::string_view point) {
   return Status::Unavailable(
       StrFormat("simulated crash at %.*s", static_cast<int>(point.size()),
@@ -335,8 +382,16 @@ StatusOr<std::unique_ptr<SegmentedFileSink>> SegmentedFileSink::Open(
   bool removed_artifact = false;
   for (auto it = segments->rbegin(); it != segments->rend(); ++it) {
     StatusOr<std::string> image = ReadFileImage(it->second);
-    if (image.ok() && IntactJournalFrameAt(*image, 0, nullptr)) {
+    // A failed read proves nothing about the segment's contents — a
+    // transient EIO must not unlink a sealed segment full of durable
+    // records. Only a successful read showing no intact header marks a
+    // rotation artifact.
+    if (!image.ok()) return image.status();
+    if (IntactJournalFrameAt(*image, 0, nullptr)) {
       max_seq = it->first;
+      // This segment is about to stop being the final one; a torn tail
+      // tolerated there would become permanent mid-sequence damage.
+      CCR_RETURN_IF_ERROR(TruncateTornTail(it->second, *image));
       break;
     }
     if (std::remove(it->second.c_str()) != 0) {

@@ -172,9 +172,13 @@ struct SegmentedSinkOptions {
 class SegmentedFileSink : public ByteSink {
  public:
   // Opens a NEW active segment in `dir` whose first record will carry
-  // `first_lsn`. Existing segments are left untouched; the new segment's
-  // sequence number is one past the highest already present, so a
-  // rotation- or restart-crash artifact never gets overwritten.
+  // `first_lsn`. Trailing headerless rotation-crash artifacts are
+  // unlinked, and a torn tail of the last intact segment is physically
+  // truncated (it was tolerable only while that segment was final; once
+  // this open creates a higher-numbered segment it would read as
+  // mid-sequence damage). Sealed records are never touched, and the new
+  // segment's sequence number is one past the highest already present, so
+  // an artifact never gets overwritten.
   static StatusOr<std::unique_ptr<SegmentedFileSink>> Open(
       const std::string& dir, Lsn first_lsn,
       SegmentedSinkOptions options = {});

@@ -122,7 +122,11 @@ Status TxnManager::Restart(const Journal& journal) {
   return RestartGuarded([&](const std::map<ObjectId, AtomicObject*>& by_id) {
     Status status = Status::OK();
     TxnId max_txn = 0;
-    Lsn lsn = 0;
+    // Replayed LSNs must live in the journal's own numbering space: a
+    // journal continuing a prior generation (set_base_lsn) assigns its
+    // first record base+1, and per-object last-committed LSNs seeded here
+    // are later compared against journal.high_lsn() by checkpoints.
+    Lsn lsn = journal.base_lsn();
     journal.ForEachRecord([&](const Journal::CommitRecord& record) {
       if (!status.ok()) return;
       max_txn = std::max(max_txn, record.txn);
@@ -197,7 +201,6 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
     std::map<AtomicObject*, size_t> bucket_index;
     TxnId max_txn = image->max_txn;
     Lsn high_lsn = image->anchor;
-    Status bucket_status = Status::OK();
     const Status scan_status = ForEachSegmentedRecord(
         dir, image->anchor,
         [&](Lsn lsn, Journal::CommitRecord&& record) {
@@ -235,7 +238,6 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
         },
         &summary.scan);
     if (!scan_status.ok()) return scan_status;
-    if (!bucket_status.ok()) return bucket_status;
 
     // Fan the buckets out. Each worker owns whole buckets (claimed off an
     // atomic cursor), so a given object is replayed by exactly one thread

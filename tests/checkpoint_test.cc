@@ -16,6 +16,7 @@
 #include <thread>
 
 #ifndef _WIN32
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -289,6 +290,30 @@ Journal::CommitRecord DepositRecord(TxnId txn, int64_t amount) {
   return Journal::CommitRecord{txn, OpSeq{ba->Deposit(amount)}};
 }
 
+// Path of the highest-numbered segment file (names are zero-padded, so
+// lexicographic max is numeric max).
+std::string LastSegmentPath(const std::string& dir) {
+  StatusOr<std::vector<std::string>> names = ListDir(dir);
+  CCR_CHECK(names.ok());
+  std::string best;
+  for (const std::string& name : *names) {
+    if (name.rfind("journal.", 0) == 0 && (best.empty() || name > best)) {
+      best = name;
+    }
+  }
+  CCR_CHECK_MSG(!best.empty(), "no segment files in %s", dir.c_str());
+  return dir + "/" + best;
+}
+
+// Simulates a torn write: the raw bytes land at the end of the file with
+// no framing discipline, as a crash mid-write would leave them.
+void AppendRawBytes(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  CCR_CHECK(f != nullptr);
+  CCR_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size());
+  CCR_CHECK(std::fclose(f) == 0);
+}
+
 TEST(SegmentedSinkTest, RotatesTruncatesAndScansContiguously) {
   TempDir dir;
   SegmentedSinkOptions options;
@@ -405,6 +430,100 @@ TEST(SegmentedSinkTest, ReopenContinuesSequenceAndCleansArtifacts) {
                   nullptr)
                   .ok());
   EXPECT_EQ(records, 9u);
+}
+
+TEST(SegmentedSinkTest, ReopenTruncatesTornTailSoSecondScanSucceeds) {
+  TempDir dir;
+  SegmentedSinkOptions options;
+  Lsn next_lsn = 1;
+  {
+    StatusOr<std::unique_ptr<SegmentedFileSink>> sink =
+        SegmentedFileSink::Open(dir.path(), next_lsn, options);
+    ASSERT_TRUE(sink.ok());
+    for (size_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          (*sink)->Append(EncodeCommitRecord(DepositRecord(i + 1, 5))).ok());
+    }
+    ASSERT_TRUE((*sink)->Sync().ok());
+    next_lsn = (*sink)->next_lsn();
+  }
+  // The crash: the 7th record's write is interrupted mid-frame.
+  const std::string torn_path = LastSegmentPath(dir.path());
+  const std::string frame = EncodeCommitRecord(DepositRecord(7, 5));
+  AppendRawBytes(torn_path,
+                 std::string_view(frame).substr(0, frame.size() / 2));
+  struct ::stat torn_stat;
+  ASSERT_EQ(::stat(torn_path.c_str(), &torn_stat), 0);
+
+  // First restart tolerates the torn tail: it is in the final segment.
+  SegmentScanReport report;
+  size_t records = 0;
+  ASSERT_TRUE(ForEachSegmentedRecord(
+                  dir.path(), 0,
+                  [&](Lsn, Journal::CommitRecord&&) {
+                    ++records;
+                    return Status::OK();
+                  },
+                  &report)
+                  .ok());
+  EXPECT_EQ(records, 6u);
+  EXPECT_TRUE(report.corrupt_tail);
+
+  // The resume protocol: reopen for writing. The reopen buries the torn
+  // segment under a new active one, so the torn bytes must be physically
+  // gone, not merely tolerated.
+  {
+    StatusOr<std::unique_ptr<SegmentedFileSink>> sink =
+        SegmentedFileSink::Open(dir.path(), next_lsn, options);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    struct ::stat clean_stat;
+    ASSERT_EQ(::stat(torn_path.c_str(), &clean_stat), 0);
+    EXPECT_EQ(static_cast<size_t>(clean_stat.st_size),
+              static_cast<size_t>(torn_stat.st_size) - frame.size() / 2);
+    ASSERT_TRUE(
+        (*sink)->Append(EncodeCommitRecord(DepositRecord(7, 5))).ok());
+    ASSERT_TRUE((*sink)->Sync().ok());
+  }
+
+  // Second restart: the once-torn segment is no longer final. Before the
+  // reopen truncated it physically, this scan hit the damaged frame in a
+  // non-final segment and the directory was unrecoverable forever.
+  records = 0;
+  ASSERT_TRUE(ForEachSegmentedRecord(
+                  dir.path(), 0,
+                  [&](Lsn lsn, Journal::CommitRecord&&) {
+                    ++records;
+                    EXPECT_EQ(lsn, records);
+                    return Status::OK();
+                  },
+                  &report)
+                  .ok());
+  EXPECT_EQ(records, 7u);
+  EXPECT_FALSE(report.corrupt_tail);
+}
+
+TEST(SegmentedSinkTest, ReopenDoesNotUnlinkSegmentItCannotRead) {
+  TempDir dir;
+  {
+    StatusOr<std::unique_ptr<SegmentedFileSink>> sink =
+        SegmentedFileSink::Open(dir.path(), 1, SegmentedSinkOptions{});
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE(
+        (*sink)->Append(EncodeCommitRecord(DepositRecord(1, 5))).ok());
+    ASSERT_TRUE((*sink)->Sync().ok());
+  }
+  // A trailing segment-named entry whose image cannot be read (a
+  // directory: reading it fails with EISDIR). A failed read proves
+  // nothing about the contents, so reopen must fail loudly instead of
+  // unlinking what could be a sealed segment full of durable records.
+  const std::string unreadable = dir.path() + "/" + SegmentFileName(999);
+  ASSERT_EQ(::mkdir(unreadable.c_str(), 0700), 0);
+  StatusOr<std::unique_ptr<SegmentedFileSink>> sink =
+      SegmentedFileSink::Open(dir.path(), 2, SegmentedSinkOptions{});
+  EXPECT_FALSE(sink.ok());
+  struct ::stat st;
+  EXPECT_EQ(::stat(unreadable.c_str(), &st), 0);
+  ASSERT_EQ(::rmdir(unreadable.c_str()), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -538,6 +657,82 @@ TEST(RestartFromDirTest, LsnSpaceContinuesAcrossRestart) {
   EXPECT_GT(summary3->max_txn, max_txn);
   EXPECT_TRUE(gen3.object("BA")->CommittedState()->Equals(
       *gen2.object("BA")->CommittedState()));
+}
+
+TEST(RestartFromDirTest, TornTailToleratedAcrossTwoRestarts) {
+  LifecycleWorld world;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(world.Deposit(2).ok());
+  Checkpointer checkpointer(world.dir.path());
+  ASSERT_TRUE(
+      checkpointer.Write(&world.manager, world.journal.high_lsn()).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(world.Deposit(10).ok());
+  const Lsn high = world.journal.high_lsn();
+  // The crash: drop the writer stack, then leave a half-written record on
+  // the active segment's tail.
+  world.journal.set_writer(nullptr);
+  world.writer.reset();
+  world.sink.reset();
+  const std::string frame = EncodeCommitRecord(DepositRecord(99, 1));
+  AppendRawBytes(LastSegmentPath(world.dir.path()),
+                 std::string_view(frame).substr(0, frame.size() - 3));
+
+  // Restart 1 tolerates the torn tail, then resumes the documented
+  // protocol: a fresh active segment at high_lsn + 1, more commits.
+  TxnManager gen2;
+  TwoObjectFactory(&gen2);
+  StatusOr<RestartSummary> summary = gen2.RestartFromDir(world.dir.path());
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  ASSERT_EQ(summary->high_lsn, high);
+  EXPECT_TRUE(summary->scan.corrupt_tail);
+  SegmentedSinkOptions options;
+  StatusOr<std::unique_ptr<SegmentedFileSink>> sink2 =
+      SegmentedFileSink::Open(world.dir.path(), high + 1, options);
+  ASSERT_TRUE(sink2.ok()) << sink2.status().ToString();
+  JournalWriter writer2(sink2->get());
+  Journal journal2;
+  journal2.set_base_lsn(high);
+  journal2.set_writer(&writer2);
+  for (AtomicObject* obj : gen2.objects()) {
+    obj->recovery().set_journal(&journal2);
+  }
+  auto ba = MakeBankAccount();
+  ASSERT_TRUE(gen2.RunTransaction([&](Transaction* txn) {
+                    return gen2.Execute(txn, ba->DepositInv(100)).status();
+                  })
+                  .ok());
+  for (AtomicObject* obj : gen2.objects()) {
+    obj->recovery().set_journal(nullptr);
+  }
+  sink2->reset();
+
+  // Restart 2: the torn bytes sat in what is now a non-final segment —
+  // recovery succeeds only because the gen-2 reopen physically removed
+  // them (this restart returned kInternal before the fix).
+  TxnManager gen3;
+  TwoObjectFactory(&gen3);
+  StatusOr<RestartSummary> summary3 = gen3.RestartFromDir(world.dir.path());
+  ASSERT_TRUE(summary3.ok()) << summary3.status().ToString();
+  EXPECT_EQ(summary3->high_lsn, high + 1);
+  EXPECT_FALSE(summary3->scan.corrupt_tail);
+  EXPECT_TRUE(gen3.object("BA")->CommittedState()->Equals(
+      *gen2.object("BA")->CommittedState()));
+}
+
+TEST(RestartTest, ReplayLsnsLiveInTheJournalsBaseSpace) {
+  TxnManager manager;
+  TwoObjectFactory(&manager);
+  Journal journal;
+  journal.set_base_lsn(5);
+  auto ba = MakeBankAccount();
+  journal.AppendCommit(1, OpSeq{ba->Deposit(10)});
+  journal.AppendCommit(2, OpSeq{ba->Deposit(20)});
+  ASSERT_TRUE(manager.Restart(journal).ok());
+  // Per-object last-committed LSNs must land in the journal's own
+  // numbering space (base+1, base+2), not a private count-from-1 space: a
+  // checkpoint written after this restart pairs them with
+  // journal.high_lsn(), and a mismatch would mis-skip tail records.
+  EXPECT_EQ(journal.high_lsn(), 7u);
+  EXPECT_EQ(manager.object("BA")->last_committed_lsn(), journal.high_lsn());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,355 @@
+// Copyright 2026 The ccr Authors.
+//
+// PERF-DIR: the striped object directory vs the single-mutex std::map it
+// replaced. Three measurements:
+//
+//  1. lookup sweep — raw Find() throughput over directory sizes 16 .. 1M
+//     at 1 .. 64 threads, for a faithful reconstruction of the old design
+//     (one std::mutex around one std::map) and for ObjectDirectory. The
+//     map serializes every lookup on one lock word; the striped directory
+//     takes only the owning stripe's lock in *shared* mode, so readers
+//     never contend. Lookup cost should also stay roughly flat as the
+//     directory grows 16 -> 1M (hashing, not tree descent).
+//
+//  2. lazy create — 1M objects instantiated through TxnManager::
+//     GetOrCreate (factory construction under the stripe lock) from 64
+//     threads, the "scale to 1M+ objects" acceptance run. Reports
+//     creates/sec and the directory's own stats counters.
+//
+//  3. --stress-smoke — a short 100k-object create/drop/lookup/execute
+//     race with invariant checks, the fast mode scripts/check.sh and the
+//     sanitizer CI jobs run. Exits non-zero on any violated invariant.
+//
+// Numbers from this host are recorded in EXPERIMENTS.md (PERF-DIR); the
+// bench prints std::thread::hardware_concurrency so single-core container
+// runs are framed honestly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "txn/object_directory.h"
+#include "txn/txn_manager.h"
+#include "txn/uip_recovery.h"
+
+namespace ccr {
+namespace {
+
+std::string IdFor(size_t i) { return "O" + std::to_string(i); }
+
+// All lookup-sweep objects share one adt and one conflict relation (both
+// immutable) so a 1M-object directory costs 1M AtomicObjects, not 1M
+// relation tables.
+std::unique_ptr<AtomicObject> MakeObject(
+    const ObjectId& id, const std::shared_ptr<Counter>& adt,
+    const std::shared_ptr<const ConflictRelation>& conflict) {
+  return std::make_unique<AtomicObject>(id, adt, conflict,
+                                        std::make_unique<UipRecovery>(adt));
+}
+
+// Faithful reconstruction of the pre-directory TxnManager shape: one
+// mutex, one ordered map, every lookup exclusive. The control arm.
+class MutexMapDirectory {
+ public:
+  AtomicObject* Find(const ObjectId& id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+
+  void Insert(const ObjectId& id, std::unique_ptr<AtomicObject> object) {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_.emplace(id, std::move(object));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ObjectId, std::unique_ptr<AtomicObject>> objects_;
+};
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Uniform-random Find() calls from `threads` workers; returns lookups/sec.
+template <typename Dir>
+double LookupRate(const Dir& dir, size_t num_objects, int threads,
+                  size_t lookups_per_thread) {
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> found{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Random rng(1000 + static_cast<uint64_t>(t));
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t local = 0;
+      for (size_t i = 0; i < lookups_per_thread; ++i) {
+        if (dir.Find(IdFor(rng.Uniform(num_objects))) != nullptr) ++local;
+      }
+      found.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  const double secs = Seconds(start);
+  const uint64_t total =
+      static_cast<uint64_t>(threads) * lookups_per_thread;
+  CCR_CHECK_MSG(found.load() == total, "lookup sweep lost objects");
+  return static_cast<double>(total) / secs;
+}
+
+void BenchLookupSweep(bool smoke) {
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{16, 100000}
+            : std::vector<size_t>{16, 1000, 100000, 1000000};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{4} : std::vector<int>{1, 4, 16, 64};
+  const size_t total_lookups = smoke ? (1u << 18) : (1u << 21);
+
+  std::printf("lookup sweep: Find() throughput (M lookups/s), uniform ids\n");
+  std::vector<std::string> header{"objects", "impl"};
+  for (int t : thread_counts) header.push_back(StrFormat("t=%d", t));
+  TablePrinter table(header);
+
+  const std::shared_ptr<Counter> adt = MakeCounter("shared");
+  const std::shared_ptr<const ConflictRelation> conflict =
+      MakeNrbcConflict(adt);
+  for (size_t size : sizes) {
+    // Build, measure, and free one arm at a time so both 1M populations
+    // are never resident together.
+    {
+      MutexMapDirectory base;
+      for (size_t i = 0; i < size; ++i) {
+        base.Insert(IdFor(i), MakeObject(IdFor(i), adt, conflict));
+      }
+      std::vector<std::string> row{StrFormat("%zu", size), "mutex+map"};
+      for (int t : thread_counts) {
+        row.push_back(StrFormat(
+            "%.2f", LookupRate(base, size, t,
+                               total_lookups / static_cast<size_t>(t)) /
+                        1e6));
+      }
+      table.AddRow(std::move(row));
+    }
+    {
+      ObjectDirectory striped;
+      for (size_t i = 0; i < size; ++i) {
+        striped.Insert(IdFor(i), MakeObject(IdFor(i), adt, conflict));
+      }
+      std::vector<std::string> row{StrFormat("%zu", size), "striped"};
+      for (int t : thread_counts) {
+        row.push_back(StrFormat(
+            "%.2f", LookupRate(striped, size, t,
+                               total_lookups / static_cast<size_t>(t)) /
+                        1e6));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BenchLazyCreate(bool smoke) {
+  const size_t num_objects = smoke ? 100000 : 1000000;
+  const int threads = smoke ? 8 : 64;
+  std::printf("lazy create: %zu objects via GetOrCreate, %d threads\n",
+              num_objects, threads);
+
+  TxnManagerOptions options;
+  options.record_history = false;
+  TxnManager manager(options);
+  bench::RegisterCounterFactory(&manager, bench::EngineConfig::kUipNrbc);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      // Disjoint slices, so every call constructs (no double-checked
+      // fast path hiding the create cost); ids still hash across all
+      // stripes.
+      const size_t lo = num_objects * static_cast<size_t>(t) /
+                        static_cast<size_t>(threads);
+      const size_t hi = num_objects * (static_cast<size_t>(t) + 1) /
+                        static_cast<size_t>(threads);
+      for (size_t i = lo; i < hi; ++i) {
+        const StatusOr<AtomicObject*> obj =
+            manager.GetOrCreate(IdFor(i), bench::kCounterFactoryName);
+        CCR_CHECK_MSG(obj.ok(), "GetOrCreate failed: %s",
+                      obj.status().ToString().c_str());
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  const double secs = Seconds(start);
+
+  const DirectoryStats stats = manager.directory_stats();
+  CCR_CHECK_MSG(stats.live_objects == num_objects,
+                "expected %zu live objects, directory has %zu", num_objects,
+                stats.live_objects);
+  std::printf("  %.0f creates/s (%.2fs total)\n",
+              static_cast<double>(num_objects) / secs, secs);
+  std::printf("  %s\n",
+              bench::DirectoryStatsLine(stats).c_str());
+  std::printf("\n");
+}
+
+// 100k-object create / drop / lookup / execute race. Invariants checked:
+// no unexpected status from any path, creates - drops == live objects,
+// and the drop-with-live-transaction refusal actually fires (an Execute
+// holding its ops makes a concurrent DropObject return kIllegalState).
+void StressSmoke() {
+  constexpr size_t kObjects = 100000;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 25000;
+
+  TxnManagerOptions options;
+  options.record_history = false;
+  TxnManager manager(options);
+  bench::RegisterCounterFactory(&manager, bench::EngineConfig::kUipNrbc);
+  for (size_t i = 0; i < kObjects; ++i) {
+    CCR_CHECK(manager.GetOrCreate(IdFor(i), bench::kCounterFactoryName).ok());
+  }
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> not_found{0};
+  std::atomic<uint64_t> creates{0};
+  std::atomic<uint64_t> drops{0};
+  std::atomic<uint64_t> drop_refusals{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      Random rng(7000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string id = IdFor(rng.Uniform(kObjects));
+        const uint64_t roll = rng.Uniform(100);
+        if (roll < 60) {
+          // Transactional increment; the object may have been dropped by
+          // a racing thread, in which case Execute reports kNotFound.
+          const std::shared_ptr<Transaction> txn = manager.Begin();
+          const StatusOr<Value> result = manager.Execute(
+              txn.get(),
+              Invocation(id, Counter::kInc, "inc", {Value(int64_t{1})}));
+          if (result.ok()) {
+            // A few transactions dawdle before committing so concurrent
+            // DropObject calls actually hit the live-txn refusal path.
+            if (roll < 3) {
+              std::this_thread::sleep_for(std::chrono::microseconds(100));
+            }
+            if (manager.Commit(txn.get()).ok()) {
+              ++commits;
+            } else {
+              ++failures;
+            }
+          } else {
+            (void)manager.Abort(txn.get());
+            if (result.status().code() == StatusCode::kNotFound) {
+              ++not_found;
+            } else {
+              ++failures;
+            }
+          }
+        } else if (roll < 85) {
+          // Revives dropped ids or finds live ones; both are OK.
+          if (manager.GetOrCreate(id, bench::kCounterFactoryName).ok()) {
+            ++creates;
+          } else {
+            ++failures;
+          }
+        } else {
+          const Status status = manager.DropObject(id);
+          if (status.ok()) {
+            ++drops;
+          } else if (status.code() == StatusCode::kIllegalState) {
+            ++drop_refusals;  // a live transaction held the object
+          } else if (status.code() == StatusCode::kNotFound) {
+            // Raced with another dropper; fine.
+          } else {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  CCR_CHECK_MSG(failures.load() == 0, "%llu unexpected failures",
+                static_cast<unsigned long long>(failures.load()));
+  const DirectoryStats stats = manager.directory_stats();
+  CCR_CHECK_MSG(stats.creates - stats.drops == stats.live_objects,
+                "creates(%llu) - drops(%llu) != live(%zu)",
+                static_cast<unsigned long long>(stats.creates),
+                static_cast<unsigned long long>(stats.drops),
+                stats.live_objects);
+  CCR_CHECK_MSG(stats.retired_objects == stats.drops,
+                "graveyard(%zu) != drops(%llu)", stats.retired_objects,
+                static_cast<unsigned long long>(stats.drops));
+  std::printf(
+      "stress: %llu commits, %llu not-found, %llu lazy creates, %llu "
+      "drops, %llu drop refusals (live txn)\n",
+      static_cast<unsigned long long>(commits.load()),
+      static_cast<unsigned long long>(not_found.load()),
+      static_cast<unsigned long long>(creates.load()),
+      static_cast<unsigned long long>(drops.load()),
+      static_cast<unsigned long long>(drop_refusals.load()));
+  std::printf("  %s\n", bench::DirectoryStatsLine(stats).c_str());
+  std::printf("directory stress OK\n");
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main(int argc, char** argv) {
+  using namespace ccr;
+  bool smoke = false;
+  bool stress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stress-smoke") == 0) {
+      stress = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (stress) {
+    std::printf("PERF-DIR stress: 100k-object create/drop/lookup race\n\n");
+    StressSmoke();
+    return 0;
+  }
+  std::printf(
+      "PERF-DIR: striped object directory vs single-mutex map\n"
+      "host reports %u hardware threads\n\n",
+      std::thread::hardware_concurrency());
+  BenchLookupSweep(smoke);
+  BenchLazyCreate(smoke);
+  std::printf(
+      "Shape to check: striped at or above mutex+map everywhere, pulling\n"
+      "away as threads grow (shared stripe locks vs one exclusive lock\n"
+      "word; on a single-core host the gap is modest and the point is the\n"
+      "flat profile); lookup rate roughly flat 16 -> 1M objects for the\n"
+      "striped arm (hash, not tree descent) while mutex+map drifts down\n"
+      "with log-depth map descent; 1M lazy creates completing with\n"
+      "live_objects == creates and zero drops.\n");
+  return 0;
+}

@@ -21,6 +21,15 @@ std::string AggregatedTable::ToString(const std::string& marker) const {
   return printer.ToString();
 }
 
+std::string DirectoryStatsLine(const DirectoryStats& stats) {
+  return StrFormat(
+      "directory: %zu stripes, %zu live, %zu retired, %zu creates, "
+      "%zu drops, max stripe depth %zu",
+      stats.stripes, stats.live_objects, stats.retired_objects,
+      static_cast<size_t>(stats.creates), static_cast<size_t>(stats.drops),
+      stats.max_stripe_depth);
+}
+
 std::string OperationKind(const Operation& op,
                           const std::vector<Operation>& universe) {
   // Results distinguish kinds only when the same invocation name appears

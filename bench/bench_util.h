@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "adt/bank_account.h"
+#include "adt/counter.h"
 #include "core/commutativity.h"
 #include "core/conflict_relation.h"
 #include "txn/du_recovery.h"
+#include "txn/txn_manager.h"
 #include "txn/uip_recovery.h"
 
 namespace ccr {
@@ -81,6 +83,44 @@ inline std::unique_ptr<RecoveryManager> RecoveryFor(
   }
   return nullptr;
 }
+
+// The factory name benches register their counter factory under.
+inline constexpr const char* kCounterFactoryName = "counter";
+
+// Registers a TxnManager object factory that lazily builds a Counter (with
+// the conflict relation and recovery manager `config` sanctions) for any
+// object id. Used by the lazy-instantiation benchmark modes.
+inline void RegisterCounterFactory(TxnManager* manager, EngineConfig config,
+                                   const std::string& name =
+                                       kCounterFactoryName) {
+  manager->RegisterFactory(name, [config](const ObjectId& id) {
+    std::shared_ptr<Counter> ctr = MakeCounter(id);
+    ObjectConfig cfg;
+    cfg.adt = ctr;
+    cfg.conflict = ConflictFor(config, ctr);
+    cfg.recovery = RecoveryFor(config, ctr);
+    return cfg;
+  });
+}
+
+// Eagerly registers `n` counters `<prefix>0 .. <prefix>n-1` with `manager`.
+// Dedupes the per-bench object-setup boilerplate the benches used to copy.
+inline std::vector<std::shared_ptr<Counter>> AddCounterBank(
+    TxnManager* manager, EngineConfig config, int n,
+    const std::string& prefix = "CTR") {
+  std::vector<std::shared_ptr<Counter>> counters;
+  counters.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::shared_ptr<Counter> ctr = MakeCounter(prefix + std::to_string(i));
+    manager->AddObject(ctr->object_name(), ctr, ConflictFor(config, ctr),
+                       RecoveryFor(config, ctr));
+    counters.push_back(std::move(ctr));
+  }
+  return counters;
+}
+
+// One-line human-readable rendering of the directory's stats counters.
+std::string DirectoryStatsLine(const DirectoryStats& stats);
 
 // Stands in for the think time / I/O a real transaction performs between
 // operations while holding its locks. Implemented as a sleep, not a spin:

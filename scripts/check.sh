@@ -22,6 +22,10 @@ echo "==> restart smoke: checkpoint + tail replay audit (bench_journal)"
 cmake --build --preset default -j "${JOBS}" --target bench_journal
 ./build/bench/bench_journal --restart-smoke
 
+echo "==> directory stress: 100k-object create/drop/lookup race (bench_directory)"
+cmake --build --preset default -j "${JOBS}" --target bench_directory
+./build/bench/bench_directory --stress-smoke
+
 if [[ "${FAST}" == 1 ]]; then
   echo "==> --fast: skipping sanitizer crash suites"
   exit 0
@@ -32,6 +36,9 @@ for san in asan tsan; do
   cmake --preset "${san}"
   cmake --build --preset "${san}" -j "${JOBS}"
   ctest --preset "crash-${san}" -j "${JOBS}"
+  echo "==> directory stress under ${san}"
+  cmake --build --preset "${san}" -j "${JOBS}" --target bench_directory
+  "./build-${san}/bench/bench_directory" --stress-smoke
 done
 
 echo "==> all checks passed"

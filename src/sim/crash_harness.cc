@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -16,29 +18,92 @@
 namespace ccr {
 namespace {
 
-// Per-object projection of a record list: the ops at `id`, in order.
-OpSeq ProjectOps(const std::vector<Journal::CommitRecord>& records,
-                 const ObjectId& id) {
-  OpSeq out;
-  for (const Journal::CommitRecord& record : records) {
-    for (const Operation& op : record.ops) {
-      if (op.object() == id) out.push_back(op);
+bool SameEntry(const Journal::Entry& a, const Journal::Entry& b) {
+  if (a.is_lifecycle != b.is_lifecycle) return false;
+  if (a.is_lifecycle) {
+    return a.lifecycle.kind == b.lifecycle.kind &&
+           a.lifecycle.object == b.lifecycle.object &&
+           a.lifecycle.factory == b.lifecycle.factory;
+  }
+  return a.commit.txn == b.commit.txn && a.commit.ops == b.commit.ops;
+}
+
+// Per-id state a prefix of journal entries implies: the current
+// incarnation's ops (a `create` is an incarnation boundary that clears
+// them), which ids end the prefix dropped, and which end it dynamically
+// created and live.
+struct ExpectedState {
+  std::map<ObjectId, OpSeq> ops;
+  std::set<ObjectId> dropped;
+  std::set<ObjectId> dynamic_live;
+};
+
+ExpectedState ComputeExpected(const std::vector<Journal::Entry>& prefix) {
+  ExpectedState out;
+  for (const Journal::Entry& entry : prefix) {
+    if (entry.is_lifecycle) {
+      const LifecycleRecord& lc = entry.lifecycle;
+      out.ops[lc.object].clear();
+      if (lc.kind == LifecycleRecord::Kind::kCreate) {
+        out.dropped.erase(lc.object);
+        out.dynamic_live.insert(lc.object);
+      } else {
+        out.dropped.insert(lc.object);
+        out.dynamic_live.erase(lc.object);
+      }
+      continue;
+    }
+    for (const Operation& op : entry.commit.ops) {
+      out.ops[op.object()].push_back(op);
     }
   }
   return out;
 }
 
-bool SameRecord(const Journal::CommitRecord& a,
-                const Journal::CommitRecord& b) {
-  return a.txn == b.txn && a.ops == b.ops;
+// Lifecycle-aware state audit: every live object of `restarted` must equal
+// the spec-level replay (RecoverState — independent of the engine path the
+// restart used) of its incarnation's op projection; every id the prefix
+// ends dropped must not resolve; every id it ends created must.
+bool AuditStateAgainstPrefix(TxnManager* restarted,
+                             const std::vector<Journal::Entry>& prefix) {
+  const ExpectedState expected = ComputeExpected(prefix);
+  for (const ObjectId& id : expected.dropped) {
+    if (restarted->object(id) != nullptr) return false;
+  }
+  for (const ObjectId& id : expected.dynamic_live) {
+    if (restarted->object(id) == nullptr) return false;
+  }
+  for (AtomicObject* obj : restarted->objects()) {
+    OpSeq ops;
+    if (const auto it = expected.ops.find(obj->id());
+        it != expected.ops.end()) {
+      ops = it->second;
+    }
+    Journal per_object({Journal::CommitRecord{1, std::move(ops)}});
+    const std::unique_ptr<SpecState> want =
+        RecoverState(obj->adt(), per_object);
+    if (!obj->CommittedState()->Equals(*want)) return false;
+  }
+  return true;
 }
 
-// Applies one ground-truth record to the replica manager: group ops per
-// object (preserving per-object order) and replay each group at `lsn`, so
-// the replica's per-object last-committed LSNs track the durable journal
-// exactly — which is what makes its fuzzy checkpoints sound.
-Status MirrorApply(TxnManager* replica, const Journal::CommitRecord& record,
+// Applies one ground-truth entry to the replica manager. Commit records:
+// group ops per object (preserving per-object order) and replay each group
+// at `lsn`, so the replica's per-object last-committed LSNs track the
+// durable journal exactly — which is what makes its fuzzy checkpoints
+// sound. Lifecycle records: re-create through the replica's own factory
+// registry / retire (the replica has no lifecycle journal attached, so the
+// mirror never double-journals).
+Status MirrorApply(TxnManager* replica, const Journal::Entry& entry,
                    Lsn lsn) {
+  if (entry.is_lifecycle) {
+    const LifecycleRecord& lc = entry.lifecycle;
+    if (lc.kind == LifecycleRecord::Kind::kCreate) {
+      return replica->GetOrCreate(lc.object, lc.factory).status();
+    }
+    return replica->DropObject(lc.object);
+  }
+  const Journal::CommitRecord& record = entry.commit;
   std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
   for (const Operation& op : record.ops) {
     AtomicObject* obj = replica->object(op.object());
@@ -110,6 +175,7 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   Journal journal;
   journal.set_pipeline(&pipeline);
   manager.set_commit_pipeline(&pipeline);
+  manager.set_lifecycle_journal(&journal);
   for (AtomicObject* obj : manager.objects()) {
     obj->recovery().set_journal(&journal);
   }
@@ -157,31 +223,22 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   result.acked_recovered = result.report.records_replayed >=
                            result.acked_records;
 
-  // Audit 1: the scanned records are a prefix of the run's commit order.
+  // Audit 1: the scanned entries (commit + lifecycle) are a prefix of the
+  // run's journaled sequence.
   StatusOr<Journal> scanned = ScanJournalImage(crashed, nullptr);
   CCR_CHECK(scanned.ok());  // RestartFromImage just accepted this image
-  const std::vector<Journal::CommitRecord> prefix = scanned->Records();
-  const std::vector<Journal::CommitRecord> full = journal.Records();
+  const std::vector<Journal::Entry> prefix = scanned->Entries();
+  const std::vector<Journal::Entry> full = journal.Entries();
   result.prefix_of_commit_order = prefix.size() <= full.size();
   for (size_t i = 0; result.prefix_of_commit_order && i < prefix.size();
        ++i) {
-    result.prefix_of_commit_order = SameRecord(prefix[i], full[i]);
+    result.prefix_of_commit_order = SameEntry(prefix[i], full[i]);
   }
 
   // Audit 2: every recovered object equals the spec-level replay of its
-  // projection of that prefix — RecoverState, independent of the engine
-  // path Restart used.
-  result.state_matches_prefix = true;
-  for (AtomicObject* obj : restarted.objects()) {
-    Journal per_object(
-        {Journal::CommitRecord{1, ProjectOps(prefix, obj->id())}});
-    const std::unique_ptr<SpecState> expected =
-        RecoverState(obj->adt(), per_object);
-    if (!obj->CommittedState()->Equals(*expected)) {
-      result.state_matches_prefix = false;
-      break;
-    }
-  }
+  // incarnation's projection of that prefix, dropped ids are gone, and
+  // created ids are back.
+  result.state_matches_prefix = AuditStateAgainstPrefix(&restarted, prefix);
   return result;
 }
 
@@ -200,12 +257,13 @@ CheckpointCrashResult RunCheckpointCrashScenario(
   TxnManager workload_manager;
   factory(&workload_manager);
   Journal journal;
+  workload_manager.set_lifecycle_journal(&journal);
   for (AtomicObject* obj : workload_manager.objects()) {
     obj->recovery().set_journal(&journal);
   }
   RunWorkload(&workload_manager, body, options.driver);
-  const std::vector<Journal::CommitRecord> records = journal.Records();
-  result.records_total = records.size();
+  const std::vector<Journal::Entry> entries = journal.Entries();
+  result.records_total = entries.size();
 
   // Phase 2 — the durable run. Replay the sequence through a segmented
   // sink with the crash point armed, mirror-applying every record that
@@ -233,10 +291,10 @@ CheckpointCrashResult RunCheckpointCrashScenario(
   Checkpointer checkpointer(dir.path(), CheckpointerOptions{2, &crash});
   const size_t every = options.checkpoint_every > 0
                            ? options.checkpoint_every
-                           : std::max<size_t>(1, records.size() / 3);
-  for (size_t i = 0; i < records.size(); ++i) {
+                           : std::max<size_t>(1, entries.size() / 3);
+  for (size_t i = 0; i < entries.size(); ++i) {
     const Lsn lsn = static_cast<Lsn>(i) + 1;
-    const Status append = (*sink)->Append(EncodeCommitRecord(records[i]));
+    const Status append = (*sink)->Append(EncodeEntryRecord(entries[i]));
     if (!append.ok()) {
       if (!crash.dead()) result.status = append;  // real failure, not crash
       break;
@@ -246,7 +304,7 @@ CheckpointCrashResult RunCheckpointCrashScenario(
     ++result.records_appended;
     const Status sync = (*sink)->Sync();
     if (sync.ok()) ++result.acked_records;
-    const Status mirror = MirrorApply(&replica, records[i], lsn);
+    const Status mirror = MirrorApply(&replica, entries[i], lsn);
     if (!mirror.ok()) {
       result.status = mirror;
       break;
@@ -295,20 +353,10 @@ CheckpointCrashResult RunCheckpointCrashScenario(
   result.recovered_all_appended =
       result.summary.high_lsn == static_cast<Lsn>(result.records_appended);
 
-  const std::vector<Journal::CommitRecord> prefix(
-      records.begin(),
-      records.begin() + static_cast<ptrdiff_t>(result.records_appended));
-  result.state_matches_prefix = true;
-  for (AtomicObject* obj : restarted.objects()) {
-    Journal per_object(
-        {Journal::CommitRecord{1, ProjectOps(prefix, obj->id())}});
-    const std::unique_ptr<SpecState> expected =
-        RecoverState(obj->adt(), per_object);
-    if (!obj->CommittedState()->Equals(*expected)) {
-      result.state_matches_prefix = false;
-      break;
-    }
-  }
+  const std::vector<Journal::Entry> prefix(
+      entries.begin(),
+      entries.begin() + static_cast<ptrdiff_t>(result.records_appended));
+  result.state_matches_prefix = AuditStateAgainstPrefix(&restarted, prefix);
   return result;
 }
 

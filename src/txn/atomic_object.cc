@@ -105,6 +105,11 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
   if (recorder_ != nullptr) recorder_->Record(Event::Invoke(txn->id(), inv));
 
   std::unique_lock<std::mutex> lk(mu_);
+  if (dropped_) {
+    // The caller's directory lookup raced a Drop: the pointer is still
+    // valid (graveyard), the object is gone. No lock was acquired here.
+    return Status::NotFound("object " + id_ + " was dropped");
+  }
   Waiter waiter(txn->id());
   bool enqueued = false;
   const auto enqueue_time = std::chrono::steady_clock::now();
@@ -330,6 +335,25 @@ void AtomicObject::ResetForRecovery() {
   recovery_->InstallCommittedState(adt_->spec().InitialState());
   last_lsn_ = kNoLsn;
   held_.clear();
+  dropped_ = false;
+}
+
+Status AtomicObject::MarkDropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dropped_) return Status::OK();
+  if (!held_.empty() || !queue_.empty()) {
+    return Status::IllegalState(StrFormat(
+        "cannot drop %s: %zu transaction(s) hold operation locks and %zu "
+        "wait here",
+        id_.c_str(), held_.size(), queue_.size()));
+  }
+  dropped_ = true;
+  return Status::OK();
+}
+
+bool AtomicObject::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 Lsn AtomicObject::last_committed_lsn() const {

@@ -166,7 +166,26 @@ class AtomicObject {
 
   // Restart-only: back to the ADT's initial state, discarding all recovery
   // bookkeeping — the fail-atomic landing point when a restart errors out.
+  // Also clears the dropped flag (a restart re-creating this id starts a
+  // fresh incarnation).
   void ResetForRecovery();
+
+  // Object-lifecycle support (the striped directory's Drop path).
+  // MarkDropped refuses while any transaction holds operation locks or
+  // waits here — the live-transaction refusal: a transaction that touched
+  // this object holds its operation locks until commit/abort, so an empty
+  // held_ + queue_ means no live transaction can still observe it. Once
+  // marked, Execute returns kNotFound: a raced lookup that obtained this
+  // pointer just before the drop dereferences valid memory (the
+  // directory's graveyard keeps it alive) and fails cleanly.
+  Status MarkDropped();
+  bool dropped() const;
+
+  // Registered factory that can re-instantiate this object on restart
+  // (empty for eagerly registered objects). Set once at creation, before
+  // the object is published.
+  void set_factory_name(std::string name) { factory_name_ = std::move(name); }
+  const std::string& factory_name() const { return factory_name_; }
 
   // LSN of the newest commit record sequenced at this object (kNoLsn if
   // none since the last reset/restart without a checkpoint).
@@ -224,8 +243,10 @@ class AtomicObject {
   HistoryRecorder::Shard* recorder_ = nullptr;
   DeadlockDetector* detector_ = nullptr;
   std::function<void(TxnId)> kill_fn_;
+  std::string factory_name_;  // set before publication, then immutable
 
   mutable std::mutex mu_;
+  bool dropped_ = false;         // set by MarkDropped; Execute refuses
   Lsn last_lsn_ = kNoLsn;        // newest commit LSN sequenced here
   std::map<TxnId, OpSeq> held_;  // operation locks of active transactions
   std::list<Waiter*> queue_;     // blocked callers, FIFO arrival order

@@ -69,9 +69,16 @@ std::string EncodeCheckpointPayload(const CheckpointImage& image) {
       "ckpt %llu %llu\n", static_cast<unsigned long long>(image.anchor),
       static_cast<unsigned long long>(image.max_txn));
   for (const CheckpointImage::ObjectEntry& entry : image.objects) {
-    out += StrFormat("obj %s %llu %s\n", entry.id.c_str(),
-                     static_cast<unsigned long long>(entry.lsn),
-                     entry.encoded.c_str());
+    if (entry.factory.empty()) {
+      out += StrFormat("obj %s %llu %s\n", entry.id.c_str(),
+                       static_cast<unsigned long long>(entry.lsn),
+                       entry.encoded.c_str());
+    } else {
+      out += StrFormat("dyn %s %s %llu %s\n", entry.id.c_str(),
+                       entry.factory.c_str(),
+                       static_cast<unsigned long long>(entry.lsn),
+                       entry.encoded.c_str());
+    }
   }
   return out;
 }
@@ -96,26 +103,38 @@ StatusOr<CheckpointImage> DecodeCheckpointPayload(std::string_view payload) {
   }
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
-    // "obj <id> <lsn> <encoded>": encoded is everything after the third
-    // space and may itself be empty.
-    if (line.rfind("obj ", 0) != 0) {
+    // "obj <id> <lsn> <encoded>" / "dyn <id> <factory> <lsn> <encoded>":
+    // encoded is everything after the last header token and may be empty.
+    const bool dynamic = line.rfind("dyn ", 0) == 0;
+    if (!dynamic && line.rfind("obj ", 0) != 0) {
       return Status::Internal("malformed checkpoint line: " + line);
     }
-    const size_t id_end = line.find(' ', 4);
-    if (id_end == std::string::npos || id_end == 4) {
+    CheckpointImage::ObjectEntry entry;
+    size_t pos = 4;
+    const size_t id_end = line.find(' ', pos);
+    if (id_end == std::string::npos || id_end == pos) {
       return Status::Internal("checkpoint obj line missing id: " + line);
     }
-    const size_t lsn_end = line.find(' ', id_end + 1);
+    entry.id = line.substr(pos, id_end - pos);
+    pos = id_end + 1;
+    if (dynamic) {
+      const size_t factory_end = line.find(' ', pos);
+      if (factory_end == std::string::npos || factory_end == pos) {
+        return Status::Internal("checkpoint dyn line missing factory: " +
+                                line);
+      }
+      entry.factory = line.substr(pos, factory_end - pos);
+      pos = factory_end + 1;
+    }
+    const size_t lsn_end = line.find(' ', pos);
     if (lsn_end == std::string::npos) {
       return Status::Internal("checkpoint obj line missing state: " + line);
     }
-    const std::string lsn_token = line.substr(id_end + 1, lsn_end - id_end - 1);
+    const std::string lsn_token = line.substr(pos, lsn_end - pos);
     if (lsn_token.empty() ||
         lsn_token.find_first_not_of("0123456789") != std::string::npos) {
       return Status::Internal("checkpoint obj line has bad LSN: " + line);
     }
-    CheckpointImage::ObjectEntry entry;
-    entry.id = line.substr(4, id_end - 4);
     entry.lsn = static_cast<Lsn>(std::strtoull(lsn_token.c_str(), nullptr, 10));
     entry.encoded = line.substr(lsn_end + 1);
     image.objects.push_back(std::move(entry));
@@ -154,9 +173,15 @@ StatusOr<Lsn> Checkpointer::Write(TxnManager* manager, Lsn anchor) {
           "object id '%s' contains whitespace — not checkpointable",
           obj->id().c_str()));
     }
+    if (obj->factory_name().find_first_of(" \n\r\t") != std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "factory name '%s' contains whitespace — not checkpointable",
+          obj->factory_name().c_str()));
+    }
     AtomicObject::CheckpointSnapshot snap = obj->SnapshotForCheckpoint();
     CheckpointImage::ObjectEntry entry;
     entry.id = obj->id();
+    entry.factory = obj->factory_name();
     entry.lsn = snap.lsn;
     entry.encoded = obj->adt().EncodeState(*snap.state);
     if (entry.encoded.find('\n') != std::string::npos) {

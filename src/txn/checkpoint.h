@@ -47,6 +47,10 @@ class TxnManager;
 struct CheckpointImage {
   struct ObjectEntry {
     ObjectId id;
+    // Registered factory for a dynamically created object (restart
+    // re-instantiates it through the manager's factory registry before
+    // installing the state); empty for eagerly registered objects.
+    std::string factory;
     Lsn lsn = kNoLsn;     // last commit LSN the encoded state reflects
     std::string encoded;  // ADT state-codec bytes (may be empty)
   };
@@ -60,10 +64,14 @@ struct CheckpointImage {
 //
 //   ckpt <anchor> <max_txn>
 //   obj <id> <lsn> <encoded>
+//   dyn <id> <factory> <lsn> <encoded>
 //   ...
 //
-// `encoded` is everything after the third space (newline-free, possibly
-// empty). Object ids must be free of spaces and newlines.
+// `obj` lines are eagerly registered objects; `dyn` lines carry the
+// factory that re-instantiates a dynamically created object on restart.
+// `encoded` is everything after the last header token (newline-free,
+// possibly empty). Object ids and factory names must be free of spaces
+// and newlines.
 std::string EncodeCheckpointPayload(const CheckpointImage& image);
 StatusOr<CheckpointImage> DecodeCheckpointPayload(std::string_view payload);
 

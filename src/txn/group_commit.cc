@@ -34,14 +34,14 @@ GroupCommitPipeline::~GroupCommitPipeline() {
   if (flusher_.joinable()) flusher_.join();
 }
 
-Lsn GroupCommitPipeline::Sequence(Journal::CommitRecord record) {
+Lsn GroupCommitPipeline::Sequence(Journal::Entry entry) {
   std::unique_lock<std::mutex> lk(mu_);
   const Lsn lsn = next_lsn_++;
   ++stats_.records_sequenced;
   if (options_.mode == DurabilityMode::kSync) {
     // Baseline: the durability point stays inside the caller's critical
     // section — append + fdatasync per record, ack-ready on return.
-    const Status s = writer_->Append(record);
+    const Status s = writer_->Append(entry);
     CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
                   s.ToString().c_str());
     ++stats_.records_flushed;
@@ -51,7 +51,7 @@ Lsn GroupCommitPipeline::Sequence(Journal::CommitRecord record) {
     durable_lsn_.store(lsn, std::memory_order_release);
     return lsn;
   }
-  queue_.push_back(std::move(record));
+  queue_.push_back(std::move(entry));
   lk.unlock();
   work_cv_.notify_one();
   return lsn;
@@ -125,7 +125,7 @@ void GroupCommitPipeline::FlusherLoop() {
     // Take up to max_batch records; anything beyond flushes next cycle
     // (immediately — the queue is non-empty, so the wait above falls
     // through).
-    std::deque<Journal::CommitRecord> batch;
+    std::deque<Journal::Entry> batch;
     const size_t take = std::min(queue_.size(), options_.max_batch);
     for (size_t i = 0; i < take; ++i) {
       batch.push_back(std::move(queue_.front()));
@@ -139,12 +139,12 @@ void GroupCommitPipeline::FlusherLoop() {
   }
 }
 
-void GroupCommitPipeline::FlushBatch(std::deque<Journal::CommitRecord>* batch,
+void GroupCommitPipeline::FlushBatch(std::deque<Journal::Entry>* batch,
                                      Lsn high) {
   // Encode + append off the lock: sequencers keep enqueueing (and object
   // critical sections keep draining) while this batch hits the disk.
-  for (const Journal::CommitRecord& record : *batch) {
-    const Status s = writer_->AppendNoSync(record);
+  for (const Journal::Entry& entry : *batch) {
+    const Status s = writer_->AppendNoSync(entry);
     CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
                   s.ToString().c_str());
   }

@@ -117,11 +117,15 @@ class GroupCommitPipeline {
 
   DurabilityMode mode() const { return options_.mode; }
 
-  // Sequences one commit record: assigns the next LSN and either appends+
-  // syncs inline (kSync) or enqueues it for the flusher (kGroup/kRelaxed).
-  // Called under the journal mutex (Journal::AppendCommit forwards), which
-  // is what makes the LSN order equal the journal's record order.
-  Lsn Sequence(Journal::CommitRecord record);
+  // Sequences one journal entry (commit or lifecycle record): assigns the
+  // next LSN and either appends+syncs inline (kSync) or enqueues it for
+  // the flusher (kGroup/kRelaxed). Called under the journal mutex
+  // (Journal::AppendCommit/AppendLifecycle forward), which is what makes
+  // the LSN order equal the journal's entry order.
+  Lsn Sequence(Journal::Entry entry);
+  Lsn Sequence(Journal::CommitRecord record) {
+    return Sequence(Journal::Entry::Commit(record.txn, std::move(record.ops)));
+  }
 
   // Blocks until `lsn` is durable (kGroup). Returns immediately in kSync
   // (already durable) and kRelaxed (ack is explicitly non-durable). No-op
@@ -143,7 +147,7 @@ class GroupCommitPipeline {
   void FlusherLoop();
   // Appends `batch` to the writer, issues one sync, advances the watermark
   // to `high`, and wakes committers. Called with mu_ released.
-  void FlushBatch(std::deque<Journal::CommitRecord>* batch, Lsn high);
+  void FlushBatch(std::deque<Journal::Entry>* batch, Lsn high);
 
   JournalWriter* const writer_;
   const GroupCommitOptions options_;
@@ -151,7 +155,7 @@ class GroupCommitPipeline {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;     // flusher waits for records / stop
   std::condition_variable durable_cv_;  // committers wait for the watermark
-  std::deque<Journal::CommitRecord> queue_;  // sequenced, not yet flushed
+  std::deque<Journal::Entry> queue_;  // sequenced, not yet flushed
   size_t waiters_ = 0;  // threads blocked on the watermark (cuts the linger)
   Lsn next_lsn_ = 1;                         // LSN the next Sequence assigns
   std::atomic<Lsn> durable_lsn_{0};

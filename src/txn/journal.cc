@@ -10,14 +10,14 @@ namespace ccr {
 
 void Journal::set_base_lsn(Lsn base) {
   std::lock_guard<std::mutex> lock(mu_);
-  CCR_CHECK_MSG(records_.empty(),
+  CCR_CHECK_MSG(entries_.empty(),
                 "set_base_lsn on a journal that already has records");
   base_lsn_ = base;
 }
 
 Lsn Journal::high_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return base_lsn_ + static_cast<Lsn>(records_.size());
+  return base_lsn_ + static_cast<Lsn>(entries_.size());
 }
 
 Lsn Journal::base_lsn() const {
@@ -25,18 +25,18 @@ Lsn Journal::base_lsn() const {
   return base_lsn_;
 }
 
-Lsn Journal::AppendCommit(TxnId txn, OpSeq ops) {
+Lsn Journal::AppendEntry(Entry entry) {
   std::lock_guard<std::mutex> lock(mu_);
   CCR_CHECK_MSG(writer_ == nullptr || pipeline_ == nullptr,
                 "journal has both a direct writer and a pipeline");
-  const Lsn lsn = base_lsn_ + static_cast<Lsn>(records_.size()) + 1;
+  const Lsn lsn = base_lsn_ + static_cast<Lsn>(entries_.size()) + 1;
   if (pipeline_ != nullptr) {
     // Sequence only: copy into the volatile view, hand the original to the
     // pipeline. Called under the journal mutex, so the pipeline's LSN
-    // order equals records_ order (the pipeline's counter is asserted
+    // order equals entries_ order (the pipeline's counter is asserted
     // against ours).
-    records_.push_back(CommitRecord{txn, ops});
-    const Lsn sequenced = pipeline_->Sequence(CommitRecord{txn, std::move(ops)});
+    entries_.push_back(entry);
+    const Lsn sequenced = pipeline_->Sequence(std::move(entry));
     CCR_CHECK_MSG(sequenced == lsn,
                   "pipeline LSN %llu diverged from journal LSN %llu — the "
                   "pipeline is shared with another journal",
@@ -44,36 +44,63 @@ Lsn Journal::AppendCommit(TxnId txn, OpSeq ops) {
                   static_cast<unsigned long long>(lsn));
     return lsn;
   }
-  records_.push_back(CommitRecord{txn, std::move(ops)});
+  entries_.push_back(std::move(entry));
   if (writer_ != nullptr) {
-    const Status s = writer_->Append(records_.back());
+    const Status s = writer_->Append(entries_.back());
     CCR_CHECK_MSG(s.ok(), "durable journal append failed: %s",
                   s.ToString().c_str());
   }
   return writer_ != nullptr ? lsn : kNoLsn;
 }
 
+Lsn Journal::AppendCommit(TxnId txn, OpSeq ops) {
+  return AppendEntry(Entry::Commit(txn, std::move(ops)));
+}
+
+Lsn Journal::AppendLifecycle(LifecycleRecord record) {
+  return AppendEntry(Entry::Lifecycle(std::move(record)));
+}
+
 std::vector<Journal::CommitRecord> Journal::Records() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return records_;
+  std::vector<CommitRecord> records;
+  records.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (!entry.is_lifecycle) records.push_back(entry.commit);
+  }
+  return records;
+}
+
+std::vector<Journal::Entry> Journal::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
 }
 
 void Journal::ForEachRecord(
     const std::function<void(const CommitRecord&)>& fn) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const CommitRecord& record : records_) fn(record);
+  for (const Entry& entry : entries_) {
+    if (!entry.is_lifecycle) fn(entry.commit);
+  }
+}
+
+void Journal::ForEachEntry(
+    const std::function<void(Lsn, const Entry&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn lsn = base_lsn_;
+  for (const Entry& entry : entries_) fn(++lsn, entry);
 }
 
 size_t Journal::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return records_.size();
+  return entries_.size();
 }
 
 Journal Journal::Prefix(size_t n) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<CommitRecord> kept;
-  for (size_t i = 0; i < n && i < records_.size(); ++i) {
-    kept.push_back(records_[i]);
+  std::vector<Entry> kept;
+  for (size_t i = 0; i < n && i < entries_.size(); ++i) {
+    kept.push_back(entries_[i]);
   }
   return Journal(std::move(kept));
 }

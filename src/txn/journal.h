@@ -49,6 +49,22 @@ class JournalWriter;
 using Lsn = uint64_t;
 inline constexpr Lsn kNoLsn = 0;
 
+// Object lifecycle event in the journal: dynamically created objects record
+// a `create` (with the registered factory that can rebuild them on restart)
+// and dropped objects record a `drop`. Lifecycle records occupy LSN slots
+// exactly like commit records — the journal is one totally ordered log, so
+// replay sees creates/drops interleaved with commits in the order they
+// happened.
+struct LifecycleRecord {
+  enum class Kind { kCreate, kDrop };
+  Kind kind = Kind::kCreate;
+  ObjectId object;
+  // Registered factory name (create only; empty for drop). Restart looks
+  // this up in the restarted manager's factory registry to re-instantiate
+  // the object before replaying its tail.
+  std::string factory;
+};
+
 class Journal {
  public:
   struct CommitRecord {
@@ -56,22 +72,46 @@ class Journal {
     OpSeq ops;
   };
 
+  // One LSN slot: either a commit record or a lifecycle record.
+  struct Entry {
+    bool is_lifecycle = false;
+    CommitRecord commit;        // valid when !is_lifecycle
+    LifecycleRecord lifecycle;  // valid when is_lifecycle
+
+    static Entry Commit(TxnId txn, OpSeq ops) {
+      Entry e;
+      e.commit = CommitRecord{txn, std::move(ops)};
+      return e;
+    }
+    static Entry Lifecycle(LifecycleRecord record) {
+      Entry e;
+      e.is_lifecycle = true;
+      e.lifecycle = std::move(record);
+      return e;
+    }
+  };
+
   Journal() = default;
 
-  // A journal holding the given records (used by Prefix and by tests that
+  // A journal holding the given commit records (used by tests that
   // construct crash images directly).
-  explicit Journal(std::vector<CommitRecord> records)
-      : records_(std::move(records)) {}
+  explicit Journal(std::vector<CommitRecord> records) {
+    entries_.reserve(records.size());
+    for (CommitRecord& r : records) entries_.push_back(Entry::Commit(r.txn, std::move(r.ops)));
+  }
+
+  // A journal holding the given entries (used by Prefix and ScanJournalImage).
+  explicit Journal(std::vector<Entry> entries) : entries_(std::move(entries)) {}
 
   // Movable so StatusOr<Journal> works (ScanJournalImage). The mutex is
   // not moved — the source must be quiescent, which recovery-time use is.
   Journal(Journal&& other) noexcept
-      : records_(std::move(other.records_)),
+      : entries_(std::move(other.entries_)),
         base_lsn_(other.base_lsn_),
         writer_(other.writer_),
         pipeline_(other.pipeline_) {}
   Journal& operator=(Journal&& other) noexcept {
-    records_ = std::move(other.records_);
+    entries_ = std::move(other.entries_);
     base_lsn_ = other.base_lsn_;
     writer_ = other.writer_;
     pipeline_ = other.pipeline_;
@@ -115,24 +155,42 @@ class Journal {
   // LSN; the transaction's ack must wait for it (TxnManager::Commit does).
   Lsn AppendCommit(TxnId txn, OpSeq ops);
 
-  // All records, in commit order. Deep-copies; prefer ForEachRecord on hot
-  // or O(n²)-prone paths (crash-at-every-prefix audits).
+  // Appends one object-lifecycle record (create/drop). Same durability
+  // semantics as AppendCommit: the returned LSN is durable only once the
+  // pipeline watermark (or the per-record sync) covers it.
+  Lsn AppendLifecycle(LifecycleRecord record);
+
+  // All commit records, in commit order, lifecycle records elided.
+  // Deep-copies; prefer ForEachRecord on hot or O(n²)-prone paths
+  // (crash-at-every-prefix audits).
   std::vector<CommitRecord> Records() const;
 
-  // Visits every record in commit order without copying. The journal mutex
-  // is held for the whole visitation: `fn` must not reenter this journal
-  // or block on anything that appends to it.
+  // All entries (commit + lifecycle) in LSN order. Deep-copies.
+  std::vector<Entry> Entries() const;
+
+  // Visits every commit record in commit order without copying, skipping
+  // lifecycle records. The journal mutex is held for the whole visitation:
+  // `fn` must not reenter this journal or block on anything that appends
+  // to it.
   void ForEachRecord(const std::function<void(const CommitRecord&)>& fn) const;
 
+  // Visits every entry (commit + lifecycle) with its LSN, in LSN order,
+  // without copying. Same reentrancy caveat as ForEachRecord.
+  void ForEachEntry(const std::function<void(Lsn, const Entry&)>& fn) const;
+
+  // Entry count (commit + lifecycle records).
   size_t size() const;
 
   // The journal as it would be found after a crash that happened when only
-  // the first `n` commit records had reached the disk.
+  // the first `n` entries had reached the disk.
   Journal Prefix(size_t n) const;
 
  private:
+  // Shared append path; assigns the LSN and routes to pipeline/writer.
+  Lsn AppendEntry(Entry entry);
+
   mutable std::mutex mu_;
-  std::vector<CommitRecord> records_;
+  std::vector<Entry> entries_;
   Lsn base_lsn_ = 0;
   JournalWriter* writer_ = nullptr;
   GroupCommitPipeline* pipeline_ = nullptr;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/crc32c.h"
+#include "common/macros.h"
 #include "common/string_util.h"
 #include "core/history_io.h"
 
@@ -138,15 +139,78 @@ std::string EncodeCommitRecord(const Journal::CommitRecord& record) {
   return FrameBlob(EncodeCommitPayload(record));
 }
 
+std::string EncodeLifecyclePayload(const LifecycleRecord& record) {
+  CCR_CHECK_MSG(record.object.find_first_of(" \t\n") == std::string::npos,
+                "lifecycle record object id '%s' contains whitespace",
+                record.object.c_str());
+  if (record.kind == LifecycleRecord::Kind::kCreate) {
+    CCR_CHECK_MSG(!record.factory.empty() &&
+                      record.factory.find_first_of(" \t\n") ==
+                          std::string::npos,
+                  "create record for '%s' needs a whitespace-free factory "
+                  "name (got '%s')",
+                  record.object.c_str(), record.factory.c_str());
+    return StrFormat("create %s %s\n", record.object.c_str(),
+                     record.factory.c_str());
+  }
+  return StrFormat("drop %s\n", record.object.c_str());
+}
+
+StatusOr<LifecycleRecord> DecodeLifecyclePayload(std::string_view payload) {
+  std::istringstream fields{std::string(payload)};
+  std::string tag;
+  LifecycleRecord record;
+  if (!(fields >> tag >> record.object) || record.object.empty()) {
+    return Status::InvalidArgument("malformed lifecycle payload");
+  }
+  std::string extra;
+  if (tag == "create") {
+    record.kind = LifecycleRecord::Kind::kCreate;
+    if (!(fields >> record.factory) || record.factory.empty()) {
+      return Status::InvalidArgument("create record missing factory name");
+    }
+  } else if (tag == "drop") {
+    record.kind = LifecycleRecord::Kind::kDrop;
+  } else {
+    return Status::InvalidArgument("unknown lifecycle tag: " + tag);
+  }
+  if (fields >> extra) {
+    return Status::InvalidArgument("trailing tokens in lifecycle payload");
+  }
+  return record;
+}
+
+std::string EncodeEntryPayload(const Journal::Entry& entry) {
+  return entry.is_lifecycle ? EncodeLifecyclePayload(entry.lifecycle)
+                            : EncodeCommitPayload(entry.commit);
+}
+
+StatusOr<Journal::Entry> DecodeEntryPayload(std::string_view payload) {
+  const size_t tag_end = payload.find_first_of(" \t\n");
+  const std::string_view tag = payload.substr(0, tag_end);
+  if (tag == "create" || tag == "drop") {
+    StatusOr<LifecycleRecord> lifecycle = DecodeLifecyclePayload(payload);
+    if (!lifecycle.ok()) return lifecycle.status();
+    return Journal::Entry::Lifecycle(std::move(*lifecycle));
+  }
+  StatusOr<Journal::CommitRecord> commit = DecodeCommitPayload(payload);
+  if (!commit.ok()) return commit.status();
+  return Journal::Entry::Commit(commit->txn, std::move(commit->ops));
+}
+
+std::string EncodeEntryRecord(const Journal::Entry& entry) {
+  return FrameBlob(EncodeEntryPayload(entry));
+}
+
 std::string RecoveryReport::ToString() const {
   return StrFormat("replayed=%zu truncated=%zuB corrupt_tail=%s",
                    records_replayed, bytes_truncated,
                    corrupt_tail ? "yes" : "no");
 }
 
-Status ForEachJournalRecord(
+Status ForEachJournalEntry(
     std::string_view image,
-    const std::function<Status(Journal::CommitRecord&&)>& fn,
+    const std::function<Status(Journal::Entry&&)>& fn,
     RecoveryReport* report) {
   RecoveryReport local;
   size_t offset = 0;
@@ -154,7 +218,7 @@ Status ForEachJournalRecord(
     uint32_t len = 0;
     bool damaged = !IntactJournalFrameAt(image, offset, &len);
     if (!damaged) {
-      StatusOr<Journal::CommitRecord> decoded = DecodeCommitPayload(
+      StatusOr<Journal::Entry> decoded = DecodeEntryPayload(
           image.substr(offset + kJournalFrameHeaderSize, len));
       damaged = !decoded.ok();
       if (!damaged) {
@@ -182,17 +246,30 @@ Status ForEachJournalRecord(
   return Status::OK();
 }
 
+Status ForEachJournalRecord(
+    std::string_view image,
+    const std::function<Status(Journal::CommitRecord&&)>& fn,
+    RecoveryReport* report) {
+  return ForEachJournalEntry(
+      image,
+      [&fn](Journal::Entry&& entry) {
+        if (entry.is_lifecycle) return Status::OK();
+        return fn(std::move(entry.commit));
+      },
+      report);
+}
+
 StatusOr<Journal> ScanJournalImage(std::string_view image,
                                    RecoveryReport* report) {
-  std::vector<Journal::CommitRecord> records;
-  CCR_RETURN_IF_ERROR(ForEachJournalRecord(
+  std::vector<Journal::Entry> entries;
+  CCR_RETURN_IF_ERROR(ForEachJournalEntry(
       image,
-      [&records](Journal::CommitRecord&& record) {
-        records.push_back(std::move(record));
+      [&entries](Journal::Entry&& entry) {
+        entries.push_back(std::move(entry));
         return Status::OK();
       },
       report));
-  return Journal(std::move(records));
+  return Journal(std::move(entries));
 }
 
 }  // namespace ccr

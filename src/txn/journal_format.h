@@ -77,6 +77,27 @@ StatusOr<Journal::CommitRecord> DecodeCommitPayload(std::string_view payload);
 // The full framed bytes of one commit record as the writer appends them.
 std::string EncodeCommitRecord(const Journal::CommitRecord& record);
 
+// The textual payload of one object-lifecycle record:
+//
+//   create <object> <factory>
+//   drop <object>
+//
+// Object ids and factory names must be whitespace-free (the same rule the
+// commit payload's op lines and the checkpoint image already impose);
+// creates must name a non-empty factory — a create that no factory can
+// replay would be unrecoverable by construction.
+std::string EncodeLifecyclePayload(const LifecycleRecord& record);
+
+// Inverse of EncodeLifecyclePayload.
+StatusOr<LifecycleRecord> DecodeLifecyclePayload(std::string_view payload);
+
+// The textual payload of one journal entry (commit or lifecycle) and its
+// framed bytes. Decode dispatches on the payload's first token ("txn",
+// "create", "drop").
+std::string EncodeEntryPayload(const Journal::Entry& entry);
+StatusOr<Journal::Entry> DecodeEntryPayload(std::string_view payload);
+std::string EncodeEntryRecord(const Journal::Entry& entry);
+
 // What a crash image scan found and did.
 struct RecoveryReport {
   size_t records_replayed = 0;  // intact records in the valid prefix
@@ -86,13 +107,21 @@ struct RecoveryReport {
   std::string ToString() const;
 };
 
-// Streams the commit records of a crash image in order, applying the
-// torn-tail truncation rule above, without materializing more than one
-// decoded record at a time — restart memory stays bounded by one record
-// instead of the whole journal. `fn` returning non-OK aborts the scan with
-// that error; mid-journal corruption returns kInternal; a truncated tail
-// is reported, not an error. `report` (optional) receives the outcome of
-// a completed scan.
+// Streams the entries (commit + lifecycle records) of a crash image in
+// order, applying the torn-tail truncation rule above, without
+// materializing more than one decoded entry at a time — restart memory
+// stays bounded by one entry instead of the whole journal. `fn` returning
+// non-OK aborts the scan with that error; mid-journal corruption returns
+// kInternal; a truncated tail is reported, not an error. `report`
+// (optional) receives the outcome of a completed scan.
+Status ForEachJournalEntry(
+    std::string_view image,
+    const std::function<Status(Journal::Entry&&)>& fn,
+    RecoveryReport* report);
+
+// Commit-records-only view of ForEachJournalEntry: lifecycle entries are
+// skipped (they still count toward the report's records_replayed — they
+// occupy LSN slots).
 Status ForEachJournalRecord(
     std::string_view image,
     const std::function<Status(Journal::CommitRecord&&)>& fn,

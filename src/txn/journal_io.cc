@@ -206,8 +206,20 @@ Status JournalWriter::Append(const Journal::CommitRecord& record) {
   return Sync();
 }
 
+Status JournalWriter::Append(const Journal::Entry& entry) {
+  CCR_RETURN_IF_ERROR(AppendNoSync(entry));
+  return Sync();
+}
+
 Status JournalWriter::AppendNoSync(const Journal::CommitRecord& record) {
-  const std::string encoded = EncodeCommitRecord(record);
+  return AppendEncoded(EncodeCommitRecord(record));
+}
+
+Status JournalWriter::AppendNoSync(const Journal::Entry& entry) {
+  return AppendEncoded(EncodeEntryRecord(entry));
+}
+
+Status JournalWriter::AppendEncoded(const std::string& encoded) {
   const std::string_view admitted = fault_.Admit(records_seen_++, encoded);
   if (!admitted.empty()) {
     CCR_RETURN_IF_ERROR(sink_->Append(admitted));
@@ -517,9 +529,9 @@ Lsn SegmentedFileSink::next_lsn() const {
   return next_lsn_;
 }
 
-Status ForEachSegmentedRecord(
+Status ForEachSegmentedEntry(
     const std::string& dir, Lsn after_lsn,
-    const std::function<Status(Lsn, Journal::CommitRecord&&)>& fn,
+    const std::function<Status(Lsn, Journal::Entry&&)>& fn,
     SegmentScanReport* report) {
   SegmentScanReport local;
   StatusOr<std::vector<std::pair<uint64_t, std::string>>> segments =
@@ -576,7 +588,7 @@ Status ForEachSegmentedRecord(
       uint32_t len = 0;
       bool damaged = !IntactJournalFrameAt(image, offset, &len);
       if (!damaged && expected > after_lsn) {
-        StatusOr<Journal::CommitRecord> decoded = DecodeCommitPayload(
+        StatusOr<Journal::Entry> decoded = DecodeEntryPayload(
             std::string_view(image).substr(
                 offset + kJournalFrameHeaderSize, len));
         if (decoded.ok()) {
@@ -607,6 +619,19 @@ Status ForEachSegmentedRecord(
   }
   if (report != nullptr) *report = local;
   return Status::OK();
+}
+
+Status ForEachSegmentedRecord(
+    const std::string& dir, Lsn after_lsn,
+    const std::function<Status(Lsn, Journal::CommitRecord&&)>& fn,
+    SegmentScanReport* report) {
+  return ForEachSegmentedEntry(
+      dir, after_lsn,
+      [&fn](Lsn lsn, Journal::Entry&& entry) {
+        if (entry.is_lifecycle) return Status::OK();
+        return fn(lsn, std::move(entry.commit));
+      },
+      report);
 }
 
 }  // namespace ccr

@@ -243,15 +243,22 @@ struct SegmentScanReport {
   size_t artifacts_ignored = 0;
 };
 
-// Streams the commit records of a segmented journal directory in LSN
-// order, skipping records with LSN <= after_lsn (they are covered by the
-// checkpoint whose anchor the caller passes). Validates segment
-// continuity: the first surviving segment must start at or below
+// Streams the entries (commit + lifecycle records) of a segmented journal
+// directory in LSN order, skipping entries with LSN <= after_lsn (they are
+// covered by the checkpoint whose anchor the caller passes). Validates
+// segment continuity: the first surviving segment must start at or below
 // after_lsn + 1 and each subsequent segment must continue exactly where
 // the previous ended (kInternal otherwise — truncation outran its
 // checkpoint or a segment vanished). A torn tail is legal only in the
-// final segment; damage anywhere else is kInternal. `fn(lsn, record)`
+// final segment; damage anywhere else is kInternal. `fn(lsn, entry)`
 // returning non-OK aborts the scan with that error.
+Status ForEachSegmentedEntry(
+    const std::string& dir, Lsn after_lsn,
+    const std::function<Status(Lsn, Journal::Entry&&)>& fn,
+    SegmentScanReport* report);
+
+// Commit-records-only view of ForEachSegmentedEntry: lifecycle entries are
+// skipped (still counted in the report — they occupy LSN slots).
 Status ForEachSegmentedRecord(
     const std::string& dir, Lsn after_lsn,
     const std::function<Status(Lsn, Journal::CommitRecord&&)>& fn,
@@ -322,6 +329,11 @@ class JournalWriter {
   // durable watermark (and acknowledges committers) only after that sync.
   Status AppendNoSync(const Journal::CommitRecord& record);
 
+  // Entry variants: one journal entry (commit or lifecycle record) per
+  // frame, same fault-injection and boundary accounting.
+  Status Append(const Journal::Entry& entry);
+  Status AppendNoSync(const Journal::Entry& entry);
+
   // Durability barrier for everything appended so far. Records the synced
   // byte offset (see sync_offsets). A no-op once the injected fault has
   // fired: the simulated process is dead, and a dead process issues no
@@ -345,6 +357,10 @@ class JournalWriter {
   const std::vector<uint64_t>& sync_offsets() const { return sync_offsets_; }
 
  private:
+  // Shared tail of AppendNoSync: injector admit + sink append + boundary
+  // accounting for one already-encoded frame.
+  Status AppendEncoded(const std::string& encoded);
+
   ByteSink* sink_;
   FaultInjector fault_;
   size_t records_seen_ = 0;      // records offered (including dropped ones)

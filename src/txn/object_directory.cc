@@ -1,0 +1,160 @@
+// Copyright 2026 The ccr Authors.
+
+#include "txn/object_directory.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace ccr {
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t DefaultStripeCount() {
+  // Oversubscribe hardware concurrency 4x so two hot objects rarely share
+  // a stripe lock even when thread count matches core count.
+  const size_t hw = std::thread::hardware_concurrency();
+  return NextPowerOfTwo(std::max<size_t>(16, 4 * (hw == 0 ? 1 : hw)));
+}
+
+// splitmix64 finalizer over std::hash: libstdc++ hashes short strings
+// well, but the stripe index uses only the low bits, so mix the whole
+// word down first.
+size_t MixHash(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<size_t>(x);
+}
+
+}  // namespace
+
+ObjectDirectory::ObjectDirectory(size_t stripes) {
+  size_t count = stripes == 0 ? DefaultStripeCount() : stripes;
+  CCR_CHECK_MSG((count & (count - 1)) == 0,
+                "stripe count %zu is not a power of two", count);
+  stripes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+ObjectDirectory::Stripe& ObjectDirectory::StripeFor(const ObjectId& id) const {
+  const size_t index =
+      MixHash(std::hash<ObjectId>{}(id)) & (stripes_.size() - 1);
+  return *stripes_[index];
+}
+
+AtomicObject* ObjectDirectory::Find(const ObjectId& id) const {
+  Stripe& stripe = StripeFor(id);
+  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.live.find(id);
+  return it == stripe.live.end() ? nullptr : it->second.get();
+}
+
+AtomicObject* ObjectDirectory::Insert(const ObjectId& id,
+                                      std::unique_ptr<AtomicObject> object) {
+  CCR_CHECK(object != nullptr);
+  Stripe& stripe = StripeFor(id);
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto [it, inserted] = stripe.live.emplace(id, std::move(object));
+  CCR_CHECK_MSG(inserted, "duplicate object id '%s'", id.c_str());
+  creates_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.get();
+}
+
+StatusOr<AtomicObject*> ObjectDirectory::GetOrCreate(
+    const ObjectId& id,
+    const std::function<StatusOr<std::unique_ptr<AtomicObject>>()>& make,
+    bool* created) {
+  if (created != nullptr) *created = false;
+  // Fast path: shared lock only. The double-check below handles the race
+  // where two callers both miss.
+  if (AtomicObject* found = Find(id)) return found;
+  Stripe& stripe = StripeFor(id);
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.live.find(id);
+  if (it != stripe.live.end()) return it->second.get();
+  StatusOr<std::unique_ptr<AtomicObject>> made = make();
+  if (!made.ok()) return made.status();
+  CCR_CHECK(*made != nullptr);
+  AtomicObject* raw = made->get();
+  stripe.live.emplace(id, std::move(*made));
+  creates_.fetch_add(1, std::memory_order_relaxed);
+  if (created != nullptr) *created = true;
+  return raw;
+}
+
+Status ObjectDirectory::Drop(
+    const ObjectId& id, const std::function<Status(AtomicObject*)>& retire) {
+  Stripe& stripe = StripeFor(id);
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.live.find(id);
+  if (it == stripe.live.end()) {
+    return Status::NotFound("no object named " + id);
+  }
+  CCR_RETURN_IF_ERROR(retire(it->second.get()));
+  stripe.retired.push_back(std::move(it->second));
+  stripe.live.erase(it);
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<AtomicObject*> ObjectDirectory::Snapshot(
+    bool include_retired) const {
+  std::vector<AtomicObject*> out;
+  ForEach([&out](AtomicObject* object) { out.push_back(object); },
+          include_retired);
+  std::sort(out.begin(), out.end(),
+            [](const AtomicObject* a, const AtomicObject* b) {
+              return a->id() < b->id();
+            });
+  return out;
+}
+
+void ObjectDirectory::ForEach(const std::function<void(AtomicObject*)>& fn,
+                              bool include_retired) const {
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe->mu);
+    for (const auto& [id, object] : stripe->live) fn(object.get());
+    if (include_retired) {
+      for (const std::unique_ptr<AtomicObject>& object : stripe->retired) {
+        fn(object.get());
+      }
+    }
+  }
+}
+
+size_t ObjectDirectory::size() const {
+  size_t n = 0;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe->mu);
+    n += stripe->live.size();
+  }
+  return n;
+}
+
+DirectoryStats ObjectDirectory::stats() const {
+  DirectoryStats out;
+  out.stripes = stripes_.size();
+  out.creates = creates_.load(std::memory_order_relaxed);
+  out.drops = drops_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe->mu);
+    out.live_objects += stripe->live.size();
+    out.retired_objects += stripe->retired.size();
+    out.max_stripe_depth = std::max(out.max_stripe_depth, stripe->live.size());
+  }
+  return out;
+}
+
+}  // namespace ccr

@@ -1,0 +1,122 @@
+// Copyright 2026 The ccr Authors.
+//
+// ObjectDirectory: the striped hash directory holding a TxnManager's
+// objects. The paper's per-object machinery (each object owns its own
+// conflict relation and recovery manager) only pays off at scale if
+// *reaching* an object is free — with one manager mutex around a
+// std::map, every Execute of every worker serializes on the same lock
+// word before any per-object reasoning begins. The directory shards the
+// id space over N independently locked stripes (N a power of two, sized
+// from hardware concurrency by default): a lookup takes only the owning
+// stripe's lock, in shared mode, so readers of different objects — and
+// concurrent readers of the SAME object — never contend.
+//
+// Lifecycle: objects are inserted eagerly (AddObject) or created lazily
+// on first touch (GetOrCreate, double-checked under the stripe lock so
+// exactly one caller constructs). Drop retires an object instead of
+// deleting it: the unique_ptr moves from the live table to the stripe's
+// graveyard, so a raced lookup that obtained the raw pointer just before
+// the drop still dereferences valid memory — the object itself refuses
+// further work via its dropped flag (AtomicObject::Execute returns
+// kNotFound). Graveyard memory is bounded by the number of drops, which
+// matches the journal's drop records — both are reclaimed at restart.
+//
+// Iteration (Snapshot / ForEach) locks one stripe at a time, never the
+// whole directory, so a fuzzy-checkpoint walk and a stats aggregation can
+// run against a live workload without stopping the world.
+
+#ifndef CCR_TXN_OBJECT_DIRECTORY_H_
+#define CCR_TXN_OBJECT_DIRECTORY_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/atomic_object.h"
+
+namespace ccr {
+
+struct DirectoryStats {
+  size_t stripes = 0;
+  size_t live_objects = 0;
+  size_t retired_objects = 0;     // dropped, memory kept for raced lookups
+  uint64_t creates = 0;           // successful inserts (eager + lazy)
+  uint64_t drops = 0;
+  size_t max_stripe_depth = 0;    // live objects in the fullest stripe
+};
+
+class ObjectDirectory {
+ public:
+  // `stripes` must be a power of two; 0 picks a default from
+  // std::thread::hardware_concurrency (at least 16).
+  explicit ObjectDirectory(size_t stripes = 0);
+
+  CCR_DISALLOW_COPY_AND_ASSIGN(ObjectDirectory);
+
+  // Lookup under the owning stripe's shared lock. nullptr when absent (or
+  // dropped — dropped objects leave the live table atomically with their
+  // retirement).
+  AtomicObject* Find(const ObjectId& id) const;
+
+  // Registers an eagerly built object. Fatal on duplicate id — eager
+  // registration is setup-time code and a duplicate is a bug.
+  AtomicObject* Insert(const ObjectId& id,
+                       std::unique_ptr<AtomicObject> object);
+
+  // Lazy instantiation: returns the existing object, or runs `make` under
+  // the owning stripe's exclusive lock and inserts its result. Exactly one
+  // caller constructs under a race; `make` failing (e.g. no such factory)
+  // leaves the directory unchanged. `created` (optional) reports whether
+  // this call constructed. `make` runs under the stripe lock: it must not
+  // reenter the directory.
+  StatusOr<AtomicObject*> GetOrCreate(
+      const ObjectId& id,
+      const std::function<StatusOr<std::unique_ptr<AtomicObject>>()>& make,
+      bool* created = nullptr);
+
+  // Retires `id`: runs `retire` (the live-transaction refusal check plus
+  // any journaling) on the object under the owning stripe's exclusive
+  // lock; on OK the object moves from the live table to the graveyard.
+  // kNotFound when absent. `retire` must not reenter the directory.
+  Status Drop(const ObjectId& id,
+              const std::function<Status(AtomicObject*)>& retire);
+
+  // All live objects sorted by id — the stable iteration order the
+  // checkpoint walk and objects() expose. Locks one stripe at a time; the
+  // result is a consistent snapshot per stripe, not across stripes (fuzzy
+  // by design, same contract as the fuzzy checkpoint).
+  std::vector<AtomicObject*> Snapshot(bool include_retired = false) const;
+
+  // Visits objects stripe by stripe without materializing a vector, one
+  // stripe's shared lock at a time. `fn` must not reenter the directory.
+  void ForEach(const std::function<void(AtomicObject*)>& fn,
+               bool include_retired = false) const;
+
+  size_t size() const;
+  size_t stripe_count() const { return stripes_.size(); }
+  DirectoryStats stats() const;
+
+ private:
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<ObjectId, std::unique_ptr<AtomicObject>> live;
+    std::vector<std::unique_ptr<AtomicObject>> retired;
+  };
+
+  Stripe& StripeFor(const ObjectId& id) const;
+
+  // Stripe array is fixed at construction; the vector itself is immutable
+  // (only stripe contents change), so StripeFor needs no lock.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> creates_{0};
+  std::atomic<uint64_t> drops_{0};
+};
+
+}  // namespace ccr
+
+#endif  // CCR_TXN_OBJECT_DIRECTORY_H_

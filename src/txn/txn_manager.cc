@@ -15,47 +15,185 @@ namespace ccr {
 
 TxnManager::TxnManager(TxnManagerOptions options)
     : options_(options),
-      recorder_(RecorderOptions{options.recorder_mode}) {}
+      recorder_(RecorderOptions{options.recorder_mode}),
+      directory_(options.stripe_count) {}
 
-AtomicObject* TxnManager::AddObject(
-    ObjectId id, std::shared_ptr<const Adt> adt,
-    std::shared_ptr<const ConflictRelation> conflict,
-    std::unique_ptr<RecoveryManager> recovery) {
+std::unique_ptr<AtomicObject> TxnManager::BuildObject(ObjectId id,
+                                                      ObjectConfig config,
+                                                      std::string factory_name) {
   AtomicObjectOptions obj_options;
   obj_options.lock_timeout = options_.lock_timeout;
   obj_options.policy = options_.policy;
   obj_options.wakeup = options_.wakeup;
   auto object = std::make_unique<AtomicObject>(
-      id, std::move(adt), std::move(conflict), std::move(recovery),
-      obj_options);
+      std::move(id), std::move(config.adt), std::move(config.conflict),
+      std::move(config.recovery), obj_options);
   if (options_.record_history) object->set_recorder(&recorder_);
   if (options_.policy == DeadlockPolicy::kDetect) {
     object->set_detector(&detector_);
   }
   object->set_kill_fn([this](TxnId victim) { Kill(victim); });
-  AtomicObject* raw = object.get();
-  std::lock_guard<std::mutex> lock(mu_);
-  CCR_CHECK_MSG(objects_.emplace(id, std::move(object)).second,
-                "duplicate object id %s", id.c_str());
-  return raw;
+  object->set_factory_name(std::move(factory_name));
+  return object;
+}
+
+AtomicObject* TxnManager::AddObject(
+    ObjectId id, std::shared_ptr<const Adt> adt,
+    std::shared_ptr<const ConflictRelation> conflict,
+    std::unique_ptr<RecoveryManager> recovery) {
+  ObjectConfig config;
+  config.adt = std::move(adt);
+  config.conflict = std::move(conflict);
+  config.recovery = std::move(recovery);
+  std::unique_ptr<AtomicObject> object =
+      BuildObject(id, std::move(config), std::string());
+  return directory_.Insert(id, std::move(object));
+}
+
+void TxnManager::RegisterFactory(const std::string& name,
+                                 ObjectFactory factory) {
+  CCR_CHECK_MSG(!name.empty() &&
+                    name.find_first_of(" \n\r\t") == std::string::npos,
+                "factory name '%s' must be non-empty and whitespace-free",
+                name.c_str());
+  CCR_CHECK(factory != nullptr);
+  std::unique_lock<std::shared_mutex> lock(factories_mu_);
+  CCR_CHECK_MSG(factories_.emplace(name, std::move(factory)).second,
+                "duplicate factory name %s", name.c_str());
+}
+
+StatusOr<ObjectFactory> TxnManager::FindFactory(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(factories_mu_);
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound(StrFormat("no factory named %s", name.c_str()));
+  }
+  return it->second;
+}
+
+StatusOr<AtomicObject*> TxnManager::GetOrCreate(
+    const ObjectId& id, const std::string& factory_name) {
+  Lsn create_lsn = kNoLsn;
+  bool created = false;
+  StatusOr<AtomicObject*> obj = directory_.GetOrCreate(
+      id,
+      [&]() -> StatusOr<std::unique_ptr<AtomicObject>> {
+        StatusOr<ObjectFactory> factory = FindFactory(factory_name);
+        if (!factory.ok()) return factory.status();
+        std::unique_ptr<AtomicObject> built =
+            BuildObject(id, (*factory)(id), factory_name);
+        if (lifecycle_journal_ != nullptr) {
+          built->recovery().set_journal(lifecycle_journal_);
+          // Journal the create before publication (we still hold the
+          // stripe's exclusive lock): the create's LSN precedes every
+          // commit record that can name this object, so replay always
+          // sees the create first.
+          LifecycleRecord record;
+          record.kind = LifecycleRecord::Kind::kCreate;
+          record.object = id;
+          record.factory = factory_name;
+          create_lsn = lifecycle_journal_->AppendLifecycle(std::move(record));
+        }
+        return StatusOr<std::unique_ptr<AtomicObject>>(std::move(built));
+      },
+      &created);
+  if (!obj.ok()) return obj.status();
+  // Only the creating caller waits for durability; racers that found the
+  // object proceed immediately — any commit they acknowledge waits for a
+  // higher LSN, which transitively covers the create.
+  if (created && pipeline_ != nullptr && create_lsn != kNoLsn) {
+    pipeline_->WaitDurable(create_lsn);
+  }
+  return *obj;
+}
+
+Status TxnManager::DropObject(const ObjectId& id) {
+  Lsn drop_lsn = kNoLsn;
+  const Status status = directory_.Drop(id, [&](AtomicObject* obj) {
+    // MarkDropped succeeding means no transaction holds locks or waits at
+    // the object, and commits sequence their records inside the same
+    // object mutex MarkDropped takes — so every commit record naming this
+    // object is already journaled, and the drop record below lands after
+    // all of them. New Executes fail with kNotFound from here on.
+    CCR_RETURN_IF_ERROR(obj->MarkDropped());
+    if (lifecycle_journal_ != nullptr) {
+      LifecycleRecord record;
+      record.kind = LifecycleRecord::Kind::kDrop;
+      record.object = id;
+      drop_lsn = lifecycle_journal_->AppendLifecycle(std::move(record));
+    }
+    return Status::OK();
+  });
+  if (!status.ok()) return status;
+  if (pipeline_ != nullptr && drop_lsn != kNoLsn) {
+    pipeline_->WaitDurable(drop_lsn);
+  }
+  return Status::OK();
 }
 
 AtomicObject* TxnManager::object(const ObjectId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  return directory_.Find(id);
 }
 
 std::vector<AtomicObject*> TxnManager::objects() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<AtomicObject*> out;
-  out.reserve(objects_.size());
-  for (const auto& [id, obj] : objects_) out.push_back(obj.get());
-  return out;
+  return directory_.Snapshot();
 }
 
-Status TxnManager::ReplayRecordGrouped(
-    const std::map<ObjectId, AtomicObject*>& by_id,
+TxnManager::ReplayContext::ReplayContext(
+    TxnManager* manager, const std::map<ObjectId, AtomicObject*>& registered)
+    : manager_(manager), by_id_(registered) {}
+
+AtomicObject* TxnManager::ReplayContext::Find(const ObjectId& id) const {
+  if (dropped_.count(id) != 0) return nullptr;
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+StatusOr<TxnManager::ReplayContext::CreateResult>
+TxnManager::ReplayContext::ApplyCreate(const ObjectId& id,
+                                       const std::string& factory) {
+  CreateResult result;
+  const auto dropped_it = dropped_.find(id);
+  if (dropped_it != dropped_.end()) {
+    // Re-create of a previously dropped id: the same object slot starts a
+    // fresh incarnation.
+    dropped_.erase(dropped_it);
+    result.object = by_id_.at(id);
+    result.existed = true;
+    return result;
+  }
+  const auto it = by_id_.find(id);
+  if (it != by_id_.end()) {
+    result.object = it->second;
+    result.existed = true;
+    return result;
+  }
+  StatusOr<ObjectFactory> found = manager_->FindFactory(factory);
+  if (!found.ok()) {
+    return Status::Internal(StrFormat(
+        "restart re-creates object %s through unregistered factory %s — "
+        "restart system does not match the journaled one", id.c_str(),
+        factory.c_str()));
+  }
+  std::unique_ptr<AtomicObject> built =
+      manager_->BuildObject(id, (*found)(id), factory);
+  result.object = built.get();
+  by_id_.emplace(id, built.get());
+  created_.emplace(id, std::move(built));
+  return result;
+}
+
+Status TxnManager::ReplayContext::ApplyDrop(const ObjectId& id) {
+  if (by_id_.find(id) == by_id_.end() || dropped_.count(id) != 0) {
+    return Status::Internal(StrFormat(
+        "journal drops %s object %s — journal and replay state disagree",
+        dropped_.count(id) != 0 ? "already-dropped" : "unknown", id.c_str()));
+  }
+  dropped_.insert(id);
+  return Status::OK();
+}
+
+Status TxnManager::ReplayContext::ReplayCommitRecord(
     const Journal::CommitRecord& record, Lsn lsn) {
   // A record's ops may interleave objects (response order); group them
   // per object, preserving per-object order — object states are
@@ -63,13 +201,14 @@ Status TxnManager::ReplayRecordGrouped(
   std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
   std::map<AtomicObject*, size_t> group_index;
   for (const Operation& op : record.ops) {
-    const auto found = by_id.find(op.object());
-    if (found == by_id.end()) {
+    AtomicObject* obj = Find(op.object());
+    if (obj == nullptr) {
       return Status::Internal(StrFormat(
-          "journal names unknown object %s — restart system does not "
-          "match the journaled one", op.object().c_str()));
+          "journal names %s object %s — restart system does not match the "
+          "journaled one",
+          dropped_.count(op.object()) != 0 ? "dropped" : "unknown",
+          op.object().c_str()));
     }
-    AtomicObject* obj = found->second;
     const auto [it, inserted] = group_index.emplace(obj, grouped.size());
     if (inserted) grouped.emplace_back(obj, OpSeq{});
     grouped[it->second].second.push_back(op);
@@ -80,12 +219,39 @@ Status TxnManager::ReplayRecordGrouped(
   return Status::OK();
 }
 
+void TxnManager::ReplayContext::Finalize(size_t* objects_created,
+                                         size_t* objects_dropped) {
+  size_t created_count = 0;
+  for (auto& [id, obj] : created_) {
+    if (dropped_.count(id) != 0) continue;  // created then dropped: gone
+    // Publication: attach the manager's lifecycle journal so post-restart
+    // commits of this object journal like any other object's, then insert.
+    if (manager_->lifecycle_journal_ != nullptr) {
+      obj->recovery().set_journal(manager_->lifecycle_journal_);
+    }
+    manager_->directory_.Insert(id, std::move(obj));
+    ++created_count;
+  }
+  for (const ObjectId& id : dropped_) {
+    // A replay-created object whose final state is dropped was never
+    // published; it dies with `created_`. A pre-registered one is retired
+    // for real — no journaling, its drop record is already durable.
+    if (created_.count(id) != 0) continue;
+    const Status s = manager_->directory_.Drop(
+        id, [](AtomicObject* obj) { return obj->MarkDropped(); });
+    CCR_CHECK_MSG(s.ok(), "cannot retire %s after replay: %s", id.c_str(),
+                  s.ToString().c_str());
+  }
+  if (objects_created != nullptr) *objects_created = created_count;
+  if (objects_dropped != nullptr) *objects_dropped = dropped_.size();
+}
+
 Status TxnManager::RestartGuarded(
-    const std::function<Status(const std::map<ObjectId, AtomicObject*>&)>&
-        replay) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!live_.empty()) {
+    const std::function<Status(ReplayContext&)>& replay,
+    size_t* objects_created, size_t* objects_dropped) {
+  for (size_t i = 0; i < kLiveStripes; ++i) {
+    std::lock_guard<std::mutex> lock(live_[i].mu);
+    if (!live_[i].txns.empty()) {
       return Status::IllegalState(
           "Restart with live transactions — recovery runs on a fresh "
           "manager before any transaction begins");
@@ -100,37 +266,57 @@ Status TxnManager::RestartGuarded(
     obj->recovery().set_journal(nullptr);
   }
   // One id->object map for the whole replay: the per-op object(...) lookup
-  // took the manager mutex once per journaled operation, which dominated
-  // restart on long journals.
+  // cost a directory probe per journaled operation, which dominated restart
+  // on long journals. The context layers lifecycle effects (creates, drops)
+  // on top without touching the directory until Finalize.
   std::map<ObjectId, AtomicObject*> by_id;
   for (AtomicObject* obj : objs) by_id.emplace(obj->id(), obj);
 
-  const Status status = replay(by_id);
+  ReplayContext ctx(this, by_id);
+  const Status status = replay(ctx);
 
   if (!status.ok()) {
     // Fail-atomicity: a half-replayed manager must not pass for a
     // recovered one. Reset every object to its initial state while the
     // journals are still detached, so the error path leaves exactly the
     // "empty system" a caller can reason about (retry, or discard).
+    // Replay-created objects were never published — they die with the
+    // context.
     for (AtomicObject* obj : objs) obj->ResetForRecovery();
   }
   for (auto& [obj, jnl] : detached) obj->recovery().set_journal(jnl);
+  if (status.ok()) ctx.Finalize(objects_created, objects_dropped);
   return status;
 }
 
 Status TxnManager::Restart(const Journal& journal) {
-  return RestartGuarded([&](const std::map<ObjectId, AtomicObject*>& by_id) {
+  return RestartGuarded([&](ReplayContext& ctx) {
     Status status = Status::OK();
     TxnId max_txn = 0;
     // Replayed LSNs must live in the journal's own numbering space: a
     // journal continuing a prior generation (set_base_lsn) assigns its
     // first record base+1, and per-object last-committed LSNs seeded here
     // are later compared against journal.high_lsn() by checkpoints.
-    Lsn lsn = journal.base_lsn();
-    journal.ForEachRecord([&](const Journal::CommitRecord& record) {
+    journal.ForEachEntry([&](Lsn lsn, const Journal::Entry& entry) {
       if (!status.ok()) return;
-      max_txn = std::max(max_txn, record.txn);
-      status = ReplayRecordGrouped(by_id, record, ++lsn);
+      if (entry.is_lifecycle) {
+        const LifecycleRecord& lc = entry.lifecycle;
+        if (lc.kind == LifecycleRecord::Kind::kDrop) {
+          status = ctx.ApplyDrop(lc.object);
+          return;
+        }
+        StatusOr<ReplayContext::CreateResult> created =
+            ctx.ApplyCreate(lc.object, lc.factory);
+        if (!created.ok()) {
+          status = created.status();
+        } else if (created->existed) {
+          // Serial in-order replay: apply the incarnation reset here.
+          created->object->ResetForRecovery();
+        }
+        return;
+      }
+      max_txn = std::max(max_txn, entry.commit.txn);
+      status = ctx.ReplayCommitRecord(entry.commit, lsn);
     });
     // Post-restart transactions must not reuse replayed ids: a reused id
     // would journal a second commit record under an id that already has
@@ -142,16 +328,28 @@ Status TxnManager::Restart(const Journal& journal) {
 
 Status TxnManager::RestartFromImage(std::string_view image,
                                     RecoveryReport* report) {
-  return RestartGuarded([&](const std::map<ObjectId, AtomicObject*>& by_id) {
+  return RestartGuarded([&](ReplayContext& ctx) {
     // Stream the scan: each record is decoded, replayed, and discarded —
     // the image is never materialized as a second in-memory journal.
     TxnId max_txn = 0;
     Lsn lsn = 0;
-    const Status status = ForEachJournalRecord(
+    const Status status = ForEachJournalEntry(
         image,
-        [&](Journal::CommitRecord&& record) {
-          max_txn = std::max(max_txn, record.txn);
-          return ReplayRecordGrouped(by_id, record, ++lsn);
+        [&](Journal::Entry&& entry) {
+          ++lsn;
+          if (entry.is_lifecycle) {
+            const LifecycleRecord& lc = entry.lifecycle;
+            if (lc.kind == LifecycleRecord::Kind::kDrop) {
+              return ctx.ApplyDrop(lc.object);
+            }
+            StatusOr<ReplayContext::CreateResult> created =
+                ctx.ApplyCreate(lc.object, lc.factory);
+            if (!created.ok()) return created.status();
+            if (created->existed) created->object->ResetForRecovery();
+            return Status::OK();
+          }
+          max_txn = std::max(max_txn, entry.commit.txn);
+          return ctx.ReplayCommitRecord(entry.commit, lsn);
         },
         report);
     if (status.ok()) AdvanceTxnWatermark(max_txn);
@@ -162,131 +360,224 @@ Status TxnManager::RestartFromImage(std::string_view image,
 StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
                                                     RestartOptions options) {
   RestartSummary summary;
-  const Status status = RestartGuarded([&](const std::map<
-                                           ObjectId, AtomicObject*>& by_id) {
-    StatusOr<CheckpointImage> image = Checkpointer::LoadNewest(dir);
-    if (!image.ok()) return image.status();
-    summary.checkpoint_anchor = image->anchor;
+  const Status status = RestartGuarded(
+      [&](ReplayContext& ctx) {
+        StatusOr<CheckpointImage> image = Checkpointer::LoadNewest(dir);
+        if (!image.ok()) return image.status();
+        summary.checkpoint_anchor = image->anchor;
 
-    // Install the checkpointed states. An object in the image but not in
-    // this manager is a configuration mismatch (its truncated records are
-    // unrecoverable elsewhere); a manager object missing from the image
-    // simply replays its whole (surviving) history from the initial state.
-    std::map<AtomicObject*, Lsn> ckpt_lsn;
-    for (const CheckpointImage::ObjectEntry& entry : image->objects) {
-      const auto found = by_id.find(entry.id);
-      if (found == by_id.end()) {
-        return Status::Internal(StrFormat(
-            "checkpoint names unknown object %s — restart system does not "
-            "match the checkpointed one", entry.id.c_str()));
-      }
-      AtomicObject* obj = found->second;
-      StatusOr<std::unique_ptr<SpecState>> state =
-          obj->adt().DecodeState(entry.encoded);
-      if (!state.ok()) return state.status();
-      obj->InstallCheckpoint(std::move(*state), entry.lsn);
-      ckpt_lsn[obj] = entry.lsn;
-      ++summary.checkpoint_objects;
-    }
-
-    // Bucket the tail per object. Within a bucket records keep LSN order;
-    // across buckets there is no ordering requirement (object states are
-    // independent), which is exactly what lets the replay fan out.
-    struct TailEntry {
-      TxnId txn;
-      Lsn lsn;
-      OpSeq ops;
-    };
-    std::vector<std::pair<AtomicObject*, std::vector<TailEntry>>> buckets;
-    std::map<AtomicObject*, size_t> bucket_index;
-    TxnId max_txn = image->max_txn;
-    Lsn high_lsn = image->anchor;
-    const Status scan_status = ForEachSegmentedRecord(
-        dir, image->anchor,
-        [&](Lsn lsn, Journal::CommitRecord&& record) {
-          max_txn = std::max(max_txn, record.txn);
-          high_lsn = std::max(high_lsn, lsn);
-          for (Operation& op : record.ops) {
-            const auto found = by_id.find(op.object());
-            if (found == by_id.end()) {
+        // Install the checkpointed states. `dyn` entries name objects this
+        // manager never registered — re-instantiate them through the
+        // factory registry first. An `obj` entry naming an unknown object
+        // is a configuration mismatch (its truncated records are
+        // unrecoverable elsewhere); a manager object missing from the
+        // image simply replays its whole (surviving) history from the
+        // initial state.
+        std::map<ObjectId, Lsn> ckpt_lsn;
+        for (const CheckpointImage::ObjectEntry& entry : image->objects) {
+          AtomicObject* obj = ctx.Find(entry.id);
+          if (obj == nullptr) {
+            if (entry.factory.empty()) {
               return Status::Internal(StrFormat(
-                  "journal names unknown object %s — restart system does "
-                  "not match the journaled one", op.object().c_str()));
+                  "checkpoint names unknown object %s — restart system does "
+                  "not match the checkpointed one", entry.id.c_str()));
             }
-            AtomicObject* obj = found->second;
-            // The fuzzy overshoot: this object's snapshot already includes
-            // the record (its LSN is at or below the object's checkpoint
-            // LSN) even though the record lies past the anchor.
-            const auto covered = ckpt_lsn.find(obj);
-            if (covered != ckpt_lsn.end() && lsn <= covered->second) {
-              ++summary.tail_skipped;
+            StatusOr<ReplayContext::CreateResult> created =
+                ctx.ApplyCreate(entry.id, entry.factory);
+            if (!created.ok()) return created.status();
+            obj = created->object;
+          }
+          StatusOr<std::unique_ptr<SpecState>> state =
+              obj->adt().DecodeState(entry.encoded);
+          if (!state.ok()) return state.status();
+          obj->InstallCheckpoint(std::move(*state), entry.lsn);
+          ckpt_lsn[entry.id] = entry.lsn;
+          ++summary.checkpoint_objects;
+        }
+
+        // Bucket the tail per object. Within a bucket, entries keep LSN
+        // order — including `create_reset` markers, which place an
+        // incarnation boundary between an older incarnation's (purged)
+        // records and the new incarnation's ops. Across buckets there is
+        // no ordering requirement (object states are independent), which
+        // is exactly what lets the replay fan out.
+        struct TailEntry {
+          bool create_reset;  // reset-to-initial marker, no ops
+          TxnId txn;
+          Lsn lsn;
+          OpSeq ops;
+        };
+        std::vector<std::pair<AtomicObject*, std::vector<TailEntry>>> buckets;
+        std::map<ObjectId, size_t> bucket_index;
+        auto bucket_for = [&](const ObjectId& id,
+                              AtomicObject* obj) -> std::vector<TailEntry>& {
+          const auto [bit, fresh] = bucket_index.emplace(id, buckets.size());
+          if (fresh) buckets.emplace_back(obj, std::vector<TailEntry>{});
+          return buckets[bit->second].second;
+        };
+
+        // Ops naming an id that is neither registered, image-installed,
+        // nor tail-created: legal only when a later `drop` record shows
+        // the whole incarnation was superseded by the checkpoint (the
+        // object was dropped before the image walk, so the image has no
+        // entry, but its pre-drop tail records survive). Tracked here and
+        // judged once the scan completes.
+        std::map<ObjectId, bool> orphan_ok;
+
+        TxnId max_txn = image->max_txn;
+        Lsn high_lsn = image->anchor;
+        const Status scan_status = ForEachSegmentedEntry(
+            dir, image->anchor,
+            [&](Lsn lsn, Journal::Entry&& entry) {
+              high_lsn = std::max(high_lsn, lsn);
+              const auto covered = [&](const ObjectId& id) {
+                const auto it = ckpt_lsn.find(id);
+                return it != ckpt_lsn.end() && lsn <= it->second;
+              };
+              if (entry.is_lifecycle) {
+                const LifecycleRecord& lc = entry.lifecycle;
+                if (covered(lc.object)) {
+                  // Fuzzy overshoot: the object's snapshot was taken after
+                  // this lifecycle event, so the image already reflects it
+                  // (an incarnation's checkpoint LSN is 0 or exceeds its
+                  // create LSN — a covered create's incarnation is the
+                  // image's own).
+                  ++summary.tail_skipped;
+                  return Status::OK();
+                }
+                if (lc.kind == LifecycleRecord::Kind::kDrop) {
+                  if (ctx.Find(lc.object) == nullptr &&
+                      !ctx.Dropped(lc.object)) {
+                    // Drop of an id this restart never saw: resolves the
+                    // orphaned ops of a checkpoint-superseded incarnation.
+                    orphan_ok[lc.object] = true;
+                    ++summary.tail_records;
+                    return Status::OK();
+                  }
+                  CCR_RETURN_IF_ERROR(ctx.ApplyDrop(lc.object));
+                  // The dropped incarnation's buffered tail is dead state:
+                  // purge it instead of replaying a partial history whose
+                  // effect the drop (or a following create's reset)
+                  // discards anyway.
+                  const auto bit = bucket_index.find(lc.object);
+                  if (bit != bucket_index.end()) {
+                    buckets[bit->second].second.clear();
+                  }
+                  ++summary.tail_records;
+                  return Status::OK();
+                }
+                StatusOr<ReplayContext::CreateResult> created =
+                    ctx.ApplyCreate(lc.object, lc.factory);
+                if (!created.ok()) return created.status();
+                if (created->existed) {
+                  // The object already holds state (image install, or the
+                  // registered initial state): order the incarnation reset
+                  // into its bucket so it lands between the old
+                  // incarnation's records and the new one's ops.
+                  bucket_for(lc.object, created->object)
+                      .push_back(TailEntry{true, 0, lsn, OpSeq{}});
+                }
+                ++summary.tail_records;
+                return Status::OK();
+              }
+              const Journal::CommitRecord& record = entry.commit;
+              max_txn = std::max(max_txn, record.txn);
+              for (Operation& op : entry.commit.ops) {
+                AtomicObject* obj = ctx.Find(op.object());
+                if (obj == nullptr) {
+                  if (ctx.Dropped(op.object())) {
+                    return Status::Internal(StrFormat(
+                        "journal names object %s after its drop record",
+                        op.object().c_str()));
+                  }
+                  orphan_ok.try_emplace(op.object(), false);
+                  continue;
+                }
+                if (covered(op.object())) {
+                  // The fuzzy overshoot: this object's snapshot already
+                  // includes the record even though it lies past the
+                  // anchor.
+                  ++summary.tail_skipped;
+                  continue;
+                }
+                std::vector<TailEntry>& bucket = bucket_for(op.object(), obj);
+                if (!bucket.empty() && !bucket.back().create_reset &&
+                    bucket.back().txn == record.txn &&
+                    bucket.back().lsn == lsn) {
+                  bucket.back().ops.push_back(std::move(op));
+                } else {
+                  bucket.push_back(
+                      TailEntry{false, record.txn, lsn, OpSeq{std::move(op)}});
+                }
+              }
+              ++summary.tail_records;
+              return Status::OK();
+            },
+            &summary.scan);
+        if (!scan_status.ok()) return scan_status;
+        for (const auto& [id, ok] : orphan_ok) {
+          if (!ok) {
+            return Status::Internal(StrFormat(
+                "journal names unknown object %s — restart system does not "
+                "match the journaled one", id.c_str()));
+          }
+        }
+
+        // Fan the buckets out. Each worker owns whole buckets (claimed off
+        // an atomic cursor), so a given object is replayed by exactly one
+        // thread and needs no cross-thread ordering.
+        const auto replay_bucket = [](AtomicObject* obj,
+                                      std::vector<TailEntry>& bucket) {
+          for (TailEntry& entry : bucket) {
+            if (entry.create_reset) {
+              obj->ResetForRecovery();
               continue;
             }
-            const auto [bit, fresh] =
-                bucket_index.emplace(obj, buckets.size());
-            if (fresh) buckets.emplace_back(obj, std::vector<TailEntry>{});
-            std::vector<TailEntry>& bucket = buckets[bit->second].second;
-            if (!bucket.empty() && bucket.back().txn == record.txn &&
-                bucket.back().lsn == lsn) {
-              bucket.back().ops.push_back(std::move(op));
-            } else {
-              bucket.push_back(TailEntry{record.txn, lsn, OpSeq{std::move(op)}});
-            }
+            CCR_RETURN_IF_ERROR(
+                obj->ReplayCommitted(entry.txn, entry.ops, entry.lsn));
           }
-          ++summary.tail_records;
           return Status::OK();
-        },
-        &summary.scan);
-    if (!scan_status.ok()) return scan_status;
-
-    // Fan the buckets out. Each worker owns whole buckets (claimed off an
-    // atomic cursor), so a given object is replayed by exactly one thread
-    // and needs no cross-thread ordering.
-    const int threads = std::max(
-        1, std::min<int>(options.replay_threads,
-                         static_cast<int>(buckets.size())));
-    Status replay_status = Status::OK();
-    if (threads <= 1) {
-      for (auto& [obj, bucket] : buckets) {
-        for (TailEntry& entry : bucket) {
-          replay_status =
-              obj->ReplayCommitted(entry.txn, entry.ops, entry.lsn);
-          if (!replay_status.ok()) break;
-        }
-        if (!replay_status.ok()) break;
-      }
-    } else {
-      std::atomic<size_t> cursor{0};
-      std::mutex error_mu;
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<size_t>(threads));
-      for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-          for (;;) {
-            const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= buckets.size()) return;
-            auto& [obj, bucket] = buckets[i];
-            for (TailEntry& entry : bucket) {
-              const Status s =
-                  obj->ReplayCommitted(entry.txn, entry.ops, entry.lsn);
-              if (!s.ok()) {
-                std::lock_guard<std::mutex> lock(error_mu);
-                if (replay_status.ok()) replay_status = s;
-                return;
-              }
-            }
+        };
+        const int threads = std::max(
+            1, std::min<int>(options.replay_threads,
+                             static_cast<int>(buckets.size())));
+        Status replay_status = Status::OK();
+        if (threads <= 1) {
+          for (auto& [obj, bucket] : buckets) {
+            replay_status = replay_bucket(obj, bucket);
+            if (!replay_status.ok()) break;
           }
-        });
-      }
-      for (std::thread& worker : pool) worker.join();
-    }
-    if (!replay_status.ok()) return replay_status;
+        } else {
+          std::atomic<size_t> cursor{0};
+          std::mutex error_mu;
+          std::vector<std::thread> pool;
+          pool.reserve(static_cast<size_t>(threads));
+          for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+              for (;;) {
+                const size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= buckets.size()) return;
+                auto& [obj, bucket] = buckets[i];
+                const Status s = replay_bucket(obj, bucket);
+                if (!s.ok()) {
+                  std::lock_guard<std::mutex> lock(error_mu);
+                  if (replay_status.ok()) replay_status = s;
+                  return;
+                }
+              }
+            });
+          }
+          for (std::thread& worker : pool) worker.join();
+        }
+        if (!replay_status.ok()) return replay_status;
 
-    AdvanceTxnWatermark(max_txn);
-    summary.max_txn = max_txn;
-    summary.high_lsn = high_lsn;
-    return Status::OK();
-  });
+        AdvanceTxnWatermark(max_txn);
+        summary.max_txn = max_txn;
+        summary.high_lsn = high_lsn;
+        return Status::OK();
+      },
+      &summary.objects_created, &summary.objects_dropped);
   if (!status.ok()) return status;
   return summary;
 }
@@ -294,14 +585,17 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
 std::shared_ptr<Transaction> TxnManager::Begin() {
   auto txn = std::make_shared<Transaction>(
       next_txn_.fetch_add(1, std::memory_order_relaxed));
-  std::lock_guard<std::mutex> lock(mu_);
-  live_.emplace(txn->id(), txn);
-  ++stats_.begun;
+  LiveStripe& stripe = live_stripe(txn->id());
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.txns.emplace(txn->id(), txn);
+  }
+  begun_.fetch_add(1, std::memory_order_relaxed);
   return txn;
 }
 
 StatusOr<Value> TxnManager::Execute(Transaction* txn, const Invocation& inv) {
-  AtomicObject* obj = object(inv.object());
+  AtomicObject* obj = directory_.Find(inv.object());
   if (obj == nullptr) {
     return Status::NotFound(
         StrFormat("no object named %s", inv.object().c_str()));
@@ -335,7 +629,9 @@ Status TxnManager::Commit(Transaction* txn) {
   // no prepare phase is needed — there is no partial failure mode). Each
   // object's lock is released as its Commit returns; under a group-commit
   // pipeline the records are only sequenced here and the disk sync is
-  // still pending when the last lock is dropped.
+  // still pending when the last lock is dropped. No global manager lock
+  // anywhere on this path: the live-table stripe below is keyed by txn id
+  // and the outcome counter is a lone atomic.
   Lsn high_lsn = kNoLsn;
   for (AtomicObject* obj : txn->touched()) {
     high_lsn = std::max(high_lsn, obj->Commit(txn->id()));
@@ -343,10 +639,11 @@ Status TxnManager::Commit(Transaction* txn) {
   txn->set_state(TxnState::kCommitted);
   detector_.Forget(txn->id());
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    live_.erase(txn->id());
-    ++stats_.committed;
+    LiveStripe& stripe = live_stripe(txn->id());
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.txns.erase(txn->id());
   }
+  committed_.fetch_add(1, std::memory_order_relaxed);
   // The acknowledgment point: with a pipeline attached, block (holding no
   // locks) until the transaction's highest LSN is durable. LSNs are
   // assigned in commit order under the journal mutex, so waiting for our
@@ -373,9 +670,12 @@ Status TxnManager::Abort(Transaction* txn) {
   }
   txn->set_state(TxnState::kAborted);
   detector_.Forget(txn->id());
-  std::lock_guard<std::mutex> lock(mu_);
-  live_.erase(txn->id());
-  ++stats_.aborted;
+  {
+    LiveStripe& stripe = live_stripe(txn->id());
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.txns.erase(txn->id());
+  }
+  aborted_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -416,19 +716,17 @@ void TxnManager::AdvanceTxnWatermark(TxnId txn) {
 void TxnManager::Kill(TxnId txn) {
   std::shared_ptr<Transaction> victim;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = live_.find(txn);
-    if (it == live_.end()) return;  // already finished
+    LiveStripe& stripe = live_stripe(txn);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.txns.find(txn);
+    if (it == stripe.txns.end()) return;  // already finished
     victim = it->second;
   }
   // Arbitrate against a racing Commit: if the commit latched first, this
   // kill is a no-op (the commit releases the locks, which unblocks the
   // cycle just as the abort would have).
   if (!victim->TryKill()) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.kills;
-  }
+  kills_.fetch_add(1, std::memory_order_relaxed);
   // Wake the victim directly at the object it is blocked at (if any), so a
   // kill is observed immediately rather than at the next timeout. TryKill
   // (seq_cst) precedes this load, pairing with the victim's registration
@@ -440,30 +738,34 @@ History TxnManager::SnapshotHistory() const { return recorder_.Snapshot(); }
 
 ManagerStats TxnManager::stats() const {
   ManagerStats stats;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats = stats_;
-  }
+  stats.begun = begun_.load(std::memory_order_relaxed);
+  stats.committed = committed_.load(std::memory_order_relaxed);
+  stats.aborted = aborted_.load(std::memory_order_relaxed);
   stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.kills = kills_.load(std::memory_order_relaxed);
   return stats;
 }
 
 ObjectStats TxnManager::AggregateObjectStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   ObjectStats total;
-  for (const auto& [id, obj] : objects_) {
-    const ObjectStats s = obj->stats();
-    total.executes += s.executes;
-    total.conflicts += s.conflicts;
-    total.waits += s.waits;
-    total.deadlock_victims += s.deadlock_victims;
-    total.timeouts += s.timeouts;
-    total.wakeups += s.wakeups;
-    total.spurious_wakeups += s.spurious_wakeups;
-    total.kill_wakeups += s.kill_wakeups;
-    total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
-    total.wait_time_us.Merge(s.wait_time_us);
-  }
+  // Retired (dropped) objects keep contributing their counters: aggregates
+  // must stay monotone across drops — drivers report deltas per run.
+  directory_.ForEach(
+      [&total](AtomicObject* obj) {
+        const ObjectStats s = obj->stats();
+        total.executes += s.executes;
+        total.conflicts += s.conflicts;
+        total.waits += s.waits;
+        total.deadlock_victims += s.deadlock_victims;
+        total.timeouts += s.timeouts;
+        total.wakeups += s.wakeups;
+        total.spurious_wakeups += s.spurious_wakeups;
+        total.kill_wakeups += s.kill_wakeups;
+        total.max_queue_depth =
+            std::max(total.max_queue_depth, s.max_queue_depth);
+        total.wait_time_us.Merge(s.wait_time_us);
+      },
+      /*include_retired=*/true);
   return total;
 }
 

@@ -12,17 +12,22 @@
 #ifndef CCR_TXN_TXN_MANAGER_H_
 #define CCR_TXN_TXN_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "txn/atomic_object.h"
 #include "txn/journal_io.h"
+#include "txn/object_directory.h"
 
 namespace ccr {
 
@@ -40,6 +45,9 @@ struct TxnManagerOptions {
   WakeupMode wakeup = WakeupMode::kEventDriven;
   std::chrono::milliseconds lock_timeout{500};
   int max_retries = 1000;
+  // Stripes of the object directory (power of two; 0 picks a default from
+  // hardware concurrency). See object_directory.h.
+  size_t stripe_count = 0;
 };
 
 // Aggregate outcome counters.
@@ -67,10 +75,29 @@ struct RestartSummary {
   // Per-object record deliveries dropped because the object's own
   // checkpoint LSN already covered them (the fuzzy overshoot).
   size_t tail_skipped = 0;
+  // Lifecycle outcomes: objects re-created through the factory registry
+  // (image `dyn` entries + tail `create` records) and objects whose final
+  // journaled state is dropped (retired after replay).
+  size_t objects_created = 0;
+  size_t objects_dropped = 0;
   Lsn high_lsn = 0;               // newest LSN on disk; journals resume after
   TxnId max_txn = 0;              // watermark restored (checkpoint + tail)
   SegmentScanReport scan;
 };
+
+// Everything a factory must supply to instantiate one object: the ADT, its
+// conflict relation, and its recovery manager. The manager wires recorder,
+// detector, kill function, lock options, and the lifecycle journal itself.
+struct ObjectConfig {
+  std::shared_ptr<const Adt> adt;
+  std::shared_ptr<const ConflictRelation> conflict;
+  std::unique_ptr<RecoveryManager> recovery;
+};
+
+// Builds the config for a lazily created object. Runs under the owning
+// directory stripe's exclusive lock: must not touch the manager or the
+// directory.
+using ObjectFactory = std::function<ObjectConfig(const ObjectId&)>;
 
 class TxnManager {
  public:
@@ -84,11 +111,47 @@ class TxnManager {
                           std::shared_ptr<const ConflictRelation> conflict,
                           std::unique_ptr<RecoveryManager> recovery);
 
+  // Registers a factory for lazy object creation. Names must be
+  // whitespace-free (they are journaled in create records and checkpoint
+  // `dyn` lines). Registering before restart is mandatory for any factory
+  // the journal names. Fatal on duplicate name.
+  void RegisterFactory(const std::string& name, ObjectFactory factory);
+
+  // Returns the object named `id`, creating it through `factory_name` on
+  // first touch (exactly one creator under a race). A created object's
+  // recovery manager is attached to the lifecycle journal, and a `create`
+  // record is journaled before the object becomes visible — so the create's
+  // LSN precedes every commit record of the object. kNotFound when the
+  // factory is unknown.
+  StatusOr<AtomicObject*> GetOrCreate(const ObjectId& id,
+                                      const std::string& factory_name);
+
+  // Drops `id`: refuses (kIllegalState) while any transaction holds locks
+  // or waits at the object; otherwise journals a `drop` record and retires
+  // the object — lookups stop returning it, raced Execute calls fail with
+  // kNotFound, and memory stays valid until restart. kNotFound when absent.
+  Status DropObject(const ObjectId& id);
+
+  // The journal create/drop records are appended to (usually the same
+  // journal every object's recovery manager feeds). Unset: lifecycle
+  // events stay volatile — restart will not re-create dynamic objects.
+  // Also the journal attached to lazily created objects' recovery
+  // managers. Set before the first GetOrCreate/DropObject.
+  void set_lifecycle_journal(Journal* journal) {
+    lifecycle_journal_ = journal;
+  }
+  Journal* lifecycle_journal() const { return lifecycle_journal_; }
+
   AtomicObject* object(const ObjectId& id) const;
 
-  // All registered objects (registration order). Stable once setup is done;
-  // used by crash harnesses to attach journals and audit recovered state.
+  // All live objects, sorted by id. Snapshots one directory stripe at a
+  // time — never a global lock; used by crash harnesses to attach journals
+  // and audit recovered state, and by the checkpoint walk.
   std::vector<AtomicObject*> objects() const;
+
+  // Directory-layer counters (stripes, live/retired objects, creates,
+  // drops, max stripe depth).
+  DirectoryStats directory_stats() const { return directory_.stats(); }
 
   // Crash restart: replays a journal's commit records in commit order
   // through the objects' recovery managers, rebuilding every object's
@@ -182,34 +245,120 @@ class TxnManager {
   DeadlockDetector* detector() { return &detector_; }
 
  private:
-  // Shared restart plumbing: refuses live transactions, detaches journals,
-  // runs `replay` over an id->object map, reattaches, and on error resets
-  // every object to its initial state (the fail-atomicity guarantee).
-  Status RestartGuarded(
-      const std::function<Status(const std::map<ObjectId, AtomicObject*>&)>&
-          replay);
+  // Mutable object state during a restart replay. Lifecycle records change
+  // the id->object mapping mid-replay: creates instantiate objects through
+  // the factory registry (or reset an existing id to a fresh incarnation),
+  // drops retire them. Created objects stay owned here — outside the
+  // directory — until Finalize, so an errored restart discards them
+  // without ever publishing (the fail-atomicity guarantee extends to
+  // lifecycle). Single-threaded: RestartFromDir applies lifecycle effects
+  // during its (serial) scan, before the parallel tail fan-out.
+  class ReplayContext {
+   public:
+    ReplayContext(TxnManager* manager,
+                  const std::map<ObjectId, AtomicObject*>& registered);
 
-  // Groups `record`'s ops per object preserving per-object order and
-  // replays them at `lsn`. kInternal when the record names an object this
-  // manager does not have.
-  static Status ReplayRecordGrouped(
-      const std::map<ObjectId, AtomicObject*>& by_id,
-      const Journal::CommitRecord& record, Lsn lsn);
+    // Live view: registered or replay-created objects, minus those
+    // currently dropped. nullptr when `id` is unknown or dropped.
+    AtomicObject* Find(const ObjectId& id) const;
+
+    // Whether `id` is currently dropped in this replay (distinguishes
+    // "dropped" from "never existed" when Find returns nullptr).
+    bool Dropped(const ObjectId& id) const { return dropped_.count(id) != 0; }
+
+    // Outcome of applying a journaled `create <id> <factory>`.
+    struct CreateResult {
+      AtomicObject* object = nullptr;
+      // True when the id already existed (pre-registered, or a create
+      // following a drop of the same id). A create record is an
+      // incarnation boundary; the CALLER owns the reset to initial state —
+      // immediately for serial in-order replay, or ordered into the
+      // object's replay bucket for the parallel tail.
+      bool existed = false;
+    };
+
+    // Applies a journaled create: re-instantiates through the registry
+    // (kInternal when the factory is unknown — configuration and journal
+    // disagree) or un-drops/returns the existing object (see CreateResult).
+    StatusOr<CreateResult> ApplyCreate(const ObjectId& id,
+                                       const std::string& factory);
+
+    // Applies a journaled `drop <id>`. kInternal when `id` is absent or
+    // already dropped.
+    Status ApplyDrop(const ObjectId& id);
+
+    // Replays one commit record (per-object grouping, order preserved).
+    // kInternal when it names an unknown or dropped object.
+    Status ReplayCommitRecord(const Journal::CommitRecord& record, Lsn lsn);
+
+    // Success-path publication: inserts surviving created objects into the
+    // manager's directory (attaching the lifecycle journal to their
+    // recovery managers), retires objects whose final state is dropped,
+    // and reports the counts. Call exactly once, only when replay
+    // succeeded.
+    void Finalize(size_t* objects_created, size_t* objects_dropped);
+
+   private:
+    TxnManager* const manager_;
+    std::map<ObjectId, AtomicObject*> by_id_;
+    std::map<ObjectId, std::unique_ptr<AtomicObject>> created_;
+    std::set<ObjectId> dropped_;
+  };
+
+  // Shared restart plumbing: refuses live transactions, detaches journals,
+  // runs `replay` with a context over the registered objects, reattaches,
+  // and on error resets every object to its initial state (the
+  // fail-atomicity guarantee); on success finalizes lifecycle effects into
+  // (created, dropped) if the out-params are non-null.
+  Status RestartGuarded(const std::function<Status(ReplayContext&)>& replay,
+                        size_t* objects_created = nullptr,
+                        size_t* objects_dropped = nullptr);
+
+  // Instantiates an object wired to this manager (recorder shard, deadlock
+  // detector registration, kill function, lock options, factory name).
+  std::unique_ptr<AtomicObject> BuildObject(ObjectId id, ObjectConfig config,
+                                            std::string factory_name);
+
+  // Looks up a registered factory; kNotFound names the factory.
+  StatusOr<ObjectFactory> FindFactory(const std::string& name) const;
 
   TxnManagerOptions options_;
   HistoryRecorder recorder_;
   DeadlockDetector detector_;
   GroupCommitPipeline* pipeline_ = nullptr;
+  Journal* lifecycle_journal_ = nullptr;
 
   std::atomic<TxnId> next_txn_{1};
-  // Retries are counted lock-free: the retry loop is per-worker hot and
-  // needs no other manager state.
-  std::atomic<uint64_t> retries_{0};
 
-  mutable std::mutex mu_;
-  std::map<ObjectId, std::unique_ptr<AtomicObject>> objects_;
-  std::map<TxnId, std::shared_ptr<Transaction>> live_;
-  ManagerStats stats_;  // retries lives in retries_, not here
+  // Outcome counters are lock-free: Begin/Commit/Abort touch no shared
+  // mutex for them, so the commit fast path never serializes on a global
+  // lock.
+  std::atomic<uint64_t> begun_{0};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> kills_{0};
+
+  mutable std::shared_mutex factories_mu_;
+  std::unordered_map<std::string, ObjectFactory> factories_;
+
+  // The object directory replaces the old global mutex + std::map: lookups
+  // take one stripe's shared lock; creates/drops one stripe's exclusive
+  // lock.
+  ObjectDirectory directory_;
+
+  // Live-transaction table, striped by txn id so Begin/Commit/Abort of
+  // different transactions do not serialize on one mutex. Kill and the
+  // restart live-check take single stripes.
+  static constexpr size_t kLiveStripes = 64;  // power of two
+  struct LiveStripe {
+    std::mutex mu;
+    std::unordered_map<TxnId, std::shared_ptr<Transaction>> txns;
+  };
+  LiveStripe& live_stripe(TxnId txn) const {
+    return live_[static_cast<size_t>(txn) & (kLiveStripes - 1)];
+  }
+  mutable std::array<LiveStripe, kLiveStripes> live_;
 };
 
 }  // namespace ccr

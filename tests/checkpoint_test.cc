@@ -140,9 +140,9 @@ TEST(CheckpointCodecTest, PayloadRoundTripsIncludingEmptyEncodings) {
   CheckpointImage image;
   image.anchor = 170;
   image.max_txn = 99;
-  image.objects.push_back({"BA", 168, "i 41"});
-  image.objects.push_back({"Q", 170, "1 2 3"});
-  image.objects.push_back({"SET", 0, ""});  // empty state encoding
+  image.objects.push_back({"BA", "", 168, "i 41"});
+  image.objects.push_back({"Q", "", 170, "1 2 3"});
+  image.objects.push_back({"SET", "", 0, ""});  // empty state encoding
   const std::string payload = EncodeCheckpointPayload(image);
   StatusOr<CheckpointImage> back = DecodeCheckpointPayload(payload);
   ASSERT_TRUE(back.ok()) << back.status().ToString();

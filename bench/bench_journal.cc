@@ -461,9 +461,14 @@ std::vector<Journal::CommitRecord> MakeMultiObjectRecords(size_t n) {
 }
 
 std::string MakeRestartTempDir() {
-  char buf[] = "/tmp/ccr_bench_restart_XXXXXX";
-  CCR_CHECK(::mkdtemp(buf) != nullptr);
-  return buf;
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string templ = std::string(
+      tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp");
+  templ += "/ccr_bench_restart_XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  CCR_CHECK(::mkdtemp(buf.data()) != nullptr);
+  return buf.data();
 }
 
 void RemoveRestartTempDir(const std::string& dir) {

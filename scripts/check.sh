@@ -26,6 +26,10 @@ echo "==> directory stress: 100k-object create/drop/lookup race (bench_directory
 cmake --build --preset default -j "${JOBS}" --target bench_directory
 ./build/bench/bench_directory --stress-smoke
 
+echo "==> batch smoke: record economy + multi-object crash audit (bench_batch)"
+cmake --build --preset default -j "${JOBS}" --target bench_batch
+./build/bench/bench_batch --smoke
+
 if [[ "${FAST}" == 1 ]]; then
   echo "==> --fast: skipping sanitizer crash suites"
   exit 0
@@ -39,6 +43,9 @@ for san in asan tsan; do
   echo "==> directory stress under ${san}"
   cmake --build --preset "${san}" -j "${JOBS}" --target bench_directory
   "./build-${san}/bench/bench_directory" --stress-smoke
+  echo "==> batch smoke under ${san}"
+  cmake --build --preset "${san}" -j "${JOBS}" --target bench_batch
+  "./build-${san}/bench/bench_batch" --smoke
 done
 
 echo "==> all checks passed"

@@ -134,9 +134,14 @@ Status MirrorApply(TxnManager* replica, const Journal::Entry& entry,
 class ScopedTempDir {
  public:
   ScopedTempDir() {
-    char buf[] = "/tmp/ccr_ckpt_XXXXXX";
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string templ = std::string(
+        tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp");
+    templ += "/ccr_ckpt_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
 #ifndef _WIN32
-    if (::mkdtemp(buf) != nullptr) path_ = buf;
+    if (::mkdtemp(buf.data()) != nullptr) path_ = buf.data();
 #endif
   }
   ~ScopedTempDir() {
@@ -239,6 +244,34 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   // incarnation's projection of that prefix, dropped ids are gone, and
   // created ids are back.
   result.state_matches_prefix = AuditStateAgainstPrefix(&restarted, prefix);
+
+  // Audit 4: multi-object commit records are all-or-nothing. After replay
+  // an object's last_committed_lsn is the highest replayed record LSN
+  // naming it, and per-object records are totally ordered in the journal —
+  // so record L was applied at object o iff last_committed_lsn(o) >= L.
+  // A batch record applied at a strict, non-empty subset of its objects is
+  // a torn batch.
+  for (size_t i = 0; i < full.size(); ++i) {
+    const Journal::Entry& entry = full[i];
+    if (entry.is_lifecycle) continue;
+    std::set<ObjectId> batch_objects;
+    for (const Operation& op : entry.commit.ops) {
+      batch_objects.insert(op.object());
+    }
+    if (batch_objects.size() < 2) continue;
+    ++result.batch_records_total;
+    const Lsn lsn = static_cast<Lsn>(i) + 1;
+    size_t applied = 0;
+    for (const ObjectId& id : batch_objects) {
+      AtomicObject* obj = restarted.object(id);
+      if (obj != nullptr && obj->last_committed_lsn() >= lsn) ++applied;
+    }
+    if (applied == batch_objects.size()) {
+      ++result.batch_records_recovered;
+    } else if (applied != 0) {
+      ++result.batch_records_partial;
+    }
+  }
   return result;
 }
 

@@ -68,9 +68,20 @@ struct CrashScenarioResult {
   bool state_matches_prefix = false;    // audit (2) above
   bool acked_recovered = false;         // audit (3) above
 
+  // Audit (4), batch atomicity: a multi-object commit record (ExecuteBatch
+  // transactions touching >1 object) must be all-or-nothing across its
+  // objects after restart. Measured per record against each named object's
+  // recovered last_committed_lsn: `partial` counts records some but not
+  // all of whose objects reflect them — must be 0 at every crash offset.
+  // (Meaningful for workloads without lifecycle churn of the batch ids; an
+  // incarnation reset rewinds last_committed_lsn.)
+  size_t batch_records_total = 0;      // multi-object records journaled
+  size_t batch_records_recovered = 0;  // fully applied at every object
+  size_t batch_records_partial = 0;    // applied at a strict subset
+
   bool ok() const {
     return status.ok() && prefix_of_commit_order && state_matches_prefix &&
-           acked_recovered;
+           acked_recovered && batch_records_partial == 0;
   }
 };
 

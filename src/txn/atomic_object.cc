@@ -252,6 +252,83 @@ StatusOr<Value> AtomicObject::ExecuteLoop(Transaction* txn,
   }
 }
 
+Status AtomicObject::ExecuteGroup(Transaction* txn,
+                                  const std::vector<const Invocation*>& invs,
+                                  std::vector<Value>* out) {
+  CCR_CHECK(txn != nullptr && out != nullptr);
+  out->clear();
+  if (invs.empty()) return Status::OK();
+  if (!txn->active()) {
+    return Status::IllegalState("transaction is not active");
+  }
+  for (const Invocation* inv : invs) {
+    if (inv->object() != id_) {
+      return Status::InvalidArgument(
+          StrFormat("invocation for %s sent to %s", inv->object().c_str(),
+                    id_.c_str()));
+    }
+  }
+  txn->Touch(this);
+  out->reserve(invs.size());
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (dropped_) {
+    return Status::NotFound("object " + id_ + " was dropped");
+  }
+  Waiter waiter(txn->id());
+  for (const Invocation* inv : invs) {
+    // Invoke is recorded under mu_ here (Execute records it before taking
+    // mu_): the recorder shard's mutex is a leaf below every object mutex,
+    // and per-object event order is what the checkers rely on.
+    if (recorder_ != nullptr) {
+      recorder_->Record(Event::Invoke(txn->id(), *inv));
+    }
+    bool enqueued = false;
+    const auto enqueue_time = std::chrono::steady_clock::now();
+    StatusOr<Value> result = ExecuteLoop(txn, *inv, lk, waiter, enqueued);
+    if (enqueued) {
+      queue_.remove(&waiter);
+      txn->set_waiting_at(nullptr);
+      stats_.wait_time_us.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - enqueue_time)
+              .count()));
+      // Reset the frame for the next op: a signal meant for the finished
+      // wait must not leak into a later op's first sleep.
+      waiter.signaled = false;
+      waiter.blockers.clear();
+    }
+    if (!result.ok()) return result.status();
+    out->push_back(std::move(*result));
+  }
+  return Status::OK();
+}
+
+std::unique_lock<std::mutex> AtomicObject::LockForBatchCommit() {
+  return std::unique_lock<std::mutex>(mu_);
+}
+
+Lsn AtomicObject::CommitBatchedLocked(TxnId txn, OpSeq* redo) {
+  // Mirror of Commit's critical section with journaling lifted out: the
+  // caller appends one record for the whole batch and installs its LSN via
+  // InstallBatchLsnLocked. The detector Forget is the manager's (it issues
+  // one for the whole transaction after the batch unlocks).
+  const Lsn fallback = recovery_->CommitForBatch(txn, redo);
+  if (fallback != kNoLsn) last_lsn_ = fallback;
+  held_.erase(txn);
+  if (recorder_ != nullptr) recorder_->Record(Event::Commit(txn, id_));
+  WakeOnFinishLocked(txn);
+  return fallback;
+}
+
+void AtomicObject::InstallBatchLsnLocked(Lsn lsn) {
+  if (lsn != kNoLsn && lsn > last_lsn_) last_lsn_ = lsn;
+}
+
+void AtomicObject::FinalizeBatchCommitLocked(TxnId txn) {
+  recovery_->FinalizeBatchCommit(txn);
+}
+
 Lsn AtomicObject::Commit(TxnId txn) {
   Lsn lsn = kNoLsn;
   {

@@ -116,6 +116,16 @@ class AtomicObject {
   //   kInvalidArgument — invocation addressed to a different object.
   StatusOr<Value> Execute(Transaction* txn, const Invocation& inv);
 
+  // Batch fast path: executes a group of operations for `txn` under ONE
+  // acquisition of this object's mutex, each invocation running through the
+  // same conflict/blocking machinery as Execute (one waiter frame reused
+  // across the group). invs[i]'s result lands in out->at(i). The first
+  // failing op fails the whole call (same errors as Execute; the caller
+  // aborts the transaction, which releases the earlier ops' locks).
+  Status ExecuteGroup(Transaction* txn,
+                      const std::vector<const Invocation*>& invs,
+                      std::vector<Value>* out);
+
   // Commit/abort this transaction's work at this object: release its
   // operation locks, let recovery finalize or undo, and wake the waiters
   // blocked on it. Called by the manager for each touched object. Commit
@@ -126,6 +136,31 @@ class AtomicObject {
   // release).
   Lsn Commit(TxnId txn);
   void Abort(TxnId txn);
+
+  // Multi-object commit-record protocol (TxnManager::CommitBatchAtomic).
+  // The manager commits a batch transaction with ONE journal append: it
+  // locks every touched object's commit mutex in canonical (ObjectId sort)
+  // order via LockForBatchCommit, finalizes each object with
+  // CommitBatchedLocked — which folds the object's redo ops into the shared
+  // record, releases the transaction's operation locks, and wakes waiters —
+  // appends the single multi-object record while still holding ALL the
+  // locks (so the record's LSN orders before any record that can read from
+  // this batch, preserving the early-lock-release safety argument), then
+  // installs the LSN at each contributing object with InstallBatchLsnLocked,
+  // runs each object's deferred commit state transition with
+  // FinalizeBatchCommitLocked (after the append, so the group-commit sync
+  // overlaps the fold work instead of queueing behind it), and only then
+  // releases. CommitBatchedLocked returns the LSN of a record the recovery
+  // manager journaled on its own (the base-class fallback for managers
+  // without batch support); kNoLsn when the ops were deferred to the
+  // caller's record. All *Locked calls require the lock returned by
+  // LockForBatchCommit to be held; the same mutex also pairs state and LSN
+  // for SnapshotForCheckpoint, so a fuzzy checkpoint can never observe the
+  // batch's state without its LSN.
+  std::unique_lock<std::mutex> LockForBatchCommit();
+  Lsn CommitBatchedLocked(TxnId txn, OpSeq* redo);
+  void InstallBatchLsnLocked(Lsn lsn);
+  void FinalizeBatchCommitLocked(TxnId txn);
 
   // Wakes `txn`'s waiter (if it is blocked here) so a kill is observed
   // immediately instead of at the next timeout. Called by TxnManager::Kill

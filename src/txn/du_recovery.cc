@@ -58,6 +58,32 @@ Lsn DuRecovery::Commit(TxnId txn) {
     // therefore no record — journaling it would write an empty record.
     lsn = journal_->AppendCommit(txn, it->second.intentions);
   }
+  ApplyIntentions(it);
+  return lsn;
+}
+
+Lsn DuRecovery::CommitForBatch(TxnId txn, OpSeq* redo) {
+  // Collect phase: copy the intentions (they double as the redo record)
+  // into the caller's multi-object record; the application to the base —
+  // DU's entire commit cost — waits for FinalizeBatchCommit so it overlaps
+  // the batch record's group-commit sync.
+  ++stats_.commits;
+  auto it = workspaces_.find(txn);
+  if (it == workspaces_.end()) return kNoLsn;  // read-free transaction
+  if (journal_ != nullptr && !it->second.intentions.empty()) {
+    redo->insert(redo->end(), it->second.intentions.begin(),
+                 it->second.intentions.end());
+  }
+  return kNoLsn;
+}
+
+void DuRecovery::FinalizeBatchCommit(TxnId txn) {
+  auto it = workspaces_.find(txn);
+  if (it == workspaces_.end()) return;  // read-free transaction
+  ApplyIntentions(it);
+}
+
+void DuRecovery::ApplyIntentions(std::map<TxnId, Workspace>::iterator it) {
   // Apply the intentions list to the base copy, in list order.
   for (const Operation& op : it->second.intentions) {
     auto nexts = adt_->spec().Next(*base_, op);
@@ -68,7 +94,6 @@ Lsn DuRecovery::Commit(TxnId txn) {
   }
   workspaces_.erase(it);
   ++base_version_;
-  return lsn;
 }
 
 void DuRecovery::Abort(TxnId txn) {

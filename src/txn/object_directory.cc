@@ -3,6 +3,7 @@
 #include "txn/object_directory.h"
 
 #include <algorithm>
+#include <map>
 #include <thread>
 
 #include "common/macros.h"
@@ -59,6 +60,24 @@ AtomicObject* ObjectDirectory::Find(const ObjectId& id) const {
   std::shared_lock<std::shared_mutex> lock(stripe.mu);
   auto it = stripe.live.find(id);
   return it == stripe.live.end() ? nullptr : it->second.get();
+}
+
+void ObjectDirectory::FindBatch(const std::vector<const ObjectId*>& ids,
+                                std::vector<AtomicObject*>* out) const {
+  out->assign(ids.size(), nullptr);
+  // Group indices by owning stripe so each stripe's shared lock is taken
+  // once per batch, not once per key.
+  std::map<Stripe*, std::vector<size_t>> by_stripe;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    by_stripe[&StripeFor(*ids[i])].push_back(i);
+  }
+  for (auto& [stripe, indices] : by_stripe) {
+    std::shared_lock<std::shared_mutex> lock(stripe->mu);
+    for (size_t i : indices) {
+      const auto it = stripe->live.find(*ids[i]);
+      if (it != stripe->live.end()) (*out)[i] = it->second.get();
+    }
+  }
 }
 
 AtomicObject* ObjectDirectory::Insert(const ObjectId& id,

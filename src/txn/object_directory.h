@@ -63,6 +63,13 @@ class ObjectDirectory {
   // retirement).
   AtomicObject* Find(const ObjectId& id) const;
 
+  // Batch lookup (ExecuteBatch's one directory pass): resolves all of `ids`
+  // with each owning stripe's shared lock taken exactly once, however many
+  // keys hash to it. out->at(i) receives ids[i]'s object, or nullptr when
+  // absent/dropped. The pointers in `ids` must outlive the call.
+  void FindBatch(const std::vector<const ObjectId*>& ids,
+                 std::vector<AtomicObject*>* out) const;
+
   // Registers an eagerly built object. Fatal on duplicate id — eager
   // registration is setup-time code and a duplicate is a bug.
   AtomicObject* Insert(const ObjectId& id,

@@ -65,6 +65,29 @@ class RecoveryManager {
   virtual Lsn Commit(TxnId txn) = 0;
   virtual void Abort(TxnId txn) = 0;
 
+  // Batch-commit variant, phase 1 (collect): instead of journaling this
+  // object's redo record, appends its operations (in the order Commit would
+  // have journaled them, and only when a journal is attached) to *redo —
+  // the caller folds several objects' ops into ONE multi-object commit
+  // record and journals it once, reporting the record's LSN back through
+  // the owning object. Implementations keep this phase cheap and defer any
+  // expensive state folding to FinalizeBatchCommit: the caller appends the
+  // record between the two phases, so the group-commit sync overlaps the
+  // fold work instead of waiting behind it. The base default degrades to
+  // per-object Commit (collect and finalize in one step) and returns the
+  // LSN it journaled; overrides that defer to the caller return kNoLsn.
+  virtual Lsn CommitForBatch(TxnId txn, OpSeq* redo) {
+    (void)redo;
+    return Commit(txn);
+  }
+
+  // Batch-commit phase 2 (finalize): the deferred state transition of
+  // CommitForBatch (UIP's checkpoint fold, DU's intention application).
+  // Called exactly once after CommitForBatch, under the same continuous
+  // hold of the owning object's mutex. Default no-op, pairing with the
+  // base CommitForBatch fallback that already finalized via Commit.
+  virtual void FinalizeBatchCommit(TxnId txn) { (void)txn; }
+
   // Snapshot of the state all *non-aborted* work yields under this method's
   // view semantics (UIP: the single current state; DU: the committed base).
   virtual std::unique_ptr<SpecState> CurrentState() const = 0;

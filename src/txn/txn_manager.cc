@@ -3,6 +3,7 @@
 #include "txn/txn_manager.h"
 
 #include <algorithm>
+#include <numeric>
 #include <thread>
 #include <utility>
 
@@ -603,12 +604,95 @@ StatusOr<Value> TxnManager::Execute(Transaction* txn, const Invocation& inv) {
   return obj->Execute(txn, inv);
 }
 
+StatusOr<std::vector<Value>> TxnManager::ExecuteBatch(
+    Transaction* txn, std::span<const BatchOp> ops) {
+  CCR_CHECK(txn != nullptr);
+  // Flag the transaction first: even a batch that errors out (and is then
+  // aborted/retried by the caller) commits batch-atomically if the caller
+  // commits whatever partial work succeeded.
+  txn->set_batch_atomic();
+  if (ops.empty()) return std::vector<Value>{};
+
+  // Group ops by object without building a keyed container: sort the op
+  // indices by object id, then contiguous runs of `order` are the groups.
+  // The ascending-id visit order IS the canonical global lock order: every
+  // batch walks objects in ascending ObjectId, so two batches can never
+  // hold-and-wait against each other in a cycle. (stable_sort keeps each
+  // object's ops in caller order within its run.)
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].inv.object() != ops[i].object) {
+      return Status::InvalidArgument(StrFormat(
+          "batch op %zu: invocation for %s filed under object %s", i,
+          ops[i].inv.object().c_str(), ops[i].object.c_str()));
+    }
+  }
+  std::vector<size_t> order(ops.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&ops](size_t a, size_t b) {
+    return ops[a].object < ops[b].object;
+  });
+  // runs[g] = first position in `order` of group g (plus a sentinel end).
+  std::vector<size_t> runs;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    if (pos == 0 || ops[order[pos - 1]].object != ops[order[pos]].object) {
+      runs.push_back(pos);
+    }
+  }
+  runs.push_back(order.size());
+  const size_t groups = runs.size() - 1;
+
+  // One directory pass: stripe-grouped shared-mode lookups for every key at
+  // once, then GetOrCreate only for the misses that name a factory.
+  std::vector<const ObjectId*> ids;
+  ids.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) ids.push_back(&ops[order[runs[g]]].object);
+  std::vector<AtomicObject*> found;
+  directory_.FindBatch(ids, &found);
+  for (size_t g = 0; g < groups; ++g) {
+    if (found[g] != nullptr) continue;
+    // First non-empty factory any of the group's ops names.
+    const std::string* factory = nullptr;
+    for (size_t pos = runs[g]; pos < runs[g + 1] && factory == nullptr;
+         ++pos) {
+      if (!ops[order[pos]].factory.empty()) factory = &ops[order[pos]].factory;
+    }
+    if (factory == nullptr) {
+      return Status::NotFound(
+          StrFormat("no object named %s", ids[g]->c_str()));
+    }
+    StatusOr<AtomicObject*> created = GetOrCreate(*ids[g], *factory);
+    if (!created.ok()) return created.status();
+    found[g] = *created;
+  }
+
+  // Execute each object's op-group under one acquisition of its mutex, in
+  // canonical order, scattering results back to the callers' positions.
+  std::vector<Value> results(ops.size());
+  std::vector<const Invocation*> invs;
+  std::vector<Value> group_results;
+  for (size_t g = 0; g < groups; ++g) {
+    invs.clear();
+    for (size_t pos = runs[g]; pos < runs[g + 1]; ++pos) {
+      invs.push_back(&ops[order[pos]].inv);
+    }
+    CCR_RETURN_IF_ERROR(found[g]->ExecuteGroup(txn, invs, &group_results));
+    for (size_t k = 0; k < invs.size(); ++k) {
+      results[order[runs[g] + k]] = std::move(group_results[k]);
+    }
+  }
+  return results;
+}
+
 Status TxnManager::Commit(Transaction* txn) {
   CCR_CHECK(txn != nullptr);
   if (!txn->active()) {
     return Status::IllegalState("commit of a finished transaction");
   }
-  const auto commit_start = std::chrono::steady_clock::now();
+  // The ack-latency clock only matters when a pipeline will record it;
+  // without one, the commit fast path reads no clock at all.
+  const auto commit_start = pipeline_ == nullptr
+                                ? std::chrono::steady_clock::time_point{}
+                                : std::chrono::steady_clock::now();
   if (!txn->TryLatchCommit()) {
     // A kill won the arbitration (possibly racing this very call): the
     // victim must abort; committing would violate the victim choice another
@@ -633,8 +717,12 @@ Status TxnManager::Commit(Transaction* txn) {
   // anywhere on this path: the live-table stripe below is keyed by txn id
   // and the outcome counter is a lone atomic.
   Lsn high_lsn = kNoLsn;
-  for (AtomicObject* obj : txn->touched()) {
-    high_lsn = std::max(high_lsn, obj->Commit(txn->id()));
+  if (txn->batch_atomic() && txn->touched().size() > 1) {
+    high_lsn = CommitBatchAtomic(txn);
+  } else {
+    for (AtomicObject* obj : txn->touched()) {
+      high_lsn = std::max(high_lsn, obj->Commit(txn->id()));
+    }
   }
   txn->set_state(TxnState::kCommitted);
   detector_.Forget(txn->id());
@@ -658,6 +746,80 @@ Status TxnManager::Commit(Transaction* txn) {
             .count()));
   }
   return Status::OK();
+}
+
+Lsn TxnManager::CommitBatchAtomic(Transaction* txn) {
+  // Canonical order: the same ascending-ObjectId walk ExecuteBatch uses to
+  // acquire the objects, and a total order — concurrent batch commits can
+  // never hold-and-wait in a cycle. Every other multi-lock holder (the
+  // checkpoint walk, MarkDropped, plain Commit) takes one object mutex at a
+  // time, so adding this ordered multi-acquisition keeps the lock hierarchy
+  // acyclic: objects (canonical order) -> journal -> pipeline.
+  std::vector<AtomicObject*> objs = txn->touched();
+  std::sort(objs.begin(), objs.end(),
+            [](const AtomicObject* a, const AtomicObject* b) {
+              return a->id() < b->id();
+            });
+  Journal* journal = objs.front()->recovery().journal();
+  for (AtomicObject* obj : objs) {
+    if (obj->recovery().journal() != journal) {
+      // Mixed journals: no single append can cover the batch. Degrade to
+      // per-object records; the caller still waits only once, on the
+      // highest LSN.
+      Lsn high = kNoLsn;
+      for (AtomicObject* o : txn->touched()) {
+        high = std::max(high, o->Commit(txn->id()));
+      }
+      return high;
+    }
+  }
+
+  // Hold every object's commit mutex from redo collection through the
+  // single journal append and LSN install. Two invariants depend on this
+  // span: (a) early lock release — the record's LSN is assigned before any
+  // of the batch's operation locks become visible as released to a
+  // *committing* successor, so every commit that read from this batch
+  // sequences a higher LSN and an acknowledged batch never depends on a
+  // lost one; (b) fuzzy-checkpoint exactness — SnapshotForCheckpoint takes
+  // the same mutex, so no checkpoint can pair the batch's new state with a
+  // pre-batch LSN.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(objs.size());
+  for (AtomicObject* obj : objs) locks.push_back(obj->LockForBatchCommit());
+
+  OpSeq redo;
+  std::vector<size_t> contributed(objs.size(), 0);
+  Lsn high_lsn = kNoLsn;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const size_t before = redo.size();
+    // A recovery manager without batch support journals its own per-object
+    // record (base-class fallback) and reports that LSN here.
+    high_lsn =
+        std::max(high_lsn, objs[i]->CommitBatchedLocked(txn->id(), &redo));
+    contributed[i] = redo.size() - before;
+  }
+  if (journal != nullptr && !redo.empty()) {
+    const Lsn lsn = journal->AppendCommit(txn->id(), std::move(redo));
+    if (lsn != kNoLsn) {
+      for (size_t i = 0; i < objs.size(); ++i) {
+        if (contributed[i] > 0) objs[i]->InstallBatchLsnLocked(lsn);
+      }
+      high_lsn = std::max(high_lsn, lsn);
+    }
+  }
+  // Deferred per-object commit state transitions (UIP's checkpoint fold,
+  // DU's intention application) run after the record is sequenced: the
+  // group-commit flusher is already syncing the batch while this CPU work
+  // proceeds, instead of the sync queueing behind it. Each object's mutex
+  // drops as soon as its own finalize completes — the record's LSN is
+  // already assigned, so invariant (a) holds, and the object's state is
+  // commit-complete, so a checkpoint snapshot taken the instant the lock
+  // releases pairs the new state with the new LSN.
+  for (size_t i = 0; i < objs.size(); ++i) {
+    objs[i]->FinalizeBatchCommitLocked(txn->id());
+    locks[i].unlock();
+  }
+  return high_lsn;
 }
 
 Status TxnManager::Abort(Transaction* txn) {

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <set>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -98,6 +99,16 @@ struct ObjectConfig {
 // directory stripe's exclusive lock: must not touch the manager or the
 // directory.
 using ObjectFactory = std::function<ObjectConfig(const ObjectId&)>;
+
+// One operation of a multi-key batch (TxnManager::ExecuteBatch): the target
+// object, the factory that may create it on first touch (empty: the object
+// must already exist), and the invocation itself. inv.object() must equal
+// `object`.
+struct BatchOp {
+  ObjectId object;
+  std::string factory;
+  Invocation inv;
+};
 
 class TxnManager {
  public:
@@ -205,6 +216,25 @@ class TxnManager {
   StatusOr<Value> Execute(Transaction* txn, const Invocation& inv);
   Status Commit(Transaction* txn);
   Status Abort(Transaction* txn);
+
+  // Executes a whole multi-key batch for `txn` in one call: ops are grouped
+  // by object, every object is resolved in one directory pass (shared-mode
+  // stripe lookups, GetOrCreate through op.factory for lazy keys — kNotFound
+  // when an absent key names no factory), and each object's op-group runs
+  // under a single acquisition of its mutex, objects visited in canonical
+  // (sorted ObjectId) order. Any two batches acquire objects in the same
+  // global order, so batch-vs-batch deadlock is impossible by construction;
+  // within one object the caller's op order is preserved, and cross-object
+  // reordering is effect-equal because object states are independent.
+  // Results land in the ops' original positions. Errors follow Execute's
+  // contract (the caller must abort `txn` on retryable failures).
+  //
+  // Commit of a batch transaction journals ONE multi-object commit record
+  // covering every touched object — one LSN, one frame append, one
+  // group-commit watermark wait — replayed all-or-nothing by Restart,
+  // RestartFromImage, and RestartFromDir.
+  StatusOr<std::vector<Value>> ExecuteBatch(Transaction* txn,
+                                            std::span<const BatchOp> ops);
 
   // Runs `body` in a fresh transaction, committing on success and retrying
   // on retryable failures (with randomized backoff) up to
@@ -321,6 +351,12 @@ class TxnManager {
 
   // Looks up a registered factory; kNotFound names the factory.
   StatusOr<ObjectFactory> FindFactory(const std::string& name) const;
+
+  // Commits a batch-atomic transaction under one multi-object commit
+  // record; returns the highest LSN the transaction must wait on. Falls
+  // back to per-object records when the touched objects' recovery managers
+  // feed different journals.
+  Lsn CommitBatchAtomic(Transaction* txn);
 
   TxnManagerOptions options_;
   HistoryRecorder recorder_;

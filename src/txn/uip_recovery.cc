@@ -46,16 +46,41 @@ Lsn UipRecovery::Commit(TxnId txn) {
     // A read-free transaction has no record: an empty commit record redoes
     // nothing and only bloats the journal and slows replay.
     auto it = pending_ops_.find(txn);
-    if (it != pending_ops_.end() && !it->second.empty()) {
-      lsn = journal_->AppendCommit(txn, std::move(it->second));
+    if (it != pending_ops_.end()) {
+      if (!it->second.empty()) {
+        lsn = journal_->AppendCommit(txn, std::move(it->second));
+      }
+      pending_ops_.erase(it);
     }
-    if (it != pending_ops_.end()) pending_ops_.erase(it);
   }
   // A transaction with no log entries has nothing to fold; remembering it
   // would leak (nothing ever erases it again).
   if (live_counts_.count(txn) > 0) committed_in_log_.insert(txn);
   Checkpoint();
   return lsn;
+}
+
+Lsn UipRecovery::CommitForBatch(TxnId txn, OpSeq* redo) {
+  // Collect phase: hand the redo record to the caller and mark the
+  // transaction committed, but leave the log fold to FinalizeBatchCommit —
+  // the caller sequences the batch's record in between, so the group
+  // commit's sync runs concurrently with the fold.
+  ++stats_.commits;
+  if (journal_ != nullptr) {
+    auto it = pending_ops_.find(txn);
+    if (it != pending_ops_.end()) {
+      redo->insert(redo->end(), std::make_move_iterator(it->second.begin()),
+                   std::make_move_iterator(it->second.end()));
+      pending_ops_.erase(it);
+    }
+  }
+  if (live_counts_.count(txn) > 0) committed_in_log_.insert(txn);
+  return kNoLsn;
+}
+
+void UipRecovery::FinalizeBatchCommit(TxnId txn) {
+  (void)txn;
+  Checkpoint();
 }
 
 void UipRecovery::Checkpoint() {

@@ -51,6 +51,8 @@ class UipRecovery final : public RecoveryManager {
              std::unique_ptr<SpecState> next) override;
   Lsn Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
+  Lsn CommitForBatch(TxnId txn, OpSeq* redo) override;
+  void FinalizeBatchCommit(TxnId txn) override;
   std::unique_ptr<SpecState> CurrentState() const override;
   std::unique_ptr<SpecState> CommittedState() const override;
   void InstallCommittedState(std::unique_ptr<SpecState> state) override;

@@ -20,6 +20,14 @@
 //     race with invariant checks, the fast mode scripts/check.sh and the
 //     sanitizer CI jobs run. Exits non-zero on any violated invariant.
 //
+//  4. --evict — the stress race with a persistent object store attached
+//     and the eviction watermarks set far below the population, so the
+//     watermark sweep, explicit EvictObject calls, store fault-ins, lazy
+//     GetOrCreate on evicted shells, and DropObject all race each other.
+//     Invariants: no unexpected status from any path, directory
+//     accounting balances, and a final full read pass faults every
+//     surviving object back in with its exact committed value.
+//
 // Numbers from this host are recorded in EXPERIMENTS.md (PERF-DIR); the
 // bench prints std::thread::hardware_concurrency so single-core container
 // runs are framed honestly.
@@ -38,6 +46,8 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "store/mem_store.h"
+#include "txn/journal.h"
 #include "txn/object_directory.h"
 #include "txn/txn_manager.h"
 #include "txn/uip_recovery.h"
@@ -315,6 +325,175 @@ void StressSmoke() {
   std::printf("directory stress OK\n");
 }
 
+// Eviction stress: the create/drop/lookup/execute race with a persistent
+// store attached and the cache capped at 1/8 of the population, so the
+// watermark sweep and explicit evictions race everything else. The id
+// space is split: the lower half is inc-only (per-object ground truth —
+// a single lost update fails the final read pass), the upper half churns
+// through create/drop/revive with liveness-only invariants. The journal
+// is volatile, so every commit sequences at kNoLsn — exactly the regime
+// where eviction's raced-commit detection cannot lean on LSNs.
+void EvictStress() {
+  constexpr size_t kObjects = 20000;
+  constexpr size_t kStable = kObjects / 2;  // ids [0, kStable): never dropped
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 12500;
+
+  TxnManagerOptions options;
+  options.record_history = false;
+  options.evict_high_watermark = kObjects / 8;
+  options.evict_low_watermark = (kObjects / 8) * 3 / 4;
+  TxnManager manager(options);
+  bench::RegisterCounterFactory(&manager, bench::EngineConfig::kUipNrbc);
+  MemObjectStore store;
+  manager.set_object_store(&store);
+  Journal journal;
+  manager.set_lifecycle_journal(&journal);
+  for (size_t i = 0; i < kObjects; ++i) {
+    CCR_CHECK(manager.GetOrCreate(IdFor(i), bench::kCounterFactoryName).ok());
+  }
+
+  std::vector<std::atomic<uint64_t>> expected(kStable);
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> not_found{0};
+  std::atomic<uint64_t> creates{0};
+  std::atomic<uint64_t> drops{0};
+  std::atomic<uint64_t> evicts{0};
+  std::atomic<uint64_t> evict_refusals{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      Random rng(9000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t roll = rng.Uniform(100);
+        if (roll < 60) {
+          // Ground-truth increment on the stable half; faults evicted
+          // shells back in under contention.
+          const size_t oi = rng.Uniform(kStable);
+          const std::shared_ptr<Transaction> txn = manager.Begin();
+          const StatusOr<Value> r = manager.Execute(
+              txn.get(),
+              Invocation(IdFor(oi), Counter::kInc, "inc",
+                         {Value(int64_t{1})}));
+          if (r.ok() && manager.Commit(txn.get()).ok()) {
+            expected[oi].fetch_add(1, std::memory_order_relaxed);
+            ++commits;
+          } else {
+            if (!r.ok()) (void)manager.Abort(txn.get());
+            ++failures;
+          }
+        } else if (roll < 75) {
+          // Churn-half increment; the id may be mid-drop.
+          const std::string id = IdFor(kStable + rng.Uniform(kStable));
+          const std::shared_ptr<Transaction> txn = manager.Begin();
+          const StatusOr<Value> r = manager.Execute(
+              txn.get(),
+              Invocation(id, Counter::kInc, "inc", {Value(int64_t{1})}));
+          if (r.ok()) {
+            if (manager.Commit(txn.get()).ok()) {
+              ++commits;
+            } else {
+              ++failures;
+            }
+          } else {
+            (void)manager.Abort(txn.get());
+            if (r.status().code() == StatusCode::kNotFound) {
+              ++not_found;
+            } else {
+              ++failures;
+            }
+          }
+        } else if (roll < 83) {
+          // Revive or touch a churn id — on an evicted shell this must
+          // return the shell, not a fresh incarnation.
+          const std::string id = IdFor(kStable + rng.Uniform(kStable));
+          if (manager.GetOrCreate(id, bench::kCounterFactoryName).ok()) {
+            ++creates;
+          } else {
+            ++failures;
+          }
+        } else if (roll < 90) {
+          const std::string id = IdFor(kStable + rng.Uniform(kStable));
+          const Status status = manager.DropObject(id);
+          if (status.ok()) {
+            ++drops;
+          } else if (status.code() != StatusCode::kIllegalState &&
+                     status.code() != StatusCode::kNotFound) {
+            ++failures;
+          }
+        } else {
+          // Explicit eviction racing everything above. Busy objects,
+          // already-evicted shells, and raced drops all refuse cleanly.
+          const std::string id = IdFor(rng.Uniform(kObjects));
+          const Status status = manager.EvictObject(id);
+          if (status.ok()) {
+            ++evicts;
+          } else if (status.code() == StatusCode::kIllegalState ||
+                     status.code() == StatusCode::kNotFound) {
+            ++evict_refusals;
+          } else {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  CCR_CHECK_MSG(failures.load() == 0, "%llu unexpected failures",
+                static_cast<unsigned long long>(failures.load()));
+  const DirectoryStats stats = manager.directory_stats();
+  CCR_CHECK_MSG(stats.creates - stats.drops == stats.live_objects,
+                "creates(%llu) - drops(%llu) != live(%zu)",
+                static_cast<unsigned long long>(stats.creates),
+                static_cast<unsigned long long>(stats.drops),
+                stats.live_objects);
+  CCR_CHECK_MSG(manager.resident_objects() <= stats.live_objects,
+                "resident(%zu) exceeds live(%zu)", manager.resident_objects(),
+                stats.live_objects);
+  // The lost-update audit: fault every stable object back in and compare
+  // against the committed ground truth.
+  for (size_t i = 0; i < kStable; ++i) {
+    const std::shared_ptr<Transaction> txn = manager.Begin();
+    const StatusOr<Value> v = manager.Execute(
+        txn.get(), Invocation(IdFor(i), Counter::kRead, "read", {}));
+    CCR_CHECK_MSG(v.ok(), "read of %s failed: %s", IdFor(i).c_str(),
+                  v.status().ToString().c_str());
+    CCR_CHECK(manager.Commit(txn.get()).ok());
+    CCR_CHECK_MSG(v->AsInt() == static_cast<int64_t>(
+                                    expected[i].load(std::memory_order_relaxed)),
+                  "%s read %lld, committed ground truth %llu — an eviction "
+                  "or fault-in lost an update",
+                  IdFor(i).c_str(), static_cast<long long>(v->AsInt()),
+                  static_cast<unsigned long long>(
+                      expected[i].load(std::memory_order_relaxed)));
+  }
+
+  const ObjectStats object_stats = manager.AggregateObjectStats();
+  const ObjectStoreStats store_stats = store.stats();
+  std::printf(
+      "evict stress: %llu commits, %llu not-found, %llu revives, %llu "
+      "drops, %llu explicit evicts (%llu refusals)\n",
+      static_cast<unsigned long long>(commits.load()),
+      static_cast<unsigned long long>(not_found.load()),
+      static_cast<unsigned long long>(creates.load()),
+      static_cast<unsigned long long>(drops.load()),
+      static_cast<unsigned long long>(evicts.load()),
+      static_cast<unsigned long long>(evict_refusals.load()));
+  std::printf(
+      "  %llu evictions, %llu fault-ins, %zu resident / %zu evicted at "
+      "end, %llu store puts, %llu store gets\n",
+      static_cast<unsigned long long>(object_stats.evictions),
+      static_cast<unsigned long long>(object_stats.fault_ins),
+      manager.resident_objects(), manager.evicted_objects(),
+      static_cast<unsigned long long>(store_stats.puts),
+      static_cast<unsigned long long>(store_stats.gets));
+  std::printf("  %s\n", bench::DirectoryStatsLine(stats).c_str());
+  std::printf("eviction stress OK\n");
+}
+
 }  // namespace
 }  // namespace ccr
 
@@ -322,15 +501,25 @@ int main(int argc, char** argv) {
   using namespace ccr;
   bool smoke = false;
   bool stress = false;
+  bool evict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stress-smoke") == 0) {
       stress = true;
+    } else if (std::strcmp(argv[i], "--evict") == 0) {
+      evict = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
+  }
+  if (evict) {
+    std::printf(
+        "PERF-DIR evict: create/drop/execute race under eviction "
+        "watermarks\n\n");
+    EvictStress();
+    return 0;
   }
   if (stress) {
     std::printf("PERF-DIR stress: 100k-object create/drop/lookup race\n\n");

@@ -30,6 +30,13 @@ echo "==> batch smoke: record economy + multi-object crash audit (bench_batch)"
 cmake --build --preset default -j "${JOBS}" --target bench_batch
 ./build/bench/bench_batch --smoke
 
+echo "==> eviction stress: cache-pressure create/drop/evict race (bench_directory --evict)"
+./build/bench/bench_directory --evict
+
+echo "==> store smoke: eviction sweep + restart arms + store crash sweep (bench_store)"
+cmake --build --preset default -j "${JOBS}" --target bench_store
+./build/bench/bench_store --smoke
+
 if [[ "${FAST}" == 1 ]]; then
   echo "==> --fast: skipping sanitizer crash suites"
   exit 0
@@ -46,6 +53,11 @@ for san in asan tsan; do
   echo "==> batch smoke under ${san}"
   cmake --build --preset "${san}" -j "${JOBS}" --target bench_batch
   "./build-${san}/bench/bench_batch" --smoke
+  echo "==> eviction stress under ${san}"
+  "./build-${san}/bench/bench_directory" --evict
+  echo "==> store smoke under ${san}"
+  cmake --build --preset "${san}" -j "${JOBS}" --target bench_store
+  "./build-${san}/bench/bench_store" --smoke
 done
 
 echo "==> all checks passed"

@@ -57,7 +57,12 @@ std::vector<std::string_view> SplitTokens(std::string_view encoded) {
 namespace {
 
 bool NeedsEscape(char c) {
-  return c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t';
+  // Escape the escape char itself, every control byte (NUL through 0x1f —
+  // a raw NUL would truncate any later c_str()-based formatting, and \n
+  // would break the one-state-per-line checkpoint format), space (the
+  // token separator), and DEL. High bytes (UTF-8) pass through raw.
+  const unsigned char u = static_cast<unsigned char>(c);
+  return c == '%' || u <= 0x20 || u == 0x7f;
 }
 
 int HexDigit(char c) {

@@ -31,8 +31,10 @@ std::vector<std::string_view> SplitTokens(std::string_view encoded);
 
 StatusOr<int64_t> ParseInt64Token(std::string_view token);
 
-// Percent-escapes a raw byte string into a single space-free, newline-free
-// token (used for KV keys). Empty strings encode to "%".
+// Percent-escapes a raw byte string into a single space-free, newline-free,
+// control-byte-free token (used for KV keys). Empty strings encode to the
+// sentinel "%"; NUL and other control bytes become %hh escapes so tokens
+// survive c_str()-based formatting and the one-line-per-state file format.
 std::string EscapeToken(std::string_view raw);
 StatusOr<std::string> UnescapeToken(std::string_view token);
 

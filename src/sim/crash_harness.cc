@@ -13,6 +13,7 @@
 #endif
 
 #include "common/string_util.h"
+#include "store/log_store.h"
 #include "txn/checkpoint.h"
 
 namespace ccr {
@@ -376,6 +377,182 @@ CheckpointCrashResult RunCheckpointCrashScenario(
   // the directory holds; it must land on exactly the appended prefix.
   TxnManager restarted;
   factory(&restarted);
+  StatusOr<RestartSummary> summary = restarted.RestartFromDir(
+      dir.path(), RestartOptions{options.replay_threads});
+  if (!summary.ok()) {
+    result.status = summary.status();
+    return result;
+  }
+  result.summary = *summary;
+  result.recovered_all_appended =
+      result.summary.high_lsn == static_cast<Lsn>(result.records_appended);
+
+  const std::vector<Journal::Entry> prefix(
+      entries.begin(),
+      entries.begin() + static_cast<ptrdiff_t>(result.records_appended));
+  result.state_matches_prefix = AuditStateAgainstPrefix(&restarted, prefix);
+  return result;
+}
+
+StoreCrashResult RunStoreCrashScenario(const SystemFactory& factory,
+                                       const TxnBody& body,
+                                       const StoreCrashOptions& options) {
+  StoreCrashResult result;
+
+  // Phase 1 — ground truth (same as the checkpoint scenario): the workload
+  // runs against a volatile journal to fix the commit-record sequence.
+  TxnManager workload_manager;
+  factory(&workload_manager);
+  Journal journal;
+  workload_manager.set_lifecycle_journal(&journal);
+  for (AtomicObject* obj : workload_manager.objects()) {
+    obj->recovery().set_journal(&journal);
+  }
+  RunWorkload(&workload_manager, body, options.driver);
+  const std::vector<Journal::Entry> entries = journal.Entries();
+  result.records_total = entries.size();
+
+  // Phase 2 — the durable run, now with the store in the loop. The journal
+  // sink, the checkpointer, and the log-structured store share one
+  // CrashPoints: wherever the armed point lives, once it fires every later
+  // append, checkpoint, store batch, and compaction fails — the machine is
+  // dead.
+  ScopedTempDir dir;
+  if (dir.path().empty()) {
+    result.status = Status::Internal("cannot create scenario temp dir");
+    return result;
+  }
+  CrashPoints crash;
+  SegmentedSinkOptions sink_options;
+  sink_options.max_segment_bytes = options.max_segment_bytes;
+  sink_options.crash = &crash;
+  StatusOr<std::unique_ptr<SegmentedFileSink>> sink =
+      SegmentedFileSink::Open(dir.path(), 1, sink_options);
+  if (!sink.ok()) {
+    result.status = sink.status();
+    return result;
+  }
+  LogStoreOptions store_options;
+  store_options.max_segment_bytes = options.store_segment_bytes;
+  store_options.crash = &crash;
+  StatusOr<std::unique_ptr<LogStructuredStore>> store =
+      LogStructuredStore::Open(dir.path(), store_options);
+  if (!store.ok()) {
+    result.status = store.status();
+    return result;
+  }
+  // Armed only now: the initial segment creations above belong to setup
+  // (mirroring the journal sink, whose Open also bypasses crash points);
+  // rotation points fire at the first mid-run rotation instead.
+  if (!options.crash_point.empty()) crash.Arm(options.crash_point);
+  TxnManager replica;
+  factory(&replica);
+  replica.set_object_store(store->get());
+  CheckpointerOptions ckpt_options;
+  ckpt_options.crash = &crash;
+  ckpt_options.store = store->get();
+  ckpt_options.also_write_file = options.also_write_file;
+  Checkpointer checkpointer(dir.path(), ckpt_options);
+  const size_t every = options.checkpoint_every > 0
+                           ? options.checkpoint_every
+                           : std::max<size_t>(1, entries.size() / 3);
+  size_t evict_cursor = 0;
+  bool dead = false;
+  for (size_t i = 0; i < entries.size() && !dead; ++i) {
+    const Lsn lsn = static_cast<Lsn>(i) + 1;
+    const Status append = (*sink)->Append(EncodeEntryRecord(entries[i]));
+    if (!append.ok()) {
+      if (!crash.dead()) result.status = append;
+      break;
+    }
+    ++result.records_appended;
+    const Status sync = (*sink)->Sync();
+    if (sync.ok()) ++result.acked_records;
+    // Mirror-apply even an unacked record — the replica is volatile state
+    // of the dying machine. An evicted object faults back in here, which
+    // Gets from the store; after the crash fired that Get fails too, which
+    // is fine — recovery only ever reads the disk, not the replica.
+    const Status mirror = MirrorApply(&replica, entries[i], lsn);
+    if (!mirror.ok()) {
+      if (!crash.dead()) result.status = mirror;
+      break;
+    }
+    if (!sync.ok()) {
+      if (!crash.dead()) result.status = sync;
+      break;
+    }
+    // Eviction pass: push one quiescent object's state out to the store
+    // (buffered Put — the next checkpoint sync hardens it). Round-robin so
+    // later mirror-applies fault evicted objects back in.
+    if (options.evict_every > 0 && (i + 1) % options.evict_every == 0) {
+      const std::vector<AtomicObject*> objects = replica.objects();
+      for (size_t probe = 0; probe < objects.size(); ++probe) {
+        AtomicObject* victim = objects[(evict_cursor + probe) %
+                                       objects.size()];
+        if (victim->evicted()) continue;
+        const size_t before = replica.evicted_objects();
+        const Status evict = replica.EvictObject(victim->id());
+        if (!evict.ok() && crash.dead()) {
+          dead = true;
+          break;
+        }
+        if (evict.ok() && replica.evicted_objects() > before) {
+          ++result.evictions;
+          evict_cursor = (evict_cursor + probe + 1) % objects.size();
+          break;
+        }
+        // Raced / not evictable: try the next candidate.
+      }
+      if (dead) break;
+    }
+    if ((i + 1) % every == 0) {
+      // Maintenance pass: store-backed checkpoint (one synced batch of
+      // resident Puts + the meta key — the sync also hardens earlier
+      // buffered eviction Puts), then truncation keyed to the now-durable
+      // anchor, then a forced compaction of the store's oldest segment.
+      const StatusOr<Lsn> written = checkpointer.Write(&replica, lsn);
+      if (written.ok()) {
+        ++result.checkpoints_written;
+        const size_t before = (*sink)->segment_count();
+        const Status trunc = (*sink)->TruncateBelow(*written);
+        if (trunc.ok()) {
+          if ((*sink)->segment_count() < before) ++result.truncations;
+        } else if (!crash.dead()) {
+          result.status = trunc;
+          break;
+        }
+        const Status compact = (*store)->CompactNow();
+        if (!compact.ok() && !crash.dead()) {
+          result.status = compact;
+          break;
+        }
+      } else if (!crash.dead()) {
+        result.status = written.status();
+        break;
+      }
+      if (crash.dead()) break;
+    }
+  }
+  result.crash_fired = crash.fired();
+  result.store_compactions = (*store)->stats().compactions;
+  // The crash destroys the machine: close the dying store's descriptors
+  // before recovery opens the surviving segments fresh.
+  store->reset();
+  if (!result.status.ok()) return result;
+
+  // Phase 3 — recovery and audit. A fresh system with a freshly opened
+  // store restarts from whatever the directory holds (store images + meta,
+  // checkpoint files if any, journal tail) and must land on exactly the
+  // appended prefix.
+  StatusOr<std::unique_ptr<LogStructuredStore>> reopened =
+      LogStructuredStore::Open(dir.path(), LogStoreOptions{});
+  if (!reopened.ok()) {
+    result.status = reopened.status();
+    return result;
+  }
+  TxnManager restarted;
+  factory(&restarted);
+  restarted.set_object_store(reopened->get());
   StatusOr<RestartSummary> summary = restarted.RestartFromDir(
       dir.path(), RestartOptions{options.replay_threads});
   if (!summary.ok()) {

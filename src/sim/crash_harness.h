@@ -145,6 +145,74 @@ CheckpointCrashResult RunCheckpointCrashScenario(
     const SystemFactory& factory, const TxnBody& body,
     const CheckpointCrashOptions& options);
 
+// ---------------------------------------------------------------------------
+// Store-backend crash scenario: RunCheckpointCrashScenario with the
+// persistent object store in the loop. Same three phases (ground-truth
+// workload, durable replay with maintenance, restart + audit), but the
+// replica manager runs with a LogStructuredStore attached: maintenance
+// passes evict cold objects (their state then lives only in the store and
+// later mirror-applies fault it back in), checkpoints publish as store
+// batches (no monolithic file unless also_write_file), truncation keys off
+// the durable store meta anchor, and each pass force-compacts the store's
+// oldest segment. One named crash point — the store.* family
+// (store/log_store.h) as well as the journal/checkpoint points — is armed
+// on a CrashPoints shared by the journal sink, the checkpointer, and the
+// store, so once it fires the whole simulated machine is dead. Restart
+// opens a fresh store over the surviving segments and recovers through the
+// store-preferring RestartFromDir. Audits are the checkpoint scenario's:
+//
+//   1. recovery lands on exactly the appended prefix — in particular,
+//      0 acked-but-lost records at every store crash point;
+//   2. every recovered object's state equals the spec-level replay of
+//      that prefix (evicted images, checkpoint batches, and the journal
+//      tail agree).
+// ---------------------------------------------------------------------------
+
+struct StoreCrashOptions {
+  DriverOptions driver;
+  // Journal segment size (small so truncation actually happens).
+  uint64_t max_segment_bytes = 512;
+  // Store segment size (small so eviction/checkpoint batches rotate
+  // segments and compaction has a victim).
+  uint64_t store_segment_bytes = 2048;
+  // Records between maintenance passes (checkpoint + truncate + compact);
+  // 0 picks roughly thirds of the run.
+  size_t checkpoint_every = 0;
+  // Records between eviction passes (one object evicted round-robin per
+  // pass); 0 disables eviction.
+  size_t evict_every = 4;
+  // Named crash point to arm (store.*, rot.*, trunc.*, ckpt.*); empty =
+  // no crash.
+  std::string crash_point;
+  int replay_threads = 1;
+  // Also write monolithic checkpoint files next to the store batches.
+  bool also_write_file = false;
+};
+
+struct StoreCrashResult {
+  size_t records_total = 0;     // ground-truth records the workload produced
+  size_t records_appended = 0;  // prefix that reached the journal before death
+  size_t acked_records = 0;     // append + sync both returned OK
+  bool crash_fired = false;     // the armed point was actually reached
+  size_t checkpoints_written = 0;
+  size_t truncations = 0;       // maintenance passes that removed segments
+  size_t evictions = 0;         // objects actually evicted to the store
+  uint64_t store_compactions = 0;  // store segment rewrites completed
+  Status status;                // restart outcome
+  RestartSummary summary;
+  bool recovered_all_appended = false;  // audit (1) above
+  bool state_matches_prefix = false;    // audit (2) above
+
+  bool ok() const {
+    return status.ok() && recovered_all_appended && state_matches_prefix &&
+           acked_records <= records_appended;
+  }
+};
+
+StoreCrashResult RunStoreCrashScenario(const SystemFactory& factory,
+                                       const TxnBody& body,
+                                       const StoreCrashOptions& options);
+
 }  // namespace ccr
 
 #endif  // CCR_SIM_CRASH_HARNESS_H_

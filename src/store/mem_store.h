@@ -1,0 +1,59 @@
+// Copyright 2026 The ccr Authors.
+//
+// MemObjectStore: the in-memory ObjectStore mock for tests and fault
+// injection. Same atomic-batch contract as the real backend, plus two
+// injection surfaces:
+//
+//   * a shared CrashPoints set (the same store.* names the log-structured
+//     backend fires), so eviction/checkpoint code paths can be crashed at
+//     the store boundary without touching a disk;
+//   * countdown failure injection (FailNextBatches / FailNextGets), for
+//     plain error-path tests where the store should stay alive.
+//
+// "Dying" at a crash point follows the CrashPoints contract: the first
+// armed hit and every call after it fail kUnavailable, like a process
+// that stopped mid-operation.
+
+#ifndef CCR_STORE_MEM_STORE_H_
+#define CCR_STORE_MEM_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "store/object_store.h"
+#include "txn/journal_io.h"
+
+namespace ccr {
+
+class MemObjectStore : public ObjectStore {
+ public:
+  // `crash` (optional, not owned) must outlive the store.
+  explicit MemObjectStore(CrashPoints* crash = nullptr) : crash_(crash) {}
+
+  Status ApplyBatch(const StoreWriteBatch& batch,
+                    Durability durability) override;
+  StatusOr<std::string> Get(const std::string& key) override;
+  Status Scan(const std::function<Status(const std::string&,
+                                         const std::string&)>& fn) override;
+  ObjectStoreStats stats() const override;
+
+  // The next `n` ApplyBatch / Get calls fail kUnavailable without
+  // touching the map (batches are not applied at all — still atomic).
+  void FailNextBatches(int n);
+  void FailNextGets(int n);
+
+  size_t size() const;
+
+ private:
+  CrashPoints* const crash_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> map_;
+  ObjectStoreStats stats_;
+  int fail_batches_ = 0;
+  int fail_gets_ = 0;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_STORE_MEM_STORE_H_

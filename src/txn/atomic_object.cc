@@ -104,12 +104,14 @@ StatusOr<Value> AtomicObject::Execute(Transaction* txn,
   txn->Touch(this);
   if (recorder_ != nullptr) recorder_->Record(Event::Invoke(txn->id(), inv));
 
+  referenced_.store(true, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lk(mu_);
   if (dropped_) {
     // The caller's directory lookup raced a Drop: the pointer is still
     // valid (graveyard), the object is gone. No lock was acquired here.
     return Status::NotFound("object " + id_ + " was dropped");
   }
+  CCR_RETURN_IF_ERROR(FaultInLocked());
   Waiter waiter(txn->id());
   bool enqueued = false;
   const auto enqueue_time = std::chrono::steady_clock::now();
@@ -271,10 +273,12 @@ Status AtomicObject::ExecuteGroup(Transaction* txn,
   txn->Touch(this);
   out->reserve(invs.size());
 
+  referenced_.store(true, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lk(mu_);
   if (dropped_) {
     return Status::NotFound("object " + id_ + " was dropped");
   }
+  CCR_RETURN_IF_ERROR(FaultInLocked());
   Waiter waiter(txn->id());
   for (const Invocation* inv : invs) {
     // Invoke is recorded under mu_ here (Execute records it before taking
@@ -315,6 +319,7 @@ Lsn AtomicObject::CommitBatchedLocked(TxnId txn, OpSeq* redo) {
   // one for the whole transaction after the batch unlocks).
   const Lsn fallback = recovery_->CommitForBatch(txn, redo);
   if (fallback != kNoLsn) last_lsn_ = fallback;
+  ++commit_tick_;
   held_.erase(txn);
   if (recorder_ != nullptr) recorder_->Record(Event::Commit(txn, id_));
   WakeOnFinishLocked(txn);
@@ -339,6 +344,7 @@ Lsn AtomicObject::Commit(TxnId txn) {
     // during the sync instead of behind it.
     lsn = recovery_->Commit(txn);
     if (lsn != kNoLsn) last_lsn_ = lsn;
+    ++commit_tick_;
     held_.erase(txn);
     // Recorded under mu_ so the object-local event order matches effect
     // order — dynamic atomicity is a local property (Lemma 1), so per-object
@@ -363,6 +369,7 @@ void AtomicObject::Abort(TxnId txn) {
 
 Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops, Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
+  CCR_RETURN_IF_ERROR(FaultInLocked());
   for (const Operation& op : ops) {
     std::vector<Outcome> outcomes = recovery_->Candidates(txn, op.inv());
     bool applied = false;
@@ -380,11 +387,13 @@ Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops, Lsn lsn) {
   }
   recovery_->Commit(txn);
   if (lsn != kNoLsn && lsn > last_lsn_) last_lsn_ = lsn;
+  ++commit_tick_;
   return Status::OK();
 }
 
-std::unique_ptr<SpecState> AtomicObject::CommittedState() const {
+std::unique_ptr<SpecState> AtomicObject::CommittedState() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!FaultInLocked().ok()) return nullptr;
   return recovery_->CommittedState();
 }
 
@@ -394,9 +403,90 @@ AtomicObject::CheckpointSnapshot AtomicObject::SnapshotForCheckpoint() const {
   // records under: every record with lsn <= last_lsn_ is in this state,
   // every later one is not — the exact page-LSN pairing fuzzy replay needs.
   CheckpointSnapshot snap;
-  snap.state = recovery_->CommittedState();
+  // Evicted: the state lives in the store, installed there under this same
+  // mutex and frozen while evicted — report a null state and let the
+  // checkpoint reuse the store image instead of paying a fault-in.
+  if (!evicted_) snap.state = recovery_->CommittedState();
   snap.lsn = last_lsn_;
   return snap;
+}
+
+Status AtomicObject::FaultInLocked() {
+  if (!evicted_) return Status::OK();
+  if (!store_fault_) {
+    return Status::IllegalState("object " + id_ +
+                                " is evicted and no store fault handler "
+                                "is wired");
+  }
+  StatusOr<std::pair<std::string, Lsn>> image = store_fault_();
+  if (!image.ok()) return image.status();
+  if (image->second != last_lsn_) {
+    return Status::Internal(StrFormat(
+        "store image of %s is at lsn %llu but the object evicted at %llu",
+        id_.c_str(), static_cast<unsigned long long>(image->second),
+        static_cast<unsigned long long>(last_lsn_)));
+  }
+  StatusOr<std::unique_ptr<SpecState>> state = adt_->DecodeState(image->first);
+  if (!state.ok()) return state.status();
+  recovery_->InstallCommittedState(std::move(*state));
+  evicted_ = false;
+  ++stats_.fault_ins;
+  if (evicted_counter_ != nullptr) {
+    evicted_counter_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+StatusOr<AtomicObject::EvictTicket> AtomicObject::BeginEvict() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dropped_) {
+    return Status::IllegalState("cannot evict dropped object " + id_);
+  }
+  if (evicted_) {
+    return Status::IllegalState("object " + id_ + " is already evicted");
+  }
+  if (!held_.empty() || !queue_.empty()) {
+    return Status::IllegalState(StrFormat(
+        "cannot evict %s: %zu transaction(s) hold operation locks and %zu "
+        "wait here",
+        id_.c_str(), held_.size(), queue_.size()));
+  }
+  if (!adt_->supports_state_codec()) {
+    return Status::NotSupported("ADT " + adt_->name() +
+                                " has no state codec — not evictable");
+  }
+  EvictTicket ticket;
+  ticket.lsn = last_lsn_;
+  ticket.tick = commit_tick_;
+  ticket.encoded = adt_->EncodeState(*recovery_->CommittedState());
+  return ticket;
+}
+
+bool AtomicObject::FinishEvict(const EvictTicket& ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dropped_ || evicted_ || !held_.empty() || !queue_.empty() ||
+      commit_tick_ != ticket.tick) {
+    // The object moved on between BeginEvict and here (new commit, new
+    // waiter, a drop). The image already written is stale but sound — its
+    // LSN is monotone over any older image — so just abandon the eviction.
+    // The commit tick, not the LSN, is what detects a raced commit: with a
+    // volatile journal every commit sequences at kNoLsn, and an
+    // Execute+Commit completing entirely inside the two-phase gap would
+    // leave the LSN looking untouched.
+    return false;
+  }
+  recovery_->InstallCommittedState(adt_->spec().InitialState());
+  evicted_ = true;
+  ++stats_.evictions;
+  if (evicted_counter_ != nullptr) {
+    evicted_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool AtomicObject::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
 }
 
 void AtomicObject::InstallCheckpoint(std::unique_ptr<SpecState> state,
@@ -404,15 +494,29 @@ void AtomicObject::InstallCheckpoint(std::unique_ptr<SpecState> state,
   std::lock_guard<std::mutex> lock(mu_);
   recovery_->InstallCommittedState(std::move(state));
   last_lsn_ = lsn;
+  ++commit_tick_;
   held_.clear();
+  if (evicted_) {
+    evicted_ = false;
+    if (evicted_counter_ != nullptr) {
+      evicted_counter_->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void AtomicObject::ResetForRecovery() {
   std::lock_guard<std::mutex> lock(mu_);
   recovery_->InstallCommittedState(adt_->spec().InitialState());
   last_lsn_ = kNoLsn;
+  ++commit_tick_;
   held_.clear();
   dropped_ = false;
+  if (evicted_) {
+    evicted_ = false;
+    if (evicted_counter_ != nullptr) {
+      evicted_counter_->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 Status AtomicObject::MarkDropped() {

@@ -23,6 +23,7 @@
 #ifndef CCR_TXN_ATOMIC_OBJECT_H_
 #define CCR_TXN_ATOMIC_OBJECT_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -30,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "common/latency_recorder.h"
 #include "common/random.h"
@@ -77,6 +79,8 @@ struct ObjectStats {
   uint64_t waits = 0;          // times a request actually slept
   uint64_t deadlock_victims = 0;
   uint64_t timeouts = 0;
+  uint64_t evictions = 0;      // state evicted to the persistent store
+  uint64_t fault_ins = 0;      // state faulted back in from the store
   uint64_t wakeups = 0;           // targeted signals delivered to waiters
   uint64_t spurious_wakeups = 0;  // sleeper woke unsignaled before deadline
   uint64_t kill_wakeups = 0;      // direct victim wakeups from Kill
@@ -182,18 +186,83 @@ class AtomicObject {
   Status ReplayCommitted(TxnId txn, const OpSeq& ops, Lsn lsn = kNoLsn);
 
   // Committed-state snapshot, for invariant checks outside any transaction.
-  std::unique_ptr<SpecState> CommittedState() const;
+  // Faults an evicted state back in first (so it needs the fault handler
+  // when the object is evicted — hence non-const).
+  std::unique_ptr<SpecState> CommittedState();
 
   // Fuzzy-checkpoint support. A snapshot pairs the committed state with the
   // LSN of the last commit record sequenced at this object; both are read
   // under the same critical section that sequences commits, so the pair is
   // exact: replaying records with lsn > snapshot.lsn onto snapshot.state
-  // reconstructs any later committed state.
+  // reconstructs any later committed state. For an EVICTED object the
+  // snapshot carries a null state: the store's image (written at eviction
+  // under this same mutex, and unchangeable while the object stays
+  // evicted) is the current state, so the checkpoint reuses it instead of
+  // faulting the object in.
   struct CheckpointSnapshot {
-    std::unique_ptr<SpecState> state;
+    std::unique_ptr<SpecState> state;  // null <=> evicted
     Lsn lsn = kNoLsn;
   };
   CheckpointSnapshot SnapshotForCheckpoint() const;
+
+  // --- Cold-object eviction (TxnManager::EvictObject drives this) ---
+  //
+  // Eviction swaps the object's heavy committed state for its ADT-codec
+  // encoding in the persistent store; the AtomicObject shell itself stays
+  // in the directory (so raced Find pointers stay valid and the directory
+  // needs no unbounded graveyard), and the state is faulted back in on the
+  // next Execute. The protocol is two-phase so no lock is held across the
+  // store write:
+  //
+  //   1. BeginEvict: under mu_, refuse unless quiescent (no operation
+  //      locks, no waiters — the same condition MarkDropped requires, plus
+  //      not dropped/evicted and a state codec); return the encoded state
+  //      and its LSN.
+  //   2. The caller makes the image durable enough (WaitDurable on the
+  //      ticket LSN so the image never reflects records the journal could
+  //      still lose, then the store Put).
+  //   3. FinishEvict: re-checks that nothing moved (still quiescent,
+  //      commit tick unchanged); on success frees the state and marks the
+  //      object evicted. Returns false when the object moved on — the
+  //      written image is then stale but still sound: its LSN is monotone
+  //      over any earlier image, so it covers everything any durable
+  //      checkpoint anchor requires, and the next checkpoint or eviction
+  //      refreshes it.
+  //
+  // The raced-commit check compares the ticket's commit tick, not its
+  // LSN: with a volatile journal (or none) every commit sequences at
+  // kNoLsn, so an Execute+Commit completing entirely inside the two-phase
+  // gap would leave the LSN unchanged and the stale image would silently
+  // swallow the commit. The tick advances on every state-changing commit,
+  // replay, and checkpoint install regardless of journal mode.
+  struct EvictTicket {
+    std::string encoded;
+    Lsn lsn = kNoLsn;
+    uint64_t tick = 0;  // commit_tick_ at capture
+  };
+  StatusOr<EvictTicket> BeginEvict();
+  bool FinishEvict(const EvictTicket& ticket);
+  bool evicted() const;
+
+  // Fault handler: fetches this object's (encoded state, lsn) image from
+  // the store. Called under mu_ on the first touch of an evicted object;
+  // must not reenter this object or take any object/stripe lock.
+  using StoreFaultFn =
+      std::function<StatusOr<std::pair<std::string, Lsn>>()>;
+  void set_store_fault(StoreFaultFn fn) { store_fault_ = std::move(fn); }
+
+  // Manager-wide evicted-shell counter (optional): FinishEvict increments,
+  // fault-in decrements, so the manager's residency sweep reads one atomic
+  // instead of polling every object.
+  void set_evicted_counter(std::atomic<size_t>* counter) {
+    evicted_counter_ = counter;
+  }
+
+  // Second-chance (CLOCK) reference bit for the eviction sweep: Execute
+  // sets it; the sweep clears it and only evicts objects it found clear.
+  bool TestAndClearReferenced() {
+    return referenced_.exchange(false, std::memory_order_relaxed);
+  }
 
   // Restart-only: replaces the committed state with a checkpoint image and
   // primes last_committed_lsn so tail replay skips covered records.
@@ -256,6 +325,10 @@ class AtomicObject {
                               std::unique_lock<std::mutex>& lk,
                               Waiter& waiter, bool& enqueued);
 
+  // Installs the store image over the evicted placeholder; caller holds
+  // mu_. No-op when resident.
+  Status FaultInLocked();
+
   // Appends the transactions (other than `txn`) holding operations that
   // conflict with `candidate` onto `out`. Caller holds mu_.
   void CollectBlockers(TxnId txn, const Operation& candidate,
@@ -278,11 +351,19 @@ class AtomicObject {
   HistoryRecorder::Shard* recorder_ = nullptr;
   DeadlockDetector* detector_ = nullptr;
   std::function<void(TxnId)> kill_fn_;
+  StoreFaultFn store_fault_;
+  std::atomic<size_t>* evicted_counter_ = nullptr;
   std::string factory_name_;  // set before publication, then immutable
+  std::atomic<bool> referenced_{false};  // CLOCK bit for the eviction sweep
 
   mutable std::mutex mu_;
   bool dropped_ = false;         // set by MarkDropped; Execute refuses
+  bool evicted_ = false;         // state lives in the store, not here
   Lsn last_lsn_ = kNoLsn;        // newest commit LSN sequenced here
+  // Monotone count of state-changing events (commits, replays, checkpoint
+  // installs) — FinishEvict's raced-commit detector. LSNs cannot serve
+  // here: a volatile journal sequences every commit at kNoLsn.
+  uint64_t commit_tick_ = 0;
   std::map<TxnId, OpSeq> held_;  // operation locks of active transactions
   std::list<Waiter*> queue_;     // blocked callers, FIFO arrival order
   Random choice_rng_;

@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/adt.h"
@@ -65,20 +67,28 @@ bool CrashFires(CrashPoints* crash, std::string_view point) {
 }  // namespace
 
 std::string EncodeCheckpointPayload(const CheckpointImage& image) {
+  // Built with raw appends, never %s/c_str(): the encoded state is opaque
+  // codec output, and a c_str()-based format truncates it at the first NUL
+  // byte — producing a frame whose CRC is valid but whose payload silently
+  // lost state. (The decoder's getline is NUL-transparent already.)
   std::string out = StrFormat(
       "ckpt %llu %llu\n", static_cast<unsigned long long>(image.anchor),
       static_cast<unsigned long long>(image.max_txn));
   for (const CheckpointImage::ObjectEntry& entry : image.objects) {
     if (entry.factory.empty()) {
-      out += StrFormat("obj %s %llu %s\n", entry.id.c_str(),
-                       static_cast<unsigned long long>(entry.lsn),
-                       entry.encoded.c_str());
+      out += "obj ";
+      out += entry.id;
     } else {
-      out += StrFormat("dyn %s %s %llu %s\n", entry.id.c_str(),
-                       entry.factory.c_str(),
-                       static_cast<unsigned long long>(entry.lsn),
-                       entry.encoded.c_str());
+      out += "dyn ";
+      out += entry.id;
+      out += ' ';
+      out += entry.factory;
     }
+    out += ' ';
+    out += StrFormat("%llu", static_cast<unsigned long long>(entry.lsn));
+    out += ' ';
+    out += entry.encoded;
+    out += '\n';
   }
   return out;
 }
@@ -148,6 +158,99 @@ std::string CheckpointFileName(Lsn anchor) {
                    static_cast<unsigned long long>(anchor));
 }
 
+std::string StoreObjectKey(const ObjectId& id) { return "o:" + id; }
+
+std::string EncodeStoreObjectValue(Lsn lsn, const std::string& factory,
+                                   const std::string& encoded) {
+  // Raw appends for the same NUL-transparency reason as the file payload.
+  std::string out = "img ";
+  out += StrFormat("%llu", static_cast<unsigned long long>(lsn));
+  out += ' ';
+  if (factory.empty()) {
+    out += '-';
+  } else {
+    out += factory;
+  }
+  out += ' ';
+  out += encoded;
+  return out;
+}
+
+StatusOr<CheckpointImage::ObjectEntry> DecodeStoreObjectValue(
+    std::string_view value) {
+  constexpr std::string_view kImgPrefix = "img ";
+  if (value.substr(0, kImgPrefix.size()) != kImgPrefix) {
+    return Status::Internal("store object value missing 'img' header");
+  }
+  size_t pos = kImgPrefix.size();
+  const size_t lsn_end = value.find(' ', pos);
+  if (lsn_end == std::string_view::npos || lsn_end == pos) {
+    return Status::Internal("store object value missing LSN");
+  }
+  const std::string lsn_token(value.substr(pos, lsn_end - pos));
+  if (lsn_token.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::Internal("store object value has bad LSN: " + lsn_token);
+  }
+  CheckpointImage::ObjectEntry entry;
+  entry.lsn = static_cast<Lsn>(std::strtoull(lsn_token.c_str(), nullptr, 10));
+  pos = lsn_end + 1;
+  const size_t factory_end = value.find(' ', pos);
+  if (factory_end == std::string_view::npos || factory_end == pos) {
+    return Status::Internal("store object value missing factory token");
+  }
+  std::string factory(value.substr(pos, factory_end - pos));
+  if (factory != "-") entry.factory = std::move(factory);
+  entry.encoded = std::string(value.substr(factory_end + 1));
+  return entry;
+}
+
+std::string EncodeStoreMetaValue(Lsn anchor, TxnId max_txn) {
+  return StrFormat("meta %llu %llu", static_cast<unsigned long long>(anchor),
+                   static_cast<unsigned long long>(max_txn));
+}
+
+Status DecodeStoreMetaValue(std::string_view value, CheckpointImage* image) {
+  unsigned long long anchor = 0, max_txn = 0;
+  char trailing = 0;
+  if (std::sscanf(std::string(value).c_str(), "meta %llu %llu%c", &anchor,
+                  &max_txn, &trailing) != 2) {
+    return Status::Internal(
+        "store meta value must be 'meta <anchor> <max_txn>'");
+  }
+  image->anchor = static_cast<Lsn>(anchor);
+  image->max_txn = static_cast<TxnId>(max_txn);
+  return Status::OK();
+}
+
+StatusOr<CheckpointImage> LoadCheckpointFromStore(ObjectStore* store) {
+  CCR_CHECK(store != nullptr);
+  CheckpointImage image;
+  bool have_meta = false;
+  CCR_RETURN_IF_ERROR(store->Scan(
+      [&](const std::string& key, const std::string& value) -> Status {
+        if (key == kStoreMetaKey) {
+          CCR_RETURN_IF_ERROR(DecodeStoreMetaValue(value, &image));
+          have_meta = true;
+          return Status::OK();
+        }
+        if (key.size() <= 2 || key.rfind("o:", 0) != 0) {
+          return Status::Internal(
+              StrFormat("unrecognized store key '%s'", key.c_str()));
+        }
+        StatusOr<CheckpointImage::ObjectEntry> entry =
+            DecodeStoreObjectValue(value);
+        if (!entry.ok()) return entry.status();
+        entry->id = key.substr(2);
+        image.objects.push_back(std::move(*entry));
+        return Status::OK();
+      }));
+  // Object images without a durable meta anchor are only a cache (eviction
+  // may run before the first checkpoint): the journal stays authoritative,
+  // so report "no checkpoint" and let the caller replay in full.
+  if (!have_meta) return CheckpointImage{};
+  return image;
+}
+
 Checkpointer::Checkpointer(std::string dir, CheckpointerOptions options)
     : dir_(std::move(dir)), options_(options) {
   CCR_CHECK(options_.keep >= 1);
@@ -162,6 +265,12 @@ StatusOr<Lsn> Checkpointer::Write(TxnManager* manager, Lsn anchor) {
   CheckpointImage image;
   image.anchor = anchor;
   image.max_txn = manager->max_assigned_txn();
+  // resident[i]: image.objects[i] carries freshly snapshotted state. An
+  // evicted object contributes an entry with no state — its store image is
+  // current by construction (eviction wrote it under the object mutex after
+  // its LSN became durable, and the state is frozen while evicted), so the
+  // store path skips its Put and the file path reads the bytes back.
+  std::vector<bool> resident;
   for (AtomicObject* obj : manager->objects()) {
     if (!obj->adt().supports_state_codec()) {
       return Status::NotSupported(StrFormat(
@@ -178,17 +287,90 @@ StatusOr<Lsn> Checkpointer::Write(TxnManager* manager, Lsn anchor) {
           "factory name '%s' contains whitespace — not checkpointable",
           obj->factory_name().c_str()));
     }
+    if (options_.store != nullptr && obj->factory_name() == "-") {
+      return Status::InvalidArgument(
+          "factory name '-' collides with the store codec's empty-factory "
+          "sentinel — not checkpointable to a store");
+    }
     AtomicObject::CheckpointSnapshot snap = obj->SnapshotForCheckpoint();
     CheckpointImage::ObjectEntry entry;
     entry.id = obj->id();
     entry.factory = obj->factory_name();
     entry.lsn = snap.lsn;
-    entry.encoded = obj->adt().EncodeState(*snap.state);
-    if (entry.encoded.find('\n') != std::string::npos) {
-      return Status::Internal(StrFormat(
-          "ADT %s state codec produced a newline", obj->adt().name().c_str()));
+    if (snap.state == nullptr) {
+      if (options_.store == nullptr) {
+        return Status::IllegalState(StrFormat(
+            "object %s is evicted but no object store is attached",
+            obj->id().c_str()));
+      }
+      resident.push_back(false);
+    } else {
+      entry.encoded = obj->adt().EncodeState(*snap.state);
+      if (entry.encoded.find('\n') != std::string::npos) {
+        return Status::Internal(StrFormat(
+            "ADT %s state codec produced a newline",
+            obj->adt().name().c_str()));
+      }
+      resident.push_back(true);
     }
     image.objects.push_back(std::move(entry));
+  }
+
+  if (options_.store != nullptr) {
+    {
+      // The manager's store mutex serializes this batch against eviction
+      // Puts and drop Deletes. The per-Put liveness recheck closes the
+      // resurrection race: a drop that raced the snapshot walk has already
+      // retired its object from the directory, and its key Delete runs
+      // under this same mutex — re-Putting the snapshotted image would
+      // recreate the key after journal truncation discards the drop record.
+      std::lock_guard<std::mutex> lock(manager->store_mutex());
+      StoreWriteBatch batch;
+      for (size_t i = 0; i < image.objects.size(); ++i) {
+        if (!resident[i]) continue;
+        const CheckpointImage::ObjectEntry& entry = image.objects[i];
+        if (manager->object(entry.id) == nullptr) continue;
+        batch.Put(StoreObjectKey(entry.id),
+                  EncodeStoreObjectValue(entry.lsn, entry.factory,
+                                         entry.encoded));
+      }
+      batch.Put(std::string(kStoreMetaKey),
+                EncodeStoreMetaValue(anchor, image.max_txn));
+      // The sync that lands the meta key is the durability point; by the
+      // store's append-order property it also hardens every earlier
+      // buffered eviction Put and drop Delete.
+      CCR_RETURN_IF_ERROR(options_.store->ApplyBatch(
+          batch, ObjectStore::Durability::kSync));
+    }
+    if (!options_.also_write_file) return anchor;
+    // Complete the monolithic file: evicted objects' bytes come back from
+    // the store. A key deleted meanwhile means the object was dropped —
+    // its entry simply leaves the file image (the tail's drop record
+    // handles replay either way). A newer image (fault-in, mutate,
+    // re-evict) is fine: the decoded (lsn, state) pair is taken together,
+    // which is exactly the fuzzy-snapshot contract.
+    std::vector<CheckpointImage::ObjectEntry> kept;
+    kept.reserve(image.objects.size());
+    for (size_t i = 0; i < image.objects.size(); ++i) {
+      if (resident[i]) {
+        kept.push_back(std::move(image.objects[i]));
+        continue;
+      }
+      StatusOr<std::string> value =
+          options_.store->Get(StoreObjectKey(image.objects[i].id));
+      if (!value.ok()) {
+        if (value.status().code() == StatusCode::kNotFound) continue;
+        return value.status();
+      }
+      StatusOr<CheckpointImage::ObjectEntry> decoded =
+          DecodeStoreObjectValue(*value);
+      if (!decoded.ok()) return decoded.status();
+      CheckpointImage::ObjectEntry entry = std::move(image.objects[i]);
+      entry.lsn = decoded->lsn;
+      entry.encoded = std::move(decoded->encoded);
+      kept.push_back(std::move(entry));
+    }
+    image.objects = std::move(kept);
   }
   const std::string framed = FrameBlob(EncodeCheckpointPayload(image));
 
@@ -239,16 +421,28 @@ StatusOr<Lsn> Checkpointer::Write(TxnManager* manager, Lsn anchor) {
   StatusOr<std::vector<std::pair<Lsn, std::string>>> checkpoints =
       ListCheckpoints(dir_);
   if (!checkpoints.ok()) return checkpoints.status();
+  // Best-effort across the whole retention list: one unremovable image must
+  // not shield older ones from collection, and any successful removal still
+  // gets the directory sync that makes it durable. The first error is
+  // reported after the sweep completes.
+  Status gc_error = Status::OK();
   bool removed = false;
   for (size_t i = options_.keep; i < checkpoints->size(); ++i) {
     if (std::remove((*checkpoints)[i].second.c_str()) != 0) {
-      return Status::Internal(
-          StrFormat("cannot remove old checkpoint %s: %s",
-                    (*checkpoints)[i].second.c_str(), std::strerror(errno)));
+      if (gc_error.ok()) {
+        gc_error = Status::Internal(
+            StrFormat("cannot remove old checkpoint %s: %s",
+                      (*checkpoints)[i].second.c_str(), std::strerror(errno)));
+      }
+      continue;
     }
     removed = true;
   }
-  if (removed) CCR_RETURN_IF_ERROR(SyncDir(dir_));
+  if (removed) {
+    const Status sync = SyncDir(dir_);
+    if (gc_error.ok()) gc_error = sync;
+  }
+  CCR_RETURN_IF_ERROR(gc_error);
   return anchor;
 }
 

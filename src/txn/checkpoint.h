@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "store/object_store.h"
 #include "txn/journal.h"
 #include "txn/journal_io.h"
 
@@ -79,6 +80,55 @@ StatusOr<CheckpointImage> DecodeCheckpointPayload(std::string_view payload);
 // numeric order).
 std::string CheckpointFileName(Lsn anchor);
 
+// --- Store-backed checkpoint codec -----------------------------------------
+//
+// With an ObjectStore attached (CheckpointerOptions::store), checkpoints
+// live as one store key per object plus one metadata key, instead of (or in
+// addition to) the monolithic checkpoint.<anchor> file:
+//
+//   key "o:<id>"  ->  "img <lsn> <factory-or-'-'> <encoded>"
+//   key "m"       ->  "meta <anchor> <max_txn>"
+//
+// The same keys are written by cold-object eviction (TxnManager::
+// EvictObject), which is what makes checkpoints incremental: an evicted
+// object's store image is current by construction (written under the object
+// mutex after its journal LSN became durable, and frozen while evicted), so
+// a checkpoint skips it and re-Puts only resident objects. The factory
+// token is "-" for eagerly registered objects (factory names are validated
+// non-empty and whitespace-free, so the sentinel cannot collide).
+//
+// A checkpoint is durable when the batch carrying the meta key syncs; the
+// store's append-order durability property then also covers every earlier
+// buffered eviction Put and drop Delete. Journal truncation must only ever
+// be keyed to anchors from durable meta records (or durable checkpoint
+// files) — never to eviction images alone.
+
+// "o:<id>" — the store key holding `id`'s newest encoded state.
+std::string StoreObjectKey(const ObjectId& id);
+
+// The store key of the checkpoint metadata record.
+inline constexpr std::string_view kStoreMetaKey = "m";
+
+// "img <lsn> <factory-or-'-'> <encoded>" and back. `factory` may be empty
+// (encoded as "-"); `encoded` is the ADT state codec output (newline-free,
+// possibly empty, spaces allowed). DecodeStoreObjectValue leaves
+// ObjectEntry::id unset — the id lives in the key.
+std::string EncodeStoreObjectValue(Lsn lsn, const std::string& factory,
+                                   const std::string& encoded);
+StatusOr<CheckpointImage::ObjectEntry> DecodeStoreObjectValue(
+    std::string_view value);
+
+// "meta <anchor> <max_txn>" and back (decoded into image.anchor/max_txn).
+std::string EncodeStoreMetaValue(Lsn anchor, TxnId max_txn);
+Status DecodeStoreMetaValue(std::string_view value, CheckpointImage* image);
+
+// Assembles a CheckpointImage from the store's object and meta keys. A
+// store without a meta key yields the empty image (anchor 0, no objects):
+// eviction images may precede the first checkpoint, and without a durable
+// anchor they are only a cache — the journal remains authoritative, so the
+// caller must fall back to file images / full replay.
+StatusOr<CheckpointImage> LoadCheckpointFromStore(ObjectStore* store);
+
 struct CheckpointerOptions {
   // Durable checkpoints retained after a successful write; older ones are
   // garbage-collected. Must be >= 1; the default keeps one fallback.
@@ -87,6 +137,18 @@ struct CheckpointerOptions {
   // ckpt.before_tmp_sync, ckpt.before_rename, ckpt.before_dirsync,
   // ckpt.before_gc). Not owned; may be shared with a SegmentedFileSink.
   CrashPoints* crash = nullptr;
+  // Persistent object-store backend. When set, Write publishes the
+  // checkpoint as one store batch — per-object "o:<id>" Puts for RESIDENT
+  // objects only (evicted objects' store images are already current), plus
+  // the meta key — applied with sync durability under the manager's store
+  // mutex. Must be the same store attached to the manager
+  // (TxnManager::set_object_store). Not owned.
+  ObjectStore* store = nullptr;
+  // With a store attached, also write the monolithic checkpoint.<anchor>
+  // file (reading evicted objects' images back from the store to complete
+  // it). Default off: the store alone carries the checkpoint, and Write
+  // skips the file entirely — including its GC.
+  bool also_write_file = false;
 };
 
 // Writes and loads checkpoint images in a journal directory.
@@ -94,12 +156,15 @@ class Checkpointer {
  public:
   Checkpointer(std::string dir, CheckpointerOptions options = {});
 
-  // Snapshots every object of `manager` and writes checkpoint.<anchor>
-  // fail-atomically. `anchor` MUST have been read from the journal (its
-  // high LSN) before this call — the caller owns that ordering; Write
-  // cannot reconstruct it. kNotSupported if any object's ADT lacks a state
-  // codec (the system then keeps full-journal replay). On success the
-  // image is durable and older checkpoints beyond options.keep are
+  // Snapshots every object of `manager` and publishes the checkpoint:
+  // without a store, as the fail-atomic checkpoint.<anchor> file; with a
+  // store (options.store), as one synced store batch (resident Puts + the
+  // meta key), optionally plus the file (options.also_write_file).
+  // `anchor` MUST have been read from the journal (its high LSN) before
+  // this call — the caller owns that ordering; Write cannot reconstruct
+  // it. kNotSupported if any object's ADT lacks a state codec (the system
+  // then keeps full-journal replay). On success the image is durable and,
+  // on the file path, older checkpoints beyond options.keep are
   // garbage-collected. Returns the anchor written.
   StatusOr<Lsn> Write(TxnManager* manager, Lsn anchor);
 

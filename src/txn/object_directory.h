@@ -108,6 +108,16 @@ class ObjectDirectory {
   size_t stripe_count() const { return stripes_.size(); }
   DirectoryStats stats() const;
 
+  // Lock-free live-object estimate (creates minus drops, each relaxed):
+  // cheap enough for per-Execute eviction-watermark checks, where stats()'s
+  // all-stripe sweep is not. May transiently run ahead of or behind the
+  // true count; watermark logic tolerates that.
+  size_t approx_live() const {
+    const uint64_t creates = creates_.load(std::memory_order_relaxed);
+    const uint64_t drops = drops_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(creates >= drops ? creates - drops : 0);
+  }
+
  private:
   struct Stripe {
     mutable std::shared_mutex mu;

@@ -35,7 +35,30 @@ std::unique_ptr<AtomicObject> TxnManager::BuildObject(ObjectId id,
   }
   object->set_kill_fn([this](TxnId victim) { Kill(victim); });
   object->set_factory_name(std::move(factory_name));
+  // Store hooks are installed unconditionally: the fault path checks for a
+  // store at call time, and it can only be reached on an evicted object —
+  // which requires a store to begin with.
+  AtomicObject* raw = object.get();
+  object->set_store_fault([this, raw] { return ReadStoreImage(raw->id()); });
+  object->set_evicted_counter(&evicted_count_);
   return object;
+}
+
+StatusOr<std::pair<std::string, Lsn>> TxnManager::ReadStoreImage(
+    const ObjectId& id) {
+  if (store_ == nullptr) {
+    return Status::IllegalState("no object store attached");
+  }
+  StatusOr<std::string> value = store_->Get(StoreObjectKey(id));
+  if (!value.ok()) return value.status();
+  StatusOr<CheckpointImage::ObjectEntry> image = DecodeStoreObjectValue(*value);
+  if (!image.ok()) return image.status();
+  return std::make_pair(std::move(image->encoded), image->lsn);
+}
+
+bool TxnManager::Dropping(const ObjectId& id) const {
+  std::lock_guard<std::mutex> lock(dropping_mu_);
+  return dropping_.count(id) != 0;
 }
 
 AtomicObject* TxnManager::AddObject(
@@ -74,11 +97,44 @@ StatusOr<ObjectFactory> TxnManager::FindFactory(const std::string& name) const {
 
 StatusOr<AtomicObject*> TxnManager::GetOrCreate(
     const ObjectId& id, const std::string& factory_name) {
+  MaybeEvict();
   Lsn create_lsn = kNoLsn;
   bool created = false;
   StatusOr<AtomicObject*> obj = directory_.GetOrCreate(
       id,
       [&]() -> StatusOr<std::unique_ptr<AtomicObject>> {
+        // Store fault-in first: a lazily deferred object (lazy restart, or
+        // a future eviction design that releases shells) re-enters the
+        // directory from its store image, journaling NO create record —
+        // its original create is either still in the journal or covered by
+        // the image's LSN, so replay stays consistent. Ids mid-DropObject
+        // are excluded: their key is doomed, and reading it would
+        // resurrect the dropped state into the fresh incarnation.
+        if (store_ != nullptr && !Dropping(id)) {
+          StatusOr<std::string> value = store_->Get(StoreObjectKey(id));
+          if (value.ok()) {
+            StatusOr<CheckpointImage::ObjectEntry> img =
+                DecodeStoreObjectValue(*value);
+            if (!img.ok()) return img.status();
+            const std::string& fname =
+                img->factory.empty() ? factory_name : img->factory;
+            StatusOr<ObjectFactory> factory = FindFactory(fname);
+            if (!factory.ok()) return factory.status();
+            std::unique_ptr<AtomicObject> built =
+                BuildObject(id, (*factory)(id), fname);
+            StatusOr<std::unique_ptr<SpecState>> state =
+                built->adt().DecodeState(img->encoded);
+            if (!state.ok()) return state.status();
+            built->InstallCheckpoint(std::move(*state), img->lsn);
+            if (lifecycle_journal_ != nullptr) {
+              built->recovery().set_journal(lifecycle_journal_);
+            }
+            return StatusOr<std::unique_ptr<AtomicObject>>(std::move(built));
+          }
+          if (value.status().code() != StatusCode::kNotFound) {
+            return value.status();
+          }
+        }
         StatusOr<ObjectFactory> factory = FindFactory(factory_name);
         if (!factory.ok()) return factory.status();
         std::unique_ptr<AtomicObject> built =
@@ -110,6 +166,19 @@ StatusOr<AtomicObject*> TxnManager::GetOrCreate(
 
 Status TxnManager::DropObject(const ObjectId& id) {
   Lsn drop_lsn = kNoLsn;
+  if (store_ != nullptr) {
+    // Flag the id before retirement: between directory retirement and the
+    // store key Delete below, GetOrCreate's fault-in could otherwise read
+    // the doomed key and resurrect the dropped state as a new incarnation.
+    std::lock_guard<std::mutex> lock(dropping_mu_);
+    dropping_.insert(id);
+  }
+  const auto unflag = [&] {
+    if (store_ != nullptr) {
+      std::lock_guard<std::mutex> lock(dropping_mu_);
+      dropping_.erase(id);
+    }
+  };
   const Status status = directory_.Drop(id, [&](AtomicObject* obj) {
     // MarkDropped succeeding means no transaction holds locks or waits at
     // the object, and commits sequence their records inside the same
@@ -125,11 +194,104 @@ Status TxnManager::DropObject(const ObjectId& id) {
     }
     return Status::OK();
   });
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    unflag();
+    return status;
+  }
   if (pipeline_ != nullptr && drop_lsn != kNoLsn) {
     pipeline_->WaitDurable(drop_lsn);
   }
+  if (store_ != nullptr) {
+    // Delete the store key AFTER the directory retirement returned (never
+    // under a stripe lock) and after the drop record is durable. Buffered
+    // is sound: journal truncation only ever follows a later durable
+    // checkpoint, whose sync hardens this Delete first (append-order
+    // property); until then the journaled drop record re-kills the key at
+    // restart. On failure the drop stands (it is journaled) but the id
+    // stays flagged, so fault-in keeps refusing the stale key.
+    StoreWriteBatch batch;
+    batch.Delete(StoreObjectKey(id));
+    Status deleted;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      deleted = store_->ApplyBatch(batch, ObjectStore::Durability::kBuffered);
+    }
+    if (!deleted.ok()) return deleted;
+  }
+  unflag();
   return Status::OK();
+}
+
+Status TxnManager::EvictObject(const ObjectId& id) {
+  if (store_ == nullptr) {
+    return Status::IllegalState("no object store attached — cannot evict");
+  }
+  AtomicObject* obj = directory_.Find(id);
+  if (obj == nullptr) {
+    return Status::NotFound(StrFormat("no object named %s", id.c_str()));
+  }
+  StatusOr<AtomicObject::EvictTicket> ticket = obj->BeginEvict();
+  if (!ticket.ok()) return ticket.status();
+  // Two-phase gap — no object mutex held across the I/O below. First make
+  // the image's LSN durable: an image ahead of the recoverable journal
+  // would restart into state the journal cannot justify.
+  if (pipeline_ != nullptr && ticket->lsn != kNoLsn) {
+    pipeline_->WaitDurable(ticket->lsn);
+  }
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    // A drop that raced the ticket has already retired the object and
+    // Deletes its key under this same mutex — skip the Put rather than
+    // resurrect the key.
+    if (directory_.Find(id) == nullptr) return Status::OK();
+    StoreWriteBatch batch;
+    batch.Put(StoreObjectKey(id),
+              EncodeStoreObjectValue(ticket->lsn, obj->factory_name(),
+                                     ticket->encoded));
+    // Buffered: the next checkpoint sync hardens it. Until then the
+    // journal alone reconstructs the state — WaitDurable above guarantees
+    // the journal reaches at least the image's LSN.
+    CCR_RETURN_IF_ERROR(
+        store_->ApplyBatch(batch, ObjectStore::Durability::kBuffered));
+  }
+  // false: a commit or drop raced the gap and the eviction is abandoned.
+  // The Put stays behind as a stale-but-sound image — image LSNs at a key
+  // are monotone, so it covers everything any durable anchor requires.
+  obj->FinishEvict(*ticket);
+  return Status::OK();
+}
+
+size_t TxnManager::MaybeEvict() {
+  if (store_ == nullptr || options_.evict_high_watermark == 0) return 0;
+  // Sampled: the resident estimate is two relaxed loads, but there is no
+  // need to consider sweeping on every Execute.
+  if ((evict_tick_.fetch_add(1, std::memory_order_relaxed) & 0xf) != 0) {
+    return 0;
+  }
+  if (resident_objects() <= options_.evict_high_watermark) return 0;
+  if (evict_sweep_.test_and_set(std::memory_order_acquire)) return 0;
+  const size_t low = options_.evict_low_watermark == 0
+                         ? options_.evict_high_watermark
+                         : options_.evict_low_watermark;
+  size_t evicted = 0;
+  const std::vector<AtomicObject*> objs = directory_.Snapshot();
+  // CLOCK second chance: the first pass spares (and clears) each object's
+  // recently-referenced bit, the second takes whatever is quiescent.
+  // Busy objects (locks held, waiters, raced commits) just fail their
+  // BeginEvict and are skipped.
+  for (int pass = 0; pass < 2 && resident_objects() > low; ++pass) {
+    for (AtomicObject* obj : objs) {
+      if (resident_objects() <= low) break;
+      if (obj->evicted()) continue;
+      if (pass == 0 && obj->TestAndClearReferenced()) continue;
+      const size_t before = evicted_objects();
+      if (EvictObject(obj->id()).ok() && evicted_objects() > before) {
+        ++evicted;
+      }
+    }
+  }
+  evict_sweep_.clear(std::memory_order_release);
+  return evicted;
 }
 
 AtomicObject* TxnManager::object(const ObjectId& id) const {
@@ -195,13 +357,24 @@ Status TxnManager::ReplayContext::ApplyDrop(const ObjectId& id) {
 }
 
 Status TxnManager::ReplayContext::ReplayCommitRecord(
-    const Journal::CommitRecord& record, Lsn lsn) {
+    const Journal::CommitRecord& record, Lsn lsn,
+    const std::map<ObjectId, Lsn>* ckpt_lsn, size_t* skipped) {
   // A record's ops may interleave objects (response order); group them
   // per object, preserving per-object order — object states are
   // independent, so the grouped replay is effect-equal.
   std::vector<std::pair<AtomicObject*, OpSeq>> grouped;
   std::map<AtomicObject*, size_t> group_index;
   for (const Operation& op : record.ops) {
+    if (ckpt_lsn != nullptr) {
+      const auto it = ckpt_lsn->find(op.object());
+      if (it != ckpt_lsn->end() && lsn <= it->second) {
+        // The object's installed image already reflects this op (the fuzzy
+        // overshoot) — and the image vouches for the id, so no
+        // unknown-object check applies.
+        if (skipped != nullptr) ++*skipped;
+        continue;
+      }
+    }
     AtomicObject* obj = Find(op.object());
     if (obj == nullptr) {
       return Status::Internal(StrFormat(
@@ -274,7 +447,28 @@ Status TxnManager::RestartGuarded(
   for (AtomicObject* obj : objs) by_id.emplace(obj->id(), obj);
 
   ReplayContext ctx(this, by_id);
-  const Status status = replay(ctx);
+  Status status = replay(ctx);
+
+  if (status.ok() && store_ != nullptr) {
+    // Store reconcile: re-delete the keys of every object this replay saw
+    // dropped. A pre-crash buffered Delete may have been lost; once the
+    // journal's drop record is truncated, a surviving key would resurrect
+    // the object at the next restart. Buffered is sound here too —
+    // truncation only follows a later durable checkpoint whose sync
+    // hardens this batch, and until then the journal still carries the
+    // drop record, so the next restart re-issues the Delete.
+    StoreWriteBatch batch;
+    for (const ObjectId& id : ctx.dropped()) {
+      batch.Delete(StoreObjectKey(id));
+    }
+    for (const ObjectId& id : ctx.store_dead()) {
+      if (ctx.dropped().count(id) == 0) batch.Delete(StoreObjectKey(id));
+    }
+    if (!batch.empty()) {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      status = store_->ApplyBatch(batch, ObjectStore::Durability::kBuffered);
+    }
+  }
 
   if (!status.ok()) {
     // Fail-atomicity: a half-replayed manager must not pass for a
@@ -290,10 +484,65 @@ Status TxnManager::RestartGuarded(
   return status;
 }
 
+Status TxnManager::InstallImageObjects(
+    ReplayContext& ctx, const CheckpointImage& image,
+    std::map<ObjectId, Lsn>* ckpt_lsn,
+    std::map<ObjectId, const CheckpointImage::ObjectEntry*>* deferred,
+    size_t* installed) {
+  for (const CheckpointImage::ObjectEntry& entry : image.objects) {
+    AtomicObject* obj = ctx.Find(entry.id);
+    if (obj == nullptr) {
+      if (entry.factory.empty()) {
+        return Status::Internal(StrFormat(
+            "checkpoint names unknown object %s — restart system does "
+            "not match the checkpointed one", entry.id.c_str()));
+      }
+      (*ckpt_lsn)[entry.id] = entry.lsn;
+      if (deferred != nullptr) {
+        // Lazy store restart: park the entry — it materializes only if
+        // the tail names it, otherwise its store image stays the state of
+        // record and first touch faults it in.
+        deferred->emplace(entry.id, &entry);
+        continue;
+      }
+      StatusOr<ReplayContext::CreateResult> created =
+          ctx.ApplyCreate(entry.id, entry.factory);
+      if (!created.ok()) return created.status();
+      obj = created->object;
+    } else {
+      (*ckpt_lsn)[entry.id] = entry.lsn;
+    }
+    StatusOr<std::unique_ptr<SpecState>> state =
+        obj->adt().DecodeState(entry.encoded);
+    if (!state.ok()) return state.status();
+    obj->InstallCheckpoint(std::move(*state), entry.lsn);
+    if (installed != nullptr) ++*installed;
+  }
+  return Status::OK();
+}
+
 Status TxnManager::Restart(const Journal& journal) {
   return RestartGuarded([&](ReplayContext& ctx) {
-    Status status = Status::OK();
+    // Store-preferring restart: install the store's durable checkpoint
+    // first and replay only what each image does not cover. Without a
+    // store (or before its first checkpoint) the map stays empty and this
+    // is a full replay.
+    std::map<ObjectId, Lsn> ckpt_lsn;
     TxnId max_txn = 0;
+    if (store_ != nullptr) {
+      StatusOr<CheckpointImage> image = LoadCheckpointFromStore(store_);
+      if (!image.ok()) return image.status();
+      CCR_RETURN_IF_ERROR(
+          InstallImageObjects(ctx, *image, &ckpt_lsn, nullptr, nullptr));
+      max_txn = image->max_txn;
+    }
+    const std::map<ObjectId, Lsn>* covered_map =
+        ckpt_lsn.empty() ? nullptr : &ckpt_lsn;
+    const auto covered = [&](Lsn lsn, const ObjectId& id) {
+      const auto it = ckpt_lsn.find(id);
+      return it != ckpt_lsn.end() && lsn <= it->second;
+    };
+    Status status = Status::OK();
     // Replayed LSNs must live in the journal's own numbering space: a
     // journal continuing a prior generation (set_base_lsn) assigns its
     // first record base+1, and per-object last-committed LSNs seeded here
@@ -302,6 +551,12 @@ Status TxnManager::Restart(const Journal& journal) {
       if (!status.ok()) return;
       if (entry.is_lifecycle) {
         const LifecycleRecord& lc = entry.lifecycle;
+        if (covered(lsn, lc.object)) {
+          // The installed image's incarnation already reflects this
+          // lifecycle event (a covered create's incarnation is the
+          // image's own).
+          return;
+        }
         if (lc.kind == LifecycleRecord::Kind::kDrop) {
           status = ctx.ApplyDrop(lc.object);
           return;
@@ -317,7 +572,7 @@ Status TxnManager::Restart(const Journal& journal) {
         return;
       }
       max_txn = std::max(max_txn, entry.commit.txn);
-      status = ctx.ReplayCommitRecord(entry.commit, lsn);
+      status = ctx.ReplayCommitRecord(entry.commit, lsn, covered_map, nullptr);
     });
     // Post-restart transactions must not reuse replayed ids: a reused id
     // would journal a second commit record under an id that already has
@@ -332,7 +587,23 @@ Status TxnManager::RestartFromImage(std::string_view image,
   return RestartGuarded([&](ReplayContext& ctx) {
     // Stream the scan: each record is decoded, replayed, and discarded —
     // the image is never materialized as a second in-memory journal.
+    // Like Restart, the store's checkpoint (when present) is installed
+    // first and covered records are skipped per object.
+    std::map<ObjectId, Lsn> ckpt_lsn;
     TxnId max_txn = 0;
+    if (store_ != nullptr) {
+      StatusOr<CheckpointImage> store_image = LoadCheckpointFromStore(store_);
+      if (!store_image.ok()) return store_image.status();
+      CCR_RETURN_IF_ERROR(
+          InstallImageObjects(ctx, *store_image, &ckpt_lsn, nullptr, nullptr));
+      max_txn = store_image->max_txn;
+    }
+    const std::map<ObjectId, Lsn>* covered_map =
+        ckpt_lsn.empty() ? nullptr : &ckpt_lsn;
+    const auto covered = [&](Lsn lsn, const ObjectId& id) {
+      const auto it = ckpt_lsn.find(id);
+      return it != ckpt_lsn.end() && lsn <= it->second;
+    };
     Lsn lsn = 0;
     const Status status = ForEachJournalEntry(
         image,
@@ -340,6 +611,7 @@ Status TxnManager::RestartFromImage(std::string_view image,
           ++lsn;
           if (entry.is_lifecycle) {
             const LifecycleRecord& lc = entry.lifecycle;
+            if (covered(lsn, lc.object)) return Status::OK();
             if (lc.kind == LifecycleRecord::Kind::kDrop) {
               return ctx.ApplyDrop(lc.object);
             }
@@ -350,7 +622,8 @@ Status TxnManager::RestartFromImage(std::string_view image,
             return Status::OK();
           }
           max_txn = std::max(max_txn, entry.commit.txn);
-          return ctx.ReplayCommitRecord(entry.commit, lsn);
+          return ctx.ReplayCommitRecord(entry.commit, lsn, covered_map,
+                                        nullptr);
         },
         report);
     if (status.ok()) AdvanceTxnWatermark(max_txn);
@@ -363,38 +636,61 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
   RestartSummary summary;
   const Status status = RestartGuarded(
       [&](ReplayContext& ctx) {
-        StatusOr<CheckpointImage> image = Checkpointer::LoadNewest(dir);
-        if (!image.ok()) return image.status();
-        summary.checkpoint_anchor = image->anchor;
+        // Prefer the store's checkpoint (its meta record) over the
+        // monolithic file: with a store attached the file may not even be
+        // written (CheckpointerOptions::also_write_file). A store without
+        // a meta record yields the empty image and falls back to the file.
+        CheckpointImage image;
+        if (store_ != nullptr) {
+          StatusOr<CheckpointImage> from_store =
+              LoadCheckpointFromStore(store_);
+          if (!from_store.ok()) return from_store.status();
+          if (from_store->anchor != 0 || !from_store->objects.empty()) {
+            image = std::move(*from_store);
+            summary.from_store = true;
+          }
+        }
+        if (!summary.from_store) {
+          StatusOr<CheckpointImage> from_file = Checkpointer::LoadNewest(dir);
+          if (!from_file.ok()) return from_file.status();
+          image = std::move(*from_file);
+        }
+        summary.checkpoint_anchor = image.anchor;
 
         // Install the checkpointed states. `dyn` entries name objects this
         // manager never registered — re-instantiate them through the
-        // factory registry first. An `obj` entry naming an unknown object
-        // is a configuration mismatch (its truncated records are
+        // factory registry first (or, under lazy_store_install, defer them
+        // until the tail names them). An `obj` entry naming an unknown
+        // object is a configuration mismatch (its truncated records are
         // unrecoverable elsewhere); a manager object missing from the
         // image simply replays its whole (surviving) history from the
         // initial state.
         std::map<ObjectId, Lsn> ckpt_lsn;
-        for (const CheckpointImage::ObjectEntry& entry : image->objects) {
-          AtomicObject* obj = ctx.Find(entry.id);
-          if (obj == nullptr) {
-            if (entry.factory.empty()) {
-              return Status::Internal(StrFormat(
-                  "checkpoint names unknown object %s — restart system does "
-                  "not match the checkpointed one", entry.id.c_str()));
-            }
-            StatusOr<ReplayContext::CreateResult> created =
-                ctx.ApplyCreate(entry.id, entry.factory);
-            if (!created.ok()) return created.status();
-            obj = created->object;
-          }
+        std::map<ObjectId, const CheckpointImage::ObjectEntry*> deferred;
+        const bool lazy = options.lazy_store_install && summary.from_store;
+        size_t installed = 0;
+        CCR_RETURN_IF_ERROR(InstallImageObjects(
+            ctx, image, &ckpt_lsn, lazy ? &deferred : nullptr, &installed));
+        summary.checkpoint_objects = installed;
+
+        // Materializes a deferred image entry once the tail names its
+        // object. Runs during the serial scan only.
+        const auto materialize =
+            [&](const std::map<ObjectId,
+                               const CheckpointImage::ObjectEntry*>::iterator
+                    dit) -> StatusOr<AtomicObject*> {
+          const CheckpointImage::ObjectEntry& entry = *dit->second;
+          StatusOr<ReplayContext::CreateResult> created =
+              ctx.ApplyCreate(entry.id, entry.factory);
+          if (!created.ok()) return created.status();
           StatusOr<std::unique_ptr<SpecState>> state =
-              obj->adt().DecodeState(entry.encoded);
+              created->object->adt().DecodeState(entry.encoded);
           if (!state.ok()) return state.status();
-          obj->InstallCheckpoint(std::move(*state), entry.lsn);
-          ckpt_lsn[entry.id] = entry.lsn;
+          created->object->InstallCheckpoint(std::move(*state), entry.lsn);
           ++summary.checkpoint_objects;
-        }
+          deferred.erase(dit);
+          return created->object;
+        };
 
         // Bucket the tail per object. Within a bucket, entries keep LSN
         // order — including `create_reset` markers, which place an
@@ -425,10 +721,10 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
         // judged once the scan completes.
         std::map<ObjectId, bool> orphan_ok;
 
-        TxnId max_txn = image->max_txn;
-        Lsn high_lsn = image->anchor;
+        TxnId max_txn = image.max_txn;
+        Lsn high_lsn = image.anchor;
         const Status scan_status = ForEachSegmentedEntry(
-            dir, image->anchor,
+            dir, image.anchor,
             [&](Lsn lsn, Journal::Entry&& entry) {
               high_lsn = std::max(high_lsn, lsn);
               const auto covered = [&](const ObjectId& id) {
@@ -449,9 +745,23 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
                 if (lc.kind == LifecycleRecord::Kind::kDrop) {
                   if (ctx.Find(lc.object) == nullptr &&
                       !ctx.Dropped(lc.object)) {
+                    const auto dit = deferred.find(lc.object);
+                    if (dit != deferred.end()) {
+                      // Drop of a lazily deferred object: it never
+                      // materializes, and its store key must die again —
+                      // the pre-crash buffered Delete may have been lost.
+                      deferred.erase(dit);
+                      ckpt_lsn.erase(lc.object);
+                      ctx.NoteStoreDead(lc.object);
+                      orphan_ok[lc.object] = true;
+                      ++summary.tail_records;
+                      return Status::OK();
+                    }
                     // Drop of an id this restart never saw: resolves the
                     // orphaned ops of a checkpoint-superseded incarnation.
+                    // Its store key (if any) is equally dead.
                     orphan_ok[lc.object] = true;
+                    ctx.NoteStoreDead(lc.object);
                     ++summary.tail_records;
                     return Status::OK();
                   }
@@ -467,6 +777,11 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
                   ++summary.tail_records;
                   return Status::OK();
                 }
+                // An uncovered create supersedes any parked image: the new
+                // incarnation starts fresh (its ops all carry LSNs above
+                // the stale image's, so the ckpt_lsn entry can never
+                // cover them).
+                deferred.erase(lc.object);
                 StatusOr<ReplayContext::CreateResult> created =
                     ctx.ApplyCreate(lc.object, lc.factory);
                 if (!created.ok()) return created.status();
@@ -486,13 +801,25 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
               for (Operation& op : entry.commit.ops) {
                 AtomicObject* obj = ctx.Find(op.object());
                 if (obj == nullptr) {
-                  if (ctx.Dropped(op.object())) {
+                  const auto dit = deferred.find(op.object());
+                  if (dit != deferred.end()) {
+                    if (lsn <= dit->second->lsn) {
+                      // Covered by the parked image: skip without
+                      // materializing — the object stays deferred.
+                      ++summary.tail_skipped;
+                      continue;
+                    }
+                    StatusOr<AtomicObject*> mat = materialize(dit);
+                    if (!mat.ok()) return mat.status();
+                    obj = *mat;
+                  } else if (ctx.Dropped(op.object())) {
                     return Status::Internal(StrFormat(
                         "journal names object %s after its drop record",
                         op.object().c_str()));
+                  } else {
+                    orphan_ok.try_emplace(op.object(), false);
+                    continue;
                   }
-                  orphan_ok.try_emplace(op.object(), false);
-                  continue;
                 }
                 if (covered(op.object())) {
                   // The fuzzy overshoot: this object's snapshot already
@@ -576,6 +903,7 @@ StatusOr<RestartSummary> TxnManager::RestartFromDir(const std::string& dir,
         AdvanceTxnWatermark(max_txn);
         summary.max_txn = max_txn;
         summary.high_lsn = high_lsn;
+        summary.store_deferred = deferred.size();
         return Status::OK();
       },
       &summary.objects_created, &summary.objects_dropped);
@@ -596,7 +924,17 @@ std::shared_ptr<Transaction> TxnManager::Begin() {
 }
 
 StatusOr<Value> TxnManager::Execute(Transaction* txn, const Invocation& inv) {
+  MaybeEvict();
   AtomicObject* obj = directory_.Find(inv.object());
+  if (obj == nullptr && store_ != nullptr) {
+    // Possibly a lazily deferred object whose image lives in the store.
+    StatusOr<AtomicObject*> faulted = FaultInFromStore(inv.object());
+    if (faulted.ok()) {
+      obj = *faulted;
+    } else if (faulted.status().code() != StatusCode::kNotFound) {
+      return faulted.status();
+    }
+  }
   if (obj == nullptr) {
     return Status::NotFound(
         StrFormat("no object named %s", inv.object().c_str()));
@@ -604,9 +942,27 @@ StatusOr<Value> TxnManager::Execute(Transaction* txn, const Invocation& inv) {
   return obj->Execute(txn, inv);
 }
 
+StatusOr<AtomicObject*> TxnManager::FaultInFromStore(const ObjectId& id) {
+  if (store_ == nullptr || Dropping(id)) {
+    return Status::NotFound(StrFormat("no object named %s", id.c_str()));
+  }
+  StatusOr<std::string> value = store_->Get(StoreObjectKey(id));
+  if (!value.ok()) return value.status();
+  StatusOr<CheckpointImage::ObjectEntry> img = DecodeStoreObjectValue(*value);
+  if (!img.ok()) return img.status();
+  if (img->factory.empty()) {
+    // A registered object's image: registered objects never leave the
+    // directory, so the miss means the object is gone — a stray key must
+    // not resurrect it.
+    return Status::NotFound(StrFormat("no object named %s", id.c_str()));
+  }
+  return GetOrCreate(id, img->factory);
+}
+
 StatusOr<std::vector<Value>> TxnManager::ExecuteBatch(
     Transaction* txn, std::span<const BatchOp> ops) {
   CCR_CHECK(txn != nullptr);
+  MaybeEvict();
   // Flag the transaction first: even a batch that errors out (and is then
   // aborted/retried by the caller) commits batch-atomically if the caller
   // commits whatever partial work succeeded.
@@ -657,6 +1013,16 @@ StatusOr<std::vector<Value>> TxnManager::ExecuteBatch(
       if (!ops[order[pos]].factory.empty()) factory = &ops[order[pos]].factory;
     }
     if (factory == nullptr) {
+      if (store_ != nullptr) {
+        StatusOr<AtomicObject*> faulted = FaultInFromStore(*ids[g]);
+        if (faulted.ok()) {
+          found[g] = *faulted;
+          continue;
+        }
+        if (faulted.status().code() != StatusCode::kNotFound) {
+          return faulted.status();
+        }
+      }
       return Status::NotFound(
           StrFormat("no object named %s", ids[g]->c_str()));
     }
@@ -925,6 +1291,8 @@ ObjectStats TxnManager::AggregateObjectStats() const {
         total.kill_wakeups += s.kill_wakeups;
         total.max_queue_depth =
             std::max(total.max_queue_depth, s.max_queue_depth);
+        total.evictions += s.evictions;
+        total.fault_ins += s.fault_ins;
         total.wait_time_us.Merge(s.wait_time_us);
       },
       /*include_retired=*/true);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "txn/atomic_object.h"
+#include "txn/checkpoint.h"
 #include "txn/journal_io.h"
 #include "txn/object_directory.h"
 
@@ -34,6 +35,7 @@ namespace ccr {
 
 class GroupCommitPipeline;
 class Journal;
+class ObjectStore;
 struct RecoveryReport;
 
 struct TxnManagerOptions {
@@ -49,6 +51,14 @@ struct TxnManagerOptions {
   // Stripes of the object directory (power of two; 0 picks a default from
   // hardware concurrency). See object_directory.h.
   size_t stripe_count = 0;
+  // Cold-object eviction watermarks, active only with an object store
+  // attached (set_object_store). When the resident-object estimate exceeds
+  // the high watermark, a sweep evicts quiescent objects (CLOCK second
+  // chance over the recently-referenced bit) down to the low watermark
+  // (which defaults to the high one when 0). 0 high watermark: eviction
+  // disabled.
+  size_t evict_high_watermark = 0;
+  size_t evict_low_watermark = 0;
 };
 
 // Aggregate outcome counters.
@@ -66,6 +76,12 @@ struct RestartOptions {
   // in LSN order), so the useful maximum is the number of objects with a
   // non-empty tail.
   int replay_threads = 1;
+  // Store-backed restarts only: defer dynamically created objects whose
+  // image lives in the store and which the journal tail never names.
+  // Deferred objects stay out of the directory — their store image IS
+  // their state — and fault back in on first GetOrCreate/Execute touch.
+  // Restart cost becomes O(tail + touched objects), not O(population).
+  bool lazy_store_install = false;
 };
 
 // What a checkpoint-aware restart found and did.
@@ -83,6 +99,11 @@ struct RestartSummary {
   size_t objects_dropped = 0;
   Lsn high_lsn = 0;               // newest LSN on disk; journals resume after
   TxnId max_txn = 0;              // watermark restored (checkpoint + tail)
+  // Store-backed restart: whether the image came from the object store's
+  // meta record (vs a checkpoint file), and how many image objects were
+  // left deferred in the store (lazy_store_install).
+  bool from_store = false;
+  size_t store_deferred = 0;
   SegmentScanReport scan;
 };
 
@@ -152,6 +173,51 @@ class TxnManager {
     lifecycle_journal_ = journal;
   }
   Journal* lifecycle_journal() const { return lifecycle_journal_; }
+
+  // Attaches the persistent object-store backend. Enables cold-object
+  // eviction (EvictObject / the watermark sweep), store-image fault-in on
+  // directory misses, store-backed checkpoints (CheckpointerOptions::
+  // store must be this same store), and store-preferring restarts. Set
+  // before the first transaction; optional. Not owned.
+  void set_object_store(ObjectStore* store) { store_ = store; }
+  ObjectStore* object_store() const { return store_; }
+
+  // Serializes every store write batch this manager issues (eviction Puts,
+  // drop Deletes, the checkpoint batch). First in the lock order: never
+  // acquired while a directory stripe or object mutex is held.
+  std::mutex& store_mutex() { return store_mu_; }
+
+  // Evicts `id`'s committed state to the object store: encodes it under
+  // the object mutex, waits for its last LSN to be durable (the image must
+  // never run ahead of the recoverable journal), Puts the image
+  // (buffered — the next checkpoint sync hardens it), and swaps the
+  // in-memory state for a placeholder. The object's shell stays in the
+  // directory; first touch faults the state back in. kIllegalState without
+  // a store or while the object is busy (locks held / waiters queued);
+  // kNotSupported when its ADT lacks a state codec. An eviction abandoned
+  // by a raced commit or drop returns OK without evicting — the written
+  // image is stale but sound (image LSNs are monotone).
+  Status EvictObject(const ObjectId& id);
+
+  // Watermark sweep (no-op unless a store is attached and
+  // evict_high_watermark > 0): when the resident estimate exceeds the high
+  // watermark, evicts quiescent, not-recently-referenced objects (CLOCK
+  // second chance) down to the low watermark. Called from the Execute
+  // paths on a sampled tick; safe to call directly. Returns the number of
+  // objects evicted by this call.
+  size_t MaybeEvict();
+
+  // Objects whose state currently lives only in the store.
+  size_t evicted_objects() const {
+    return evicted_count_.load(std::memory_order_relaxed);
+  }
+  // Estimate of directory objects holding in-memory state (approx_live
+  // minus evicted; the eviction watermarks gate on this).
+  size_t resident_objects() const {
+    const size_t live = directory_.approx_live();
+    const size_t evicted = evicted_objects();
+    return live >= evicted ? live - evicted : 0;
+  }
 
   AtomicObject* object(const ObjectId& id) const;
 
@@ -318,8 +384,23 @@ class TxnManager {
     Status ApplyDrop(const ObjectId& id);
 
     // Replays one commit record (per-object grouping, order preserved).
-    // kInternal when it names an unknown or dropped object.
-    Status ReplayCommitRecord(const Journal::CommitRecord& record, Lsn lsn);
+    // kInternal when it names an unknown or dropped object. `ckpt_lsn`
+    // (optional) holds per-object installed-image LSNs: ops at or below
+    // their object's image LSN are skipped (the fuzzy overshoot, counted
+    // into `skipped`) — and an op whose object has a map entry is never an
+    // unknown-object error, its image vouches for it.
+    Status ReplayCommitRecord(const Journal::CommitRecord& record, Lsn lsn,
+                              const std::map<ObjectId, Lsn>* ckpt_lsn = nullptr,
+                              size_t* skipped = nullptr);
+
+    // Ids whose journaled drop was applied in this replay, and extra ids
+    // the caller flagged (orphan drops): after a successful restart the
+    // manager re-deletes their store keys — a pre-crash buffered Delete
+    // may have been lost, and once the journal's drop record is truncated
+    // a surviving key would resurrect the object.
+    const std::set<ObjectId>& dropped() const { return dropped_; }
+    void NoteStoreDead(const ObjectId& id) { store_dead_.insert(id); }
+    const std::set<ObjectId>& store_dead() const { return store_dead_; }
 
     // Success-path publication: inserts surviving created objects into the
     // manager's directory (attaching the lifecycle journal to their
@@ -333,6 +414,7 @@ class TxnManager {
     std::map<ObjectId, AtomicObject*> by_id_;
     std::map<ObjectId, std::unique_ptr<AtomicObject>> created_;
     std::set<ObjectId> dropped_;
+    std::set<ObjectId> store_dead_;
   };
 
   // Shared restart plumbing: refuses live transactions, detaches journals,
@@ -352,6 +434,30 @@ class TxnManager {
   // Looks up a registered factory; kNotFound names the factory.
   StatusOr<ObjectFactory> FindFactory(const std::string& name) const;
 
+  // Reads `id`'s store image for AtomicObject fault-in: the raw encoded
+  // state plus the LSN it reflects. kNotFound when the store has no key.
+  StatusOr<std::pair<std::string, Lsn>> ReadStoreImage(const ObjectId& id);
+
+  // Whether `id` is mid-DropObject (its store key is doomed).
+  bool Dropping(const ObjectId& id) const;
+
+  // Directory-miss fallback for Execute/ExecuteBatch: materializes a
+  // lazily deferred object from its store image (through the image's own
+  // factory, journaling no create record). kNotFound when the store has no
+  // image or the image names no factory.
+  StatusOr<AtomicObject*> FaultInFromStore(const ObjectId& id);
+
+  // Installs a checkpoint image's object entries into a restart (creating
+  // dyn entries through the factory registry), filling `ckpt_lsn`. With
+  // `deferred` non-null (lazy store restart), dyn entries for objects the
+  // directory does not know are not materialized — they are parked in
+  // `deferred` (still entered into `ckpt_lsn`) for on-demand install.
+  Status InstallImageObjects(
+      ReplayContext& ctx, const CheckpointImage& image,
+      std::map<ObjectId, Lsn>* ckpt_lsn,
+      std::map<ObjectId, const CheckpointImage::ObjectEntry*>* deferred,
+      size_t* installed);
+
   // Commits a batch-atomic transaction under one multi-object commit
   // record; returns the highest LSN the transaction must wait on. Falls
   // back to per-object records when the touched objects' recovery managers
@@ -363,6 +469,26 @@ class TxnManager {
   DeadlockDetector detector_;
   GroupCommitPipeline* pipeline_ = nullptr;
   Journal* lifecycle_journal_ = nullptr;
+  ObjectStore* store_ = nullptr;
+
+  // Serializes all store write batches (lock-order head; see
+  // store_mutex()).
+  std::mutex store_mu_;
+
+  // Objects currently evicted (AtomicObject maintains it through the
+  // attached counter hook).
+  std::atomic<size_t> evicted_count_{0};
+
+  // Single-sweeper latch and sampling tick for MaybeEvict.
+  std::atomic_flag evict_sweep_ = ATOMIC_FLAG_INIT;
+  std::atomic<uint64_t> evict_tick_{0};
+
+  // Ids mid-DropObject: between directory retirement and the store key
+  // Delete there is a window where GetOrCreate's store fault-in could read
+  // the doomed key and resurrect the dropped state. The fault-in path
+  // treats ids in this set as having no store image.
+  mutable std::mutex dropping_mu_;
+  std::set<ObjectId> dropping_;
 
   std::atomic<TxnId> next_txn_{1};
 

@@ -43,7 +43,7 @@ std::shared_ptr<const ConflictRelation> MakeConflict(Method method,
   return MakeNfcConflict(adt);
 }
 
-int64_t CounterValue(const AtomicObject* obj) {
+int64_t CounterValue(AtomicObject* obj) {
   return TypedSpecAutomaton<Int64State>::Unwrap(*obj->CommittedState()).v;
 }
 
@@ -398,6 +398,67 @@ TEST_P(BatchTest, CheckpointedRestartSplitsBatchAcrossBuckets) {
   EXPECT_TRUE(result.ok());
   EXPECT_GT(result.checkpoints_written, 0u);
   EXPECT_EQ(result.records_appended, result.records_total);
+}
+
+// A batch that fails mid-execution — earlier object groups already
+// executed, a later group times out on a conflicting holder — must leave
+// no trace: no (partial) multi-object commit record in the journal, the
+// transaction cleanly abortable, every acquired object mutex released,
+// and no committed-state change at the groups that did execute.
+TEST_P(BatchTest, MidBatchFailureReleasesLocksAndJournalsNothing) {
+  TxnManagerOptions options;
+  options.lock_timeout = std::chrono::milliseconds(50);
+  TxnManager manager(options);
+  auto counters = AddCounters(&manager, GetParam(), 3);
+  Journal journal;
+  manager.set_lifecycle_journal(&journal);
+  for (AtomicObject* obj : manager.objects()) {
+    obj->recovery().set_journal(&journal);
+  }
+  // Seed C0 so the failed batch's inc would be visible if it leaked.
+  {
+    auto txn = manager.Begin();
+    const std::vector<BatchOp> seed = {Op(counters[0]->IncInv(10))};
+    ASSERT_TRUE(manager.ExecuteBatch(txn.get(), seed).ok());
+    ASSERT_TRUE(manager.Commit(txn.get()).ok());
+  }
+  const size_t records_before = journal.size();
+
+  // The blocker holds a read outcome on C2; an inc does not commute with
+  // it, so the batch's C2 group waits until the lock timeout.
+  auto blocker = manager.Begin();
+  ASSERT_TRUE(
+      manager.Execute(blocker.get(), counters[2]->ReadInv()).ok());
+
+  auto txn = manager.Begin();
+  const std::vector<BatchOp> ops = {Op(counters[0]->IncInv(1)),
+                                    Op(counters[1]->IncInv(2)),
+                                    Op(counters[2]->IncInv(3))};
+  // Canonical order executes C0 and C1 first; C2 then fails. The earlier
+  // groups' work must be confined to the transaction.
+  StatusOr<std::vector<Value>> results = manager.ExecuteBatch(txn.get(), ops);
+  ASSERT_FALSE(results.ok()) << "conflicting batch unexpectedly succeeded";
+  EXPECT_EQ(journal.size(), records_before)
+      << "failed batch journaled a (partial) commit record";
+  ASSERT_TRUE(manager.Abort(txn.get()).ok());
+  EXPECT_EQ(journal.size(), records_before);
+  ASSERT_TRUE(manager.Abort(blocker.get()).ok());
+
+  // Committed states never saw the failed batch.
+  EXPECT_EQ(CounterValue(manager.object("C0")), 10);
+  EXPECT_EQ(CounterValue(manager.object("C1")), 0);
+  EXPECT_EQ(CounterValue(manager.object("C2")), 0);
+
+  // Every mutex is free again: the same three-object batch runs to commit
+  // (it would time out on any leaked op-lock from the failed attempt).
+  auto retry = manager.Begin();
+  results = manager.ExecuteBatch(retry.get(), ops);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_TRUE(manager.Commit(retry.get()).ok());
+  EXPECT_EQ(journal.size(), records_before + 1);
+  EXPECT_EQ(CounterValue(manager.object("C0")), 11);
+  EXPECT_EQ(CounterValue(manager.object("C1")), 2);
+  EXPECT_EQ(CounterValue(manager.object("C2")), 3);
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, BatchTest,

@@ -27,6 +27,7 @@
 #include "adt/int_set.h"
 #include "adt/kv_store.h"
 #include "adt/register.h"
+#include "adt/registry.h"
 #include "adt/semiqueue.h"
 #include "adt/state_codec.h"
 #include "common/random.h"
@@ -923,6 +924,175 @@ TEST(FuzzyCheckpointTest, CheckpointsTakenUnderLoadRestartExactly) {
         *manager.object(obj->id())->CommittedState()))
         << "object " << obj->id();
   }
+}
+
+// ---------------------------------------------------------------------------
+// State-codec fuzz (the empty-token / control-byte escaping regression) and
+// best-effort checkpoint GC
+// ---------------------------------------------------------------------------
+
+// Regression for the escaping bug: NeedsEscape treated only space, '%',
+// newline, and tab as unsafe, so payloads like "\r", "\v", "\f", NUL, or
+// DEL flowed raw into the space-separated token stream and broke (or
+// silently changed) round trips. Fuzz EscapeToken/UnescapeToken over the
+// full byte range, plus the named degenerate payloads.
+TEST(StateCodecTest, EscapeTokenFuzzOverFullByteRange) {
+  const std::vector<std::string> named = {
+      std::string(),           // empty token — must encode non-empty
+      " ",    "  ",    "\t",   "\n",   "\r",   "\v",   "\f",
+      " \t\n\r\v\f ",          // all-whitespace
+      std::string(1, '\0'),    // NUL
+      std::string("a\0b", 3),  // embedded NUL
+      "\x7f", "%",     "%%",   "%20",  "100% done",
+  };
+  for (const std::string& raw : named) {
+    const std::string token = EscapeToken(raw);
+    ASSERT_FALSE(token.empty());
+    for (const char c : token) {
+      EXPECT_TRUE(static_cast<unsigned char>(c) > 0x20 && c != 0x7f)
+          << "raw bytes leaked into token";
+    }
+    StatusOr<std::string> back = UnescapeToken(token);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, raw);
+  }
+  Random rng(41);
+  for (int i = 0; i < 500; ++i) {
+    std::string raw;
+    const size_t len = rng.Uniform(13);
+    for (size_t j = 0; j < len; ++j) {
+      raw.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    const std::string token = EscapeToken(raw);
+    ASSERT_FALSE(token.empty()) << i;
+    EXPECT_EQ(token.find(' '), std::string::npos) << i;
+    EXPECT_EQ(token.find('\n'), std::string::npos) << i;
+    EXPECT_EQ(token.find('\t'), std::string::npos) << i;
+    StatusOr<std::string> back = UnescapeToken(token);
+    ASSERT_TRUE(back.ok()) << i;
+    EXPECT_EQ(*back, raw) << i;
+  }
+}
+
+TEST(StateCodecTest, EveryRegisteredAdtRoundTripsItsInitialState) {
+  const std::vector<std::shared_ptr<Adt>> adts = AllAdts();
+  EXPECT_EQ(adts.size(), 8u);
+  for (const std::shared_ptr<Adt>& adt : adts) {
+    ASSERT_TRUE(adt->supports_state_codec()) << adt->name();
+    ExpectRoundTrip(*adt, *adt->spec().InitialState());
+  }
+}
+
+// Degenerate KV payloads through every codec layer that carries them:
+// ADT state codec, the checkpoint file payload, and the store value codec.
+TEST(StateCodecTest, DegenerateKvPayloadsRoundTripThroughEveryLayer) {
+  const auto kv = MakeKvStore();
+  KvState state;
+  state.entries[""] = 1;                      // empty-string key
+  state.entries[" "] = 2;                     // single space
+  state.entries[" \t\n\r\v\f"] = 3;           // all-whitespace
+  state.entries[std::string("n\0l", 3)] = 4;  // embedded NUL
+  state.entries["%"] = 5;
+  state.entries["\x7f"] = 6;
+  const TypedState<KvState> typed(state);
+  ExpectRoundTrip(*kv, typed);
+
+  const std::string encoded = kv->EncodeState(typed);
+  CheckpointImage image;
+  image.anchor = 9;
+  image.max_txn = 4;
+  image.objects.push_back({"KV", "", 9, encoded});
+  StatusOr<CheckpointImage> file_trip =
+      DecodeCheckpointPayload(EncodeCheckpointPayload(image));
+  ASSERT_TRUE(file_trip.ok()) << file_trip.status().ToString();
+  ASSERT_EQ(file_trip->objects.size(), 1u);
+  EXPECT_EQ(file_trip->objects[0].encoded, encoded);
+  StatusOr<std::unique_ptr<SpecState>> from_file =
+      kv->DecodeState(file_trip->objects[0].encoded);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_TRUE((*from_file)->Equals(typed));
+
+  StatusOr<CheckpointImage::ObjectEntry> store_trip =
+      DecodeStoreObjectValue(EncodeStoreObjectValue(9, "kv-factory", encoded));
+  ASSERT_TRUE(store_trip.ok()) << store_trip.status().ToString();
+  EXPECT_EQ(store_trip->lsn, 9u);
+  EXPECT_EQ(store_trip->factory, "kv-factory");
+  EXPECT_EQ(store_trip->encoded, encoded);
+}
+
+// GC is best-effort across the whole retention list: one unremovable old
+// image (here a checkpoint-named directory with a file inside, so
+// std::remove fails) must not shield older images from collection. The
+// error is reported — but only after the sweep removed everything it
+// could and made the removals durable with a directory sync.
+TEST(CheckpointerTest, GcIsBestEffortAndReportsFirstError) {
+  TempDir dir;
+  TxnManager manager;
+  TwoObjectFactory(&manager);
+  Journal journal;
+  for (AtomicObject* obj : manager.objects()) {
+    obj->recovery().set_journal(&journal);
+  }
+  auto ba = MakeBankAccount();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(manager
+                    .RunTransaction([&](Transaction* txn) {
+                      return manager.Execute(txn, ba->DepositInv(5)).status();
+                    })
+                    .ok());
+  }
+
+  // Old images awaiting collection. GC sweeps newest-first, so the
+  // unremovable directory gets the HIGHEST victim anchor: an early-abort
+  // GC (the regression) would hit it first and leave the two removable
+  // files behind.
+  const std::string undead = dir.path() + "/" + CheckpointFileName(3);
+  ASSERT_EQ(::mkdir(undead.c_str(), 0700), 0);
+  {
+    std::FILE* f = std::fopen((undead + "/pin").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  for (const Lsn anchor : {Lsn(1), Lsn(2)}) {
+    std::FILE* f =
+        std::fopen((dir.path() + "/" + CheckpointFileName(anchor)).c_str(),
+                   "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("stale", f);
+    std::fclose(f);
+  }
+
+  Checkpointer checkpointer(dir.path(), CheckpointerOptions{1});
+  const Lsn anchor = journal.high_lsn();
+  const StatusOr<Lsn> written = checkpointer.Write(&manager, anchor);
+  // The new image is durable and loadable; the GC failure is reported.
+  ASSERT_FALSE(written.ok()) << "unremovable image went unreported";
+  EXPECT_NE(written.status().message().find("cannot remove"),
+            std::string::npos)
+      << written.status().ToString();
+  StatusOr<CheckpointImage> newest = Checkpointer::LoadNewest(dir.path());
+  ASSERT_TRUE(newest.ok()) << newest.status().ToString();
+  EXPECT_EQ(newest->anchor, anchor);
+  // Both removable victims went even though the sweep's FIRST victim (the
+  // directory, newest of the old anchors) failed to remove.
+  struct ::stat st;
+  EXPECT_EQ(::stat(undead.c_str(), &st), 0) << "unremovable image vanished";
+  EXPECT_NE(::stat((dir.path() + "/" + CheckpointFileName(1)).c_str(), &st),
+            0);
+  EXPECT_NE(::stat((dir.path() + "/" + CheckpointFileName(2)).c_str(), &st),
+            0);
+
+  // A second write with the blocker gone succeeds and GCs cleanly.
+  ASSERT_EQ(std::remove((undead + "/pin").c_str()), 0);
+  ASSERT_EQ(::rmdir(undead.c_str()), 0);
+  ASSERT_TRUE(manager
+                  .RunTransaction([&](Transaction* txn) {
+                    return manager.Execute(txn, ba->DepositInv(1)).status();
+                  })
+                  .ok());
+  const StatusOr<Lsn> second =
+      checkpointer.Write(&manager, journal.high_lsn());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "common/string_util.h"
 #include "txn/journal_format.h"
@@ -260,7 +261,30 @@ Status LogStructuredStore::RotateLocked() {
 
 Status LogStructuredStore::WriteFrameLocked(const std::string& framed) {
   Segment& active = segments_.back();
-  CCR_RETURN_IF_ERROR(WriteAll(active.fd, framed));
+  Status written;
+  if (fail_next_append_) {
+    fail_next_append_ = false;
+    (void)WriteAll(active.fd,
+                   std::string_view(framed).substr(0, framed.size() / 2));
+    written = Status::Internal("injected partial append failure");
+  } else {
+    written = WriteAll(active.fd, framed);
+  }
+  if (!written.ok()) {
+    // A partial write (ENOSPC/EIO mid-frame) leaves the fd offset ahead
+    // of active.size: the next frame would land past where the index
+    // says frames start, so point reads (whose value preads carry no CRC)
+    // would silently serve wrong bytes, and reopen would refuse the
+    // segment as corrupt mid-file. Roll the file back to the last frame
+    // boundary; if even that fails, poison all further writes — reads of
+    // already-indexed frames stay sound, since they lie below active.size.
+    if (::ftruncate(active.fd, static_cast<off_t>(active.size)) != 0 ||
+        ::lseek(active.fd, static_cast<off_t>(active.size), SEEK_SET) ==
+            static_cast<off_t>(-1)) {
+      failed_ = true;
+    }
+    return written;
+  }
   active.size += framed.size();
   stats_.bytes_written += framed.size();
   return Status::OK();
@@ -328,6 +352,19 @@ Status LogStructuredStore::ApplyBatch(const StoreWriteBatch& batch,
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.crash != nullptr && options_.crash->dead()) {
     return Status::Unavailable("store is dead (crash point fired)");
+  }
+  if (failed_) {
+    return Status::Internal(
+        "store is write-poisoned: a failed append could not be rolled back");
+  }
+  for (const StoreOp& op : batch.ops()) {
+    // The frame's length prefixes are u32: a larger op would silently
+    // truncate its prefix and misframe the payload on replay.
+    if (op.key.size() > std::numeric_limits<uint32_t>::max() ||
+        op.value.size() > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(
+          "store op key/value exceeds the 4 GiB frame limit");
+    }
   }
   if (CrashFires(options_.crash, "store.before_batch")) {
     return SimulatedCrash("store.before_batch");
@@ -410,7 +447,16 @@ Status LogStructuredStore::CompactNow() {
   if (options_.crash != nullptr && options_.crash->dead()) {
     return Status::Unavailable("store is dead (crash point fired)");
   }
+  if (failed_) {
+    return Status::Internal(
+        "store is write-poisoned: a failed append could not be rolled back");
+  }
   return CompactOldestLocked(/*force=*/true);
+}
+
+void LogStructuredStore::FailNextAppendPartially() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_append_ = true;
 }
 
 Status LogStructuredStore::CompactOldestLocked(bool force) {

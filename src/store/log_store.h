@@ -96,6 +96,11 @@ class LogStructuredStore : public ObjectStore {
   // when only the active segment exists).
   Status CompactNow();
 
+  // Test-only, in the spirit of MemObjectStore::FailNextBatches: the next
+  // frame append writes half its bytes and then reports an injected I/O
+  // error, exercising the partial-append rollback path.
+  void FailNextAppendPartially();
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -136,6 +141,12 @@ class LogStructuredStore : public ObjectStore {
   std::vector<Segment> segments_;  // ascending seq; back() is active
   std::unordered_map<std::string, ValueLoc> index_;
   ObjectStoreStats stats_;
+  // Set when a failed append could not be rolled back to the last frame
+  // boundary: the fd offset no longer matches the indexed log, so any
+  // further append would be misframed. Reads of already-indexed frames
+  // stay sound (they lie below the boundary), so only writers fail fast.
+  bool failed_ = false;
+  bool fail_next_append_ = false;  // armed by FailNextAppendPartially
 };
 
 }  // namespace ccr

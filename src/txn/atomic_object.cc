@@ -393,7 +393,13 @@ Status AtomicObject::ReplayCommitted(TxnId txn, const OpSeq& ops, Lsn lsn) {
 
 std::unique_ptr<SpecState> AtomicObject::CommittedState() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!FaultInLocked().ok()) return nullptr;
+  // Callers long predate eviction and dereference unconditionally, so the
+  // non-null contract stands: an evicted object whose image cannot be
+  // faulted back in fails loudly instead of returning a null nobody
+  // checks.
+  const Status faulted = FaultInLocked();
+  CCR_CHECK_MSG(faulted.ok(), "cannot fault %s in for CommittedState: %s",
+                id_.c_str(), faulted.ToString().c_str());
   return recovery_->CommittedState();
 }
 

@@ -187,7 +187,9 @@ class AtomicObject {
 
   // Committed-state snapshot, for invariant checks outside any transaction.
   // Faults an evicted state back in first (so it needs the fault handler
-  // when the object is evicted — hence non-const).
+  // when the object is evicted — hence non-const). Never returns null: a
+  // fault-in failure (store error on an evicted object) CCR_CHECKs, since
+  // callers predate eviction and dereference unconditionally.
   std::unique_ptr<SpecState> CommittedState();
 
   // Fuzzy-checkpoint support. A snapshot pairs the committed state with the
@@ -220,7 +222,12 @@ class AtomicObject {
   //      and its LSN.
   //   2. The caller makes the image durable enough (WaitDurable on the
   //      ticket LSN so the image never reflects records the journal could
-  //      still lose, then the store Put).
+  //      still lose), then Puts the image and calls FinishEvict inside
+  //      one store-mutex critical section — an object observed evicted
+  //      under the store mutex therefore always has a store image at
+  //      exactly its last committed LSN, which is what FaultInLocked's
+  //      LSN-equality check and the checkpoint batch's staleness skip
+  //      both rely on.
   //   3. FinishEvict: re-checks that nothing moved (still quiescent,
   //      commit tick unchanged); on success frees the state and marks the
   //      object evicted. Returns false when the object moved on — the

@@ -315,21 +315,33 @@ StatusOr<Lsn> Checkpointer::Write(TxnManager* manager, Lsn anchor) {
     }
     image.objects.push_back(std::move(entry));
   }
+  if (options_.after_walk) options_.after_walk();
 
   if (options_.store != nullptr) {
     {
       // The manager's store mutex serializes this batch against eviction
-      // Puts and drop Deletes. The per-Put liveness recheck closes the
-      // resurrection race: a drop that raced the snapshot walk has already
-      // retired its object from the directory, and its key Delete runs
-      // under this same mutex — re-Putting the snapshotted image would
-      // recreate the key after journal truncation discards the drop record.
+      // Put+flips and drop Deletes. The per-Put rechecks close two races
+      // with the snapshot walk:
+      //  - resurrection: a drop that raced the walk has already retired
+      //    its object from the directory, and its key Delete runs under
+      //    this same mutex — re-Putting the snapshotted image would
+      //    recreate the key after journal truncation discards the drop
+      //    record;
+      //  - staleness: an object committed and evicted since the walk
+      //    carries a NEWER store image than the snapshot (eviction writes
+      //    the image and flips the evicted bit inside one store-mutex
+      //    critical section, at the object's last committed LSN).
+      //    Overwriting it with the older snapshot would fail every later
+      //    fault-in (image LSN != last committed LSN) until restart, and
+      //    later checkpoints could never repair the key because evicted
+      //    objects' Puts are skipped.
       std::lock_guard<std::mutex> lock(manager->store_mutex());
       StoreWriteBatch batch;
       for (size_t i = 0; i < image.objects.size(); ++i) {
         if (!resident[i]) continue;
         const CheckpointImage::ObjectEntry& entry = image.objects[i];
-        if (manager->object(entry.id) == nullptr) continue;
+        AtomicObject* live = manager->object(entry.id);
+        if (live == nullptr || live->evicted()) continue;
         batch.Put(StoreObjectKey(entry.id),
                   EncodeStoreObjectValue(entry.lsn, entry.factory,
                                          entry.encoded));

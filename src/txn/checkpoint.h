@@ -30,6 +30,7 @@
 #ifndef CCR_TXN_CHECKPOINT_H_
 #define CCR_TXN_CHECKPOINT_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,9 +92,12 @@ std::string CheckpointFileName(Lsn anchor);
 //
 // The same keys are written by cold-object eviction (TxnManager::
 // EvictObject), which is what makes checkpoints incremental: an evicted
-// object's store image is current by construction (written under the object
-// mutex after its journal LSN became durable, and frozen while evicted), so
-// a checkpoint skips it and re-Puts only resident objects. The factory
+// object's store image is current by construction (snapshotted under the
+// object mutex, written and flipped evicted under the manager's store mutex
+// after its journal LSN became durable, and frozen while evicted), so a
+// checkpoint skips it — both objects seen evicted during the snapshot walk
+// and objects evicted between the walk and the store batch — and re-Puts
+// only resident objects. The factory
 // token is "-" for eagerly registered objects (factory names are validated
 // non-empty and whitespace-free, so the sentinel cannot collide).
 //
@@ -149,6 +153,10 @@ struct CheckpointerOptions {
   // it). Default off: the store alone carries the checkpoint, and Write
   // skips the file entirely — including its GC.
   bool also_write_file = false;
+  // Test-only: runs after the snapshot walk and before the image is
+  // published — the window where commits, evictions, and drops race a
+  // fuzzy checkpoint. Production callers leave it unset.
+  std::function<void()> after_walk;
 };
 
 // Writes and loads checkpoint images in a journal directory.

@@ -253,11 +253,20 @@ Status TxnManager::EvictObject(const ObjectId& id) {
     // the journal reaches at least the image's LSN.
     CCR_RETURN_IF_ERROR(
         store_->ApplyBatch(batch, ObjectStore::Durability::kBuffered));
+    // Flip under the same store-mutex hold that wrote the image: anyone
+    // observing evicted() under the store mutex (the checkpoint batch's
+    // staleness recheck) can then rely on the key holding an image at
+    // exactly the object's last committed LSN — the invariant fault-in's
+    // LSN-equality check enforces. Flipping outside the mutex would let a
+    // checkpoint overwrite the fresh image with its older walk snapshot
+    // in the write-to-flip window.
+    //
+    // false: a commit or drop raced the gap and the eviction is
+    // abandoned. The Put stays behind as a stale-but-sound image — its
+    // LSN covers everything any durable anchor requires, and the next
+    // checkpoint or eviction refreshes it.
+    obj->FinishEvict(*ticket);
   }
-  // false: a commit or drop raced the gap and the eviction is abandoned.
-  // The Put stays behind as a stale-but-sound image — image LSNs at a key
-  // are monotone, so it covers everything any durable anchor requires.
-  obj->FinishEvict(*ticket);
   return Status::OK();
 }
 

@@ -362,6 +362,42 @@ TEST(LogStoreTest, BatchCrashPointsAreAllOrNothing) {
   }
 }
 
+// Regression: a mid-frame write failure (ENOSPC/EIO) used to leave the fd
+// offset ahead of the indexed log — later frames were written past where
+// the index said they start, so point reads served wrong bytes and reopen
+// refused the store as corrupt mid-file. The failed append must roll the
+// segment back to the last frame boundary and leave the store usable.
+TEST(LogStoreTest, PartialAppendRolledBackKeepsStoreUsable) {
+  TempDir dir;
+  StatusOr<std::unique_ptr<LogStructuredStore>> store =
+      LogStructuredStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(PutOne(store->get(), "a", "1").ok());
+
+  (*store)->FailNextAppendPartially();
+  StoreWriteBatch batch;
+  batch.Put("b", "2");
+  EXPECT_FALSE(
+      (*store)->ApplyBatch(batch, ObjectStore::Durability::kSync).ok());
+  // Nothing from the failed batch is visible, and the store keeps
+  // working: the partial frame was truncated away, so the next frame
+  // lands exactly where the index says it does.
+  EXPECT_EQ((*store)->Get("b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*(*store)->Get("a"), "1");
+  ASSERT_TRUE(PutOne(store->get(), "b", "2").ok());
+  EXPECT_EQ(*(*store)->Get("b"), "2");
+
+  // Reopen sees no torn bytes mid-file and both keys durable.
+  store->reset();
+  StatusOr<std::unique_ptr<LogStructuredStore>> reopened =
+      LogStructuredStore::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(*(*reopened)->Get("a"), "1");
+  EXPECT_EQ(*(*reopened)->Get("b"), "2");
+  EXPECT_EQ((*reopened)->stats().bytes_truncated, 0u)
+      << "rollback left torn bytes for reopen to repair";
+}
+
 // ---------------------------------------------------------------------------
 // Eviction through the manager
 // ---------------------------------------------------------------------------
@@ -724,6 +760,51 @@ TEST(StoreRestartTest, LazyStoreInstallDefersUntouchedObjects) {
                   })
                   .ok());
   EXPECT_EQ(c5, 15);
+}
+
+// Regression: between the checkpoint's snapshot walk and its store batch,
+// an object can commit and be evicted, leaving the store a NEWER image
+// than the walk's snapshot. The batch must skip that key: Putting the
+// stale snapshot over it desynchronizes the image's LSN from the object's
+// last committed LSN, so every later fault-in fails with kInternal until
+// restart — and no later checkpoint repairs the key, because evicted
+// objects' Puts are skipped.
+TEST(StoreCheckpointTest, BatchSkipsObjectEvictedDuringTheWalk) {
+  DurableWorld world;
+  ASSERT_TRUE(world.Inc("D1", 4).ok());
+
+  CheckpointerOptions options;
+  options.store = world.store.get();
+  options.after_walk = [&world] {
+    ASSERT_TRUE(world.Inc("D1", 2).ok());
+    ASSERT_TRUE(world.manager.EvictObject("D1").ok());
+  };
+  Checkpointer checkpointer(world.dir.path(), options);
+  const StatusOr<Lsn> anchor =
+      checkpointer.Write(&world.manager, world.journal.high_lsn());
+  ASSERT_TRUE(anchor.ok()) << anchor.status().ToString();
+
+  AtomicObject* obj = world.manager.object("D1");
+  ASSERT_NE(obj, nullptr);
+  ASSERT_TRUE(obj->evicted());
+  StatusOr<std::string> img = world.store->Get(StoreObjectKey("D1"));
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  StatusOr<CheckpointImage::ObjectEntry> entry = DecodeStoreObjectValue(*img);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->lsn, obj->last_committed_lsn())
+      << "checkpoint clobbered the newer eviction image with its stale "
+         "walk snapshot";
+
+  // Execution faults the state back in and reads the post-walk value.
+  int64_t value = 0;
+  const Status read = world.manager.RunTransaction([&](Transaction* txn) {
+    const StatusOr<Value> v = world.manager.Execute(txn, ReadInv("D1"));
+    if (!v.ok()) return v.status();
+    value = v->AsInt();
+    return Status::OK();
+  });
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  EXPECT_EQ(value, 6);
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/temp_path.h"
 #include "sim/crash_harness.h"
 #include "sim/driver.h"
 #include "txn/group_commit.h"
@@ -48,10 +49,7 @@ using bench::EngineConfig;
 
 constexpr int kKeys = 256;
 
-std::string TempWalPath() {
-  const char* dir = std::getenv("TMPDIR");
-  return std::string(dir != nullptr ? dir : "/tmp") + "/ccr_bench_batch.wal";
-}
+std::string TempWalPath() { return TempDirRoot() + "/ccr_bench_batch.wal"; }
 
 // B distinct keys per transaction: a random window of consecutive ids in
 // the bank (mod kKeys), so concurrent transactions overlap and contend.

@@ -53,6 +53,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/temp_path.h"
 #include "sim/crash_harness.h"
 #include "sim/driver.h"
 #include "txn/checkpoint.h"
@@ -88,10 +89,7 @@ std::vector<Journal::CommitRecord> MakeRecords(size_t n) {
   return records;
 }
 
-std::string TempWalPath() {
-  const char* dir = std::getenv("TMPDIR");
-  return std::string(dir != nullptr ? dir : "/tmp") + "/ccr_bench_journal.wal";
-}
+std::string TempWalPath() { return TempDirRoot() + "/ccr_bench_journal.wal"; }
 
 // Per-record durable appends through JournalWriter. Returns records/s.
 double AppendThroughput(const std::vector<Journal::CommitRecord>& records,
@@ -461,14 +459,9 @@ std::vector<Journal::CommitRecord> MakeMultiObjectRecords(size_t n) {
 }
 
 std::string MakeRestartTempDir() {
-  const char* tmpdir = std::getenv("TMPDIR");
-  std::string templ = std::string(
-      tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp");
-  templ += "/ccr_bench_restart_XXXXXX";
-  std::vector<char> buf(templ.begin(), templ.end());
-  buf.push_back('\0');
-  CCR_CHECK(::mkdtemp(buf.data()) != nullptr);
-  return buf.data();
+  std::string dir = MakeTempDir("ccr_bench_restart_");
+  CCR_CHECK(!dir.empty());
+  return dir;
 }
 
 void RemoveRestartTempDir(const std::string& dir) {

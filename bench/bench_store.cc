@@ -49,6 +49,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/temp_path.h"
 #include "sim/crash_harness.h"
 #include "store/log_store.h"
 #include "txn/checkpoint.h"
@@ -76,14 +77,9 @@ Invocation ReadInv(const std::string& id) {
 }
 
 std::string MakeStoreTempDir() {
-  const char* tmpdir = std::getenv("TMPDIR");
-  std::string templ =
-      std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp");
-  templ += "/ccr_bench_store_XXXXXX";
-  std::vector<char> buf(templ.begin(), templ.end());
-  buf.push_back('\0');
-  CCR_CHECK(::mkdtemp(buf.data()) != nullptr);
-  return buf.data();
+  std::string dir = MakeTempDir("ccr_bench_store_");
+  CCR_CHECK(!dir.empty());
+  return dir;
 }
 
 void RemoveStoreTempDir(const std::string& dir) {

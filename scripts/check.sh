@@ -37,6 +37,10 @@ echo "==> store smoke: eviction sweep + restart arms + store crash sweep (bench_
 cmake --build --preset default -j "${JOBS}" --target bench_store
 ./build/bench/bench_store --smoke
 
+echo "==> serve smoke: conservation + shed accounting + serving crash audit (bench_serve)"
+cmake --build --preset default -j "${JOBS}" --target bench_serve
+./build/bench/bench_serve --smoke
+
 if [[ "${FAST}" == 1 ]]; then
   echo "==> --fast: skipping sanitizer crash suites"
   exit 0
@@ -58,6 +62,9 @@ for san in asan tsan; do
   echo "==> store smoke under ${san}"
   cmake --build --preset "${san}" -j "${JOBS}" --target bench_store
   "./build-${san}/bench/bench_store" --smoke
+  echo "==> serve smoke under ${san}"
+  cmake --build --preset "${san}" -j "${JOBS}" --target bench_serve
+  "./build-${san}/bench/bench_serve" --smoke
 done
 
 echo "==> all checks passed"

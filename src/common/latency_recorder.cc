@@ -3,40 +3,107 @@
 #include "common/latency_recorder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+
+#include "common/macros.h"
 
 namespace ccr {
 
+size_t LatencyRecorder::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // Row = floor(log2(value)) normalized so row 1 starts at kSubBuckets; the
+  // sub-bucket is the kSubBucketBits bits after the leading one. Buckets are
+  // contiguous across the row boundary: value kSubBuckets-1 is index
+  // kSubBuckets-1, value kSubBuckets is index kSubBuckets.
+  const int e = 63 - std::countl_zero(value);  // >= kSubBucketBits
+  const int shift = e - kSubBucketBits;
+  const size_t row = static_cast<size_t>(shift) + 1;
+  const size_t sub =
+      static_cast<size_t>((value >> shift) & (kSubBuckets - 1));
+  return row * static_cast<size_t>(kSubBuckets) + sub;
+}
+
+uint64_t LatencyRecorder::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const size_t row = index / kSubBuckets;
+  const uint64_t sub = static_cast<uint64_t>(index % kSubBuckets);
+  const int shift = static_cast<int>(row) - 1;
+  const uint64_t lower = (kSubBuckets + sub) << shift;
+  return lower + ((1ull << shift) - 1);
+}
+
+void LatencyRecorder::Record(uint64_t micros) {
+  if (count_ == 0) {
+    min_ = micros;
+    max_ = micros;
+  } else {
+    min_ = std::min(min_, micros);
+    max_ = std::max(max_, micros);
+  }
+  ++count_;
+  sum_ += static_cast<double>(micros);
+  if (mode_ == LatencyMode::kExact) {
+    samples_.push_back(micros);
+    sorted_ = false;
+    return;
+  }
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[BucketIndex(micros)];
+}
+
 void LatencyRecorder::Merge(const LatencyRecorder& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
-  sorted_ = false;
+  if (other.count_ == 0) return;
+  if (other.mode_ == LatencyMode::kExact) {
+    // Re-record so min/max/sum/buckets stay coherent in either destination
+    // mode.
+    for (uint64_t s : other.samples_) Record(s);
+    return;
+  }
+  CCR_CHECK_MSG(mode_ == LatencyMode::kBuckets,
+                "cannot merge a bucketed LatencyRecorder into an exact one");
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 uint64_t LatencyRecorder::Percentile(double p) const {
-  if (samples_.empty()) return 0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  if (p <= 0) return samples_.front();
-  if (p >= 100) return samples_.back();
+  if (count_ == 0) return 0;
   // Nearest rank: ceil(p/100 * N), 1-based. Truncating instead (the old
   // floor-index form) biases every percentile low — e.g. p50 of two samples
   // truncated to the minimum.
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(
-                                                samples_.size()));
-  size_t idx = static_cast<size_t>(rank);
-  if (idx < 1) idx = 1;
-  if (idx > samples_.size()) idx = samples_.size();
-  return samples_[idx - 1];
+  const double raw = std::ceil(p / 100.0 * static_cast<double>(count_));
+  size_t rank = raw < 1.0 ? 1 : static_cast<size_t>(raw);
+  if (rank > count_) rank = count_;
+  if (mode_ == LatencyMode::kExact) {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    return samples_[rank - 1];
+  }
+  // Walk the histogram to the bucket holding `rank` and report its upper
+  // bound: never below the exact nearest-rank value, at most one bucket
+  // width (~2^-kSubBucketBits relative) above it. Clamping to the observed
+  // extremes keeps p0 == Min and p100 == Max exact.
+  size_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
 }
 
 double LatencyRecorder::Mean() const {
-  if (samples_.empty()) return 0.0;
-  double sum = 0.0;
-  for (uint64_t s : samples_) sum += static_cast<double>(s);
-  return sum / static_cast<double>(samples_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 }  // namespace ccr

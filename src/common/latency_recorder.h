@@ -13,29 +13,73 @@
 
 namespace ccr {
 
+// How a LatencyRecorder stores its samples.
+//
+//   kExact   — every sample retained; percentiles are exact nearest-rank.
+//              Memory grows with the sample count: fine for closed-loop
+//              runs (bounded txns/thread), the default everywhere.
+//   kBuckets — bounded HDR-style log-linear histogram: values < kSubBuckets
+//              get their own bucket (exact), larger values share buckets of
+//              relative width 2^-kSubBucketBits (~3.1%). Fixed footprint
+//              (~15 KB) regardless of sample count — built for multi-
+//              million-sample open-loop sweeps. Percentiles return the
+//              bucket's upper bound (clamped to the observed min/max, so
+//              p0/p100 stay exact): never below the exact nearest-rank
+//              value and at most ~1/32 above it.
+enum class LatencyMode {
+  kExact,
+  kBuckets,
+};
+
 // Collects microsecond latencies. Not thread-safe: each writer owns a
 // recorder and the reader merges them (the driver merges one per worker;
 // AtomicObject guards its recorder with the object mutex).
 class LatencyRecorder {
  public:
-  void Record(uint64_t micros) {
-    samples_.push_back(micros);
-    sorted_ = false;
-  }
+  LatencyRecorder() = default;
+  explicit LatencyRecorder(LatencyMode mode) : mode_(mode) {}
 
+  LatencyMode mode() const { return mode_; }
+
+  void Record(uint64_t micros);
+
+  // Merges `other` into this. An exact source merges into either mode (its
+  // samples are re-recorded); a bucketed source only merges into a bucketed
+  // destination (spreading buckets back into samples would fabricate data).
   void Merge(const LatencyRecorder& other);
 
-  size_t count() const { return samples_.size(); }
+  size_t count() const { return count_; }
 
-  // The p-th percentile (p in [0, 100]) of the recorded samples, using the
-  // nearest-rank definition: the smallest sample s such that at least p% of
-  // the samples are <= s. 0 if empty.
+  // The p-th percentile (p in [0, 100]) of the recorded samples. kExact:
+  // nearest-rank — the smallest sample s such that at least p% of the
+  // samples are <= s. kBuckets: the upper bound of the bucket holding that
+  // rank, clamped to [min, max] observed. 0 if empty.
   uint64_t Percentile(double p) const;
 
+  // Exact in both modes (a running sum is kept alongside the buckets).
   double Mean() const;
 
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return count_ == 0 ? 0 : max_; }
+
+  // Log-linear bucket geometry (kBuckets). 32 sub-buckets per power of two
+  // caps the relative bucket width at 2^-5; 60 rows cover the full uint64
+  // range. BucketIndex/BucketUpperBound are exposed for the agreement test.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(size_t index);
+  static constexpr size_t kNumBuckets =
+      (64 - kSubBucketBits + 1) * kSubBuckets;  // 1920
+
  private:
-  mutable std::vector<uint64_t> samples_;
+  LatencyMode mode_ = LatencyMode::kExact;
+  size_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+  mutable std::vector<uint64_t> samples_;  // kExact
+  std::vector<uint64_t> buckets_;          // kBuckets, lazily sized
   mutable bool sorted_ = false;
 };
 

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -30,6 +30,7 @@ enum class StatusCode {
   kNotSupported,      // optional capability (e.g. inverse ops) unavailable
   kUnavailable,       // component is gone (e.g. simulated crash fired)
   kInternal,          // invariant failure surfaced as an error
+  kResourceExhausted, // admission control shed the request (queue full)
 };
 
 // Human-readable name of a status code ("Conflict", "Deadlock", ...).
@@ -73,12 +74,17 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // True for outcomes a transaction runner should retry (conflict victims).
+  // kResourceExhausted is deliberately NOT retryable: a shed request retried
+  // immediately just re-saturates the queue; the client must back off.
   bool IsRetryable() const {
     return code_ == StatusCode::kConflict || code_ == StatusCode::kDeadlock ||
            code_ == StatusCode::kTimedOut;

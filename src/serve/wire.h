@@ -1,0 +1,70 @@
+// Copyright 2026 The ccr Authors.
+//
+// Length-prefixed binary request/response codec for the serving boundary.
+// A frame is the journal's checksummed container ([u32 len][u32 crc32c]
+// [payload], common/crc32c via txn/journal_format), so a socket server
+// bolted onto ServeFrontend later inherits torn-read detection for free;
+// the payload is the repo's line/token text format with history_io value
+// literals (i:/s:/b:/u:) and state_codec percent-escaping for strings that
+// may contain whitespace.
+//
+// Request payload:
+//   req <request-id> <nops>
+//   op <object> <factory> <code> <name> <nargs> [<arg>...]   x nops
+// Response payload:
+//   res <request-id> <status-code> <status-message> <nvals>
+//   val <value>                                              x nvals
+//
+// <object>/<factory>/<name>/<status-message> and each <arg>/<value>
+// (serialized first) are EscapeToken'd — a single space-free token each;
+// an empty factory round-trips through the escaper's "%" sentinel.
+
+#ifndef CCR_SERVE_WIRE_H_
+#define CCR_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/value.h"
+#include "txn/txn_manager.h"
+
+namespace ccr {
+
+// One client submission: a batch of ops executed and committed atomically.
+struct WireRequest {
+  uint64_t request_id = 0;
+  std::vector<BatchOp> ops;
+};
+
+// The submission's outcome: per-op results in op order when code == kOk.
+struct WireResponse {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::vector<Value> values;
+};
+
+// Encode one message as a single checksummed frame (ready to write to a
+// byte stream). Encoding never fails: any byte string escapes cleanly.
+std::string EncodeRequest(const WireRequest& request);
+std::string EncodeResponse(const WireResponse& response);
+
+// Decodes one frame from the head of `buffer` (a cut of an incoming byte
+// stream). On success fills `out`, sets `*consumed` to the frame's total
+// size (strip that many bytes), and returns OK. An incomplete frame (the
+// buffer ends mid-header or mid-payload) returns kUnavailable with
+// *consumed == 0 — read more bytes and retry. A complete frame with a bad
+// checksum or malformed payload returns kInternal/kInvalidArgument: the
+// stream is corrupt and the connection should be dropped.
+Status DecodeRequest(std::string_view buffer, WireRequest* out,
+                     size_t* consumed);
+Status DecodeResponse(std::string_view buffer, WireResponse* out,
+                      size_t* consumed);
+
+}  // namespace ccr
+
+#endif  // CCR_SERVE_WIRE_H_

@@ -3,16 +3,19 @@
 #include "sim/crash_harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
+#include <thread>
 
 #ifndef _WIN32
 #include <unistd.h>
 #endif
 
 #include "common/string_util.h"
+#include "common/temp_path.h"
 #include "store/log_store.h"
 #include "txn/checkpoint.h"
 
@@ -134,17 +137,7 @@ Status MirrorApply(TxnManager* replica, const Journal::Entry& entry,
 // Removed (with contents) on destruction.
 class ScopedTempDir {
  public:
-  ScopedTempDir() {
-    const char* tmpdir = std::getenv("TMPDIR");
-    std::string templ = std::string(
-        tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp");
-    templ += "/ccr_ckpt_XXXXXX";
-    std::vector<char> buf(templ.begin(), templ.end());
-    buf.push_back('\0');
-#ifndef _WIN32
-    if (::mkdtemp(buf.data()) != nullptr) path_ = buf.data();
-#endif
-  }
+  ScopedTempDir() { path_ = MakeTempDir("ccr_ckpt_"); }
   ~ScopedTempDir() {
     if (path_.empty()) return;
     if (StatusOr<std::vector<std::string>> names = ListDir(path_);
@@ -162,6 +155,14 @@ class ScopedTempDir {
  private:
   std::string path_;
 };
+
+// Post-run crash audit shared by the driver and serving scenarios: cut the
+// image at `crash_fraction`, compute the acked ground truth from the sync
+// offsets, restart a freshly built system from the surviving bytes, and
+// run audits 1-4 into `result`.
+void AuditCrashImage(const SystemFactory& factory, const Journal& journal,
+                     const JournalWriter& writer, const std::string& image,
+                     double crash_fraction, CrashScenarioResult* result);
 
 }  // namespace
 
@@ -191,14 +192,24 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   // but not yet durable records).
   pipeline.Drain();
 
-  const std::string& image = sink.image();
+  AuditCrashImage(factory, journal, writer, sink.image(),
+                  options.crash_fraction, &result);
+  return result;
+}
+
+namespace {
+
+void AuditCrashImage(const SystemFactory& factory, const Journal& journal,
+                     const JournalWriter& writer, const std::string& image,
+                     double crash_fraction, CrashScenarioResult* res) {
+  CrashScenarioResult& result = *res;
   result.image_bytes = image.size();
   result.records_total = journal.size();
   result.syncs_total = writer.sync_offsets().size();
 
   // The crash: everything volatile dies; only the first crash_offset bytes
   // of the disk survive.
-  const double fraction = std::clamp(options.crash_fraction, 0.0, 1.0);
+  const double fraction = std::clamp(crash_fraction, 0.0, 1.0);
   result.crash_offset =
       static_cast<uint64_t>(static_cast<double>(image.size()) * fraction);
   const std::string_view crashed =
@@ -222,7 +233,7 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
   TxnManager restarted;
   factory(&restarted);
   result.status = restarted.RestartFromImage(crashed, &result.report);
-  if (!result.status.ok()) return result;
+  if (!result.status.ok()) return;
 
   // Audit 3: every record a completed sync covered — every possibly
   // acknowledged commit — survived recovery.
@@ -273,6 +284,100 @@ CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
       ++result.batch_records_partial;
     }
   }
+}
+
+}  // namespace
+
+ServeCrashResult RunServeCrashScenario(const SystemFactory& factory,
+                                       const RequestFactory& make_request,
+                                       const ServeCrashOptions& options) {
+  ServeCrashResult result;
+
+  // The pre-crash world, served: the same durable in-memory "disk" as
+  // RunCrashScenario, but transactions arrive through the ServeFrontend —
+  // coalesced at the boundary, committed via CommitAsync, acked off the
+  // durable watermark.
+  TxnManager manager;
+  factory(&manager);
+  MemorySink sink;
+  JournalWriter writer(&sink);
+  GroupCommitPipeline pipeline(&writer, options.group_commit);
+  Journal journal;
+  journal.set_pipeline(&pipeline);
+  manager.set_commit_pipeline(&pipeline);
+  manager.set_lifecycle_journal(&journal);
+  for (AtomicObject* obj : manager.objects()) {
+    obj->recovery().set_journal(&journal);
+  }
+
+  std::atomic<uint64_t> completed_ops{0};
+  {
+    ServeFrontend frontend(&manager, options.frontend);
+    // Unpaced burst from several submitter threads: the queue genuinely
+    // fills (max_queue_depth/shed below prove it), so any mid-run instant
+    // — in particular the one the crash cut lands on — has submissions
+    // queued and acks outstanding.
+    std::vector<std::thread> submitters;
+    std::atomic<size_t> next{0};
+    for (size_t t = 0; t < std::max<size_t>(1, options.submit_threads); ++t) {
+      submitters.emplace_back([&, t] {
+        Random rng(options.seed + 7919 * (t + 1));
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= options.requests) break;
+          const Status admitted = frontend.SubmitAsync(
+              make_request(i, &rng),
+              [&completed_ops](const Status& s, std::vector<Value> values) {
+                if (s.ok()) {
+                  completed_ops.fetch_add(values.size(),
+                                          std::memory_order_relaxed);
+                }
+              });
+          if (!admitted.ok()) {
+            // Shed: a real client backs off. Yielding lets the batcher
+            // drain, so the burst both sheds (queue-full behavior) and
+            // still lands enough accepted groups for the recovery audits
+            // to have a meaningful record sequence to check.
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (std::thread& th : submitters) th.join();
+    frontend.Drain();
+    const ServeStats stats = frontend.stats();
+    result.submitted = stats.submitted;
+    result.accepted = stats.accepted;
+    result.shed = stats.shed;
+    result.completed_ok = stats.completed_ok;
+    result.completed_error = stats.completed_error;
+    result.max_queue_depth = stats.max_queue_depth;
+    result.coalesced_txns = stats.coalesced_txns;
+    // The front end stops (and its pending acks finish) before the
+    // pipeline below drains and the "disk" is inspected.
+  }
+  pipeline.Drain();
+  result.completed_ops = completed_ops.load();
+
+  // Conservation at the journal: every op the journal holds belongs to
+  // exactly one OK-acked submission and vice versa — shed and failed
+  // submissions left no trace, acked ones left exactly their ops.
+  for (const Journal::Entry& entry : journal.Entries()) {
+    if (!entry.is_lifecycle) result.journal_ops += entry.commit.ops.size();
+  }
+  result.ops_conserved = result.journal_ops == result.completed_ops;
+
+  AuditCrashImage(factory, journal, writer, sink.image(),
+                  options.crash_fraction, &result.crash);
+
+  // Submissions in flight at the crash instant: records any part of which
+  // lies past the cut were still unacked (their sync had not completed)
+  // when the machine died.
+  size_t under_cut = 0;
+  for (size_t i = 0; i < writer.records_appended(); ++i) {
+    if (writer.boundary(i + 1) <= result.crash.crash_offset) ++under_cut;
+  }
+  result.inflight_at_crash = result.crash.records_total - under_cut;
   return result;
 }
 

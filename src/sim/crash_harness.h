@@ -28,7 +28,9 @@
 #include <functional>
 #include <string>
 
+#include "serve/frontend.h"
 #include "sim/driver.h"
+#include "sim/open_loop.h"
 #include "txn/group_commit.h"
 #include "txn/journal_io.h"
 
@@ -89,6 +91,61 @@ struct CrashScenarioResult {
 CrashScenarioResult RunCrashScenario(const SystemFactory& factory,
                                      const TxnBody& body,
                                      const CrashScenarioOptions& options);
+
+// ---------------------------------------------------------------------------
+// Serving crash scenario: RunCrashScenario with the ServeFrontend in the
+// loop. Submissions arrive as an unpaced burst from several submitter
+// threads — the bounded admission queue genuinely fills (and sheds), so
+// the crash cut lands at an instant with submissions queued and acks
+// outstanding. Completions are acked off the group-commit watermark, so
+// the serving ack IS the durability promise the audits check:
+//
+//   1-4. the RunCrashScenario audits (prefix, state, acked-recovered,
+//        batch atomicity) over the coalesced commit records;
+//   5.   conservation: the journal's op count equals the ops delivered
+//        with OK acks — shed and failed submissions left no trace, acked
+//        ones exactly their ops;
+//   6.   the cut actually interrupted serving (inflight_at_crash > 0 for
+//        any mid-run fraction): unacked records lay past the cut.
+// ---------------------------------------------------------------------------
+
+struct ServeCrashOptions {
+  size_t requests = 400;          // submissions the burst issues
+  size_t submit_threads = 2;      // unpaced submitter threads
+  uint64_t seed = 7;
+  ServeFrontendOptions frontend;  // size queue_depth < requests to shed
+  double crash_fraction = 0.5;
+  GroupCommitOptions group_commit{DurabilityMode::kGroup};
+};
+
+struct ServeCrashResult {
+  // Serving-side accounting (ServeStats snapshot after Drain).
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t completed_ok = 0;
+  uint64_t completed_error = 0;
+  uint64_t max_queue_depth = 0;
+  uint64_t coalesced_txns = 0;
+  // Audit 5: ops journaled vs ops delivered with OK acks.
+  uint64_t journal_ops = 0;
+  uint64_t completed_ops = 0;
+  bool ops_conserved = false;
+  // Audit 6: records not fully synced at the cut — serving was mid-flight.
+  size_t inflight_at_crash = 0;
+  // Audits 1-4 over the cut image.
+  CrashScenarioResult crash;
+
+  bool ok() const {
+    return crash.ok() && ops_conserved &&
+           (crash.crash_offset >= crash.image_bytes ||
+            inflight_at_crash > 0);
+  }
+};
+
+ServeCrashResult RunServeCrashScenario(const SystemFactory& factory,
+                                       const RequestFactory& make_request,
+                                       const ServeCrashOptions& options);
 
 // ---------------------------------------------------------------------------
 // Checkpoint/segment crash scenario: the maintenance-path counterpart of

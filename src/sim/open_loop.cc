@@ -1,0 +1,132 @@
+// Copyright 2026 The ccr Authors.
+
+#include "sim/open_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace ccr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Completion-side aggregate. Completions arrive on batcher/flusher
+// threads; one mutex is fine because bucket Record is a few array ops.
+struct Aggregate {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed_ok = 0;
+  size_t completed_error = 0;
+  uint64_t completed_ops = 0;
+  size_t outstanding = 0;  // admitted, not yet completed
+  bool dispatched_all = false;
+  Clock::time_point last_completion;
+  LatencyRecorder latency{LatencyMode::kBuckets};
+};
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(ServeFrontend* frontend,
+                           const RequestFactory& make_request,
+                           const OpenLoopOptions& options) {
+  CCR_CHECK(frontend != nullptr);
+  CCR_CHECK(options.offered_rps > 0);
+  OpenLoopResult result;
+  result.offered_rps = options.offered_rps;
+  if (options.requests == 0) return result;
+
+  Aggregate agg;
+  Random rng(options.seed);
+  const Clock::time_point start = Clock::now();
+  double next_arrival_s = 0;  // intended arrival, seconds after start
+
+  for (size_t i = 0; i < options.requests; ++i) {
+    // Exponential inter-arrival gap: -ln(1-U)/rate. The schedule is fixed
+    // up front by the seed — the engine cannot slow the arrival process.
+    const double gap =
+        -std::log1p(-rng.NextDouble()) / options.offered_rps;
+    next_arrival_s += gap;
+    const Clock::time_point intended =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(next_arrival_s));
+    std::this_thread::sleep_until(intended);  // no-op once we fall behind
+
+    std::vector<BatchOp> ops = make_request(i, &rng);
+    {
+      std::lock_guard<std::mutex> lock(agg.mu);
+      ++agg.outstanding;
+    }
+    const Status admitted = frontend->SubmitAsync(
+        std::move(ops),
+        [&agg, intended](const Status& s, std::vector<Value> values) {
+          // Latency from the INTENDED arrival: dispatcher lag and queueing
+          // delay both count against the system, never in its favor.
+          const Clock::time_point now = Clock::now();
+          const uint64_t us = static_cast<uint64_t>(std::max<int64_t>(
+              0, std::chrono::duration_cast<std::chrono::microseconds>(
+                     now - intended)
+                     .count()));
+          std::lock_guard<std::mutex> lock(agg.mu);
+          if (s.ok()) {
+            ++agg.completed_ok;
+            agg.completed_ops += values.size();
+            agg.latency.Record(us);
+          } else {
+            ++agg.completed_error;
+          }
+          agg.last_completion = now;
+          CCR_CHECK(agg.outstanding > 0);
+          --agg.outstanding;
+          if (agg.dispatched_all && agg.outstanding == 0) {
+            // Notify under the mutex: the waiter owns `agg`'s storage and
+            // frees it the moment it wakes — an unlocked notify could touch
+            // a dead condition_variable.
+            agg.done_cv.notify_all();
+          }
+        });
+    ++result.submitted;
+    if (!admitted.ok()) {
+      std::lock_guard<std::mutex> lock(agg.mu);
+      --agg.outstanding;  // completion will never fire
+      if (admitted.code() == StatusCode::kResourceExhausted) {
+        ++result.shed;
+      } else {
+        ++result.completed_error;
+      }
+    }
+  }
+
+  // Wait for the tail: every admitted submission completes (acks ride the
+  // pipeline flusher, so this finishes within its linger).
+  Clock::time_point last;
+  {
+    std::unique_lock<std::mutex> lock(agg.mu);
+    agg.dispatched_all = true;
+    agg.done_cv.wait(lock, [&] { return agg.outstanding == 0; });
+    result.completed_ok = agg.completed_ok;
+    result.completed_error += agg.completed_error;
+    result.completed_ops = agg.completed_ops;
+    result.latency.Merge(agg.latency);
+    last = agg.completed_ok + agg.completed_error > 0 ? agg.last_completion
+                                                      : Clock::now();
+  }
+  result.duration_s =
+      std::chrono::duration<double>(last - start).count();
+  if (result.duration_s > 0) {
+    result.achieved_rps =
+        static_cast<double>(result.completed_ok) / result.duration_s;
+  }
+  result.p50_us = result.latency.Percentile(50);
+  result.p99_us = result.latency.Percentile(99);
+  result.max_us = result.latency.Max();
+  result.mean_us = result.latency.Mean();
+  return result;
+}
+
+}  // namespace ccr

@@ -1,0 +1,80 @@
+// Copyright 2026 The ccr Authors.
+//
+// Open-loop load generator over the serving front end. Every PERF row
+// before PR 10 was closed-loop: N driver threads each keep exactly one
+// transaction in flight, so when the engine slows down the offered load
+// politely slows down with it — the arrival process coordinates with the
+// system under test and the reported latencies omit exactly the requests
+// a real client population would have kept sending (coordinated
+// omission). This generator is the honest counterpart:
+//
+//   * Arrivals are a Poisson process at `offered_rps`: inter-arrival gaps
+//     are exponential draws from a seeded Random, so the schedule is
+//     reproducible and independent of how the engine is doing.
+//   * A dispatcher thread walks the schedule and submits each request at
+//     (or as soon as possible after) its intended arrival time. It never
+//     waits for a response — in-flight count is bounded by the front
+//     end's admission queue, not by a thread pool.
+//   * Latency is measured from the INTENDED arrival time, not the submit
+//     time: if the dispatcher (or the admission queue) falls behind, the
+//     queueing delay counts against the system. This is the
+//     coordinated-omission-free definition; it is what a client that
+//     asked at t would have experienced.
+//   * Shed submissions (kResourceExhausted) are counted, not retried —
+//     past saturation the interesting number is how much load the system
+//     explicitly refuses while keeping admitted-request latency bounded.
+//
+// Latencies go to a kBuckets LatencyRecorder (bounded memory), so sweeps
+// can run millions of requests per point.
+
+#ifndef CCR_SIM_OPEN_LOOP_H_
+#define CCR_SIM_OPEN_LOOP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/latency_recorder.h"
+#include "common/random.h"
+#include "serve/frontend.h"
+
+namespace ccr {
+
+// Builds the i-th request's op batch. Runs on the dispatcher thread with
+// its deterministic rng stream.
+using RequestFactory =
+    std::function<std::vector<BatchOp>(size_t index, Random* rng)>;
+
+struct OpenLoopOptions {
+  double offered_rps = 10000;  // Poisson arrival rate
+  size_t requests = 10000;     // arrivals to generate
+  uint64_t seed = 42;
+};
+
+struct OpenLoopResult {
+  size_t submitted = 0;      // arrivals dispatched
+  size_t completed_ok = 0;   // acked OK (latency recorded)
+  size_t completed_error = 0;
+  size_t shed = 0;           // refused at the door (kResourceExhausted)
+  double offered_rps = 0;    // what the schedule asked for
+  double achieved_rps = 0;   // completed_ok / wall time
+  double duration_s = 0;     // first intended arrival -> last completion
+  uint64_t p50_us = 0;       // intended-arrival-to-ack latency of OK acks
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+  double mean_us = 0;
+  LatencyRecorder latency{LatencyMode::kBuckets};
+  // Total per-op results delivered with OK acks; the conservation audit
+  // compares this against the journal's op count.
+  uint64_t completed_ops = 0;
+};
+
+// Runs one open-loop point against `frontend` and blocks until every
+// admitted submission has completed.
+OpenLoopResult RunOpenLoop(ServeFrontend* frontend,
+                           const RequestFactory& make_request,
+                           const OpenLoopOptions& options);
+
+}  // namespace ccr
+
+#endif  // CCR_SIM_OPEN_LOOP_H_

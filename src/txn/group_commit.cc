@@ -72,13 +72,43 @@ void GroupCommitPipeline::WaitDurable(Lsn lsn) {
   --waiters_;
 }
 
+void GroupCommitPipeline::OnDurable(Lsn lsn, std::function<void()> cb) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.async_acks;
+    // Same ack points as WaitDurable: kSync is durable by the time Sequence
+    // returned, kRelaxed acknowledges at sequencing, and kGroup defers to
+    // the watermark. The watermark re-check happens under mu_ so it cannot
+    // race the flusher's advance-and-drain (both hold mu_).
+    if (lsn != kNoLsn && options_.mode == DurabilityMode::kGroup &&
+        durable_lsn_.load(std::memory_order_relaxed) < lsn) {
+      pending_acks_.push_back(PendingAck{lsn, std::move(cb)});
+      std::push_heap(pending_acks_.begin(), pending_acks_.end(),
+                     [](const PendingAck& a, const PendingAck& b) {
+                       return a.lsn > b.lsn;
+                     });
+      // A pending ack is a parked client: cut the flusher's linger the same
+      // way a committer blocked in WaitDurable does. Under saturation the
+      // sync itself is the batching window, so flushing now costs batching
+      // nothing and removes a full max_delay_us from the ack latency.
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  cb();
+}
+
 void GroupCommitPipeline::Drain() {
   std::unique_lock<std::mutex> lk(mu_);
   const Lsn target = next_lsn_ - 1;
   ++waiters_;
   work_cv_.notify_all();
+  // Once the watermark covers `target`, every pending ack at or below it has
+  // been popped for firing (pop and advance share one mu_ hold), so waiting
+  // for acks_in_flight_ == 0 is what upgrades "durable" to "acknowledged".
   durable_cv_.wait(lk, [&] {
-    return durable_lsn_.load(std::memory_order_relaxed) >= target;
+    return durable_lsn_.load(std::memory_order_relaxed) >= target &&
+           acks_in_flight_ == 0;
   });
   --waiters_;
 }
@@ -115,11 +145,12 @@ void GroupCommitPipeline::FlusherLoop() {
     // straggler can come from a blocked thread — flushing now is strictly
     // better for it), or shutdown begins.
     if (queue_.size() < options_.max_batch && options_.max_delay_us > 0 &&
-        waiters_ == 0 && !stop_) {
+        waiters_ == 0 && pending_acks_.empty() && !stop_) {
       work_cv_.wait_for(lk, std::chrono::microseconds(options_.max_delay_us),
                         [&] {
                           return queue_.size() >= options_.max_batch ||
-                                 waiters_ > 0 || stop_;
+                                 waiters_ > 0 || !pending_acks_.empty() ||
+                                 stop_;
                         });
     }
     // Take up to max_batch records; anything beyond flushes next cycle
@@ -151,6 +182,7 @@ void GroupCommitPipeline::FlushBatch(std::deque<Journal::Entry>* batch,
   const Status s = writer_->Sync();
   CCR_CHECK_MSG(s.ok(), "durable journal sync failed: %s",
                 s.ToString().c_str());
+  std::vector<std::function<void()>> ready;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.records_flushed += batch->size();
@@ -159,10 +191,32 @@ void GroupCommitPipeline::FlushBatch(std::deque<Journal::Entry>* batch,
     stats_.max_batch_observed =
         std::max<uint64_t>(stats_.max_batch_observed, batch->size());
     durable_lsn_.store(high, std::memory_order_release);
+    // Collect the async acks this batch covers under the same mu_ hold that
+    // advances the watermark — a concurrent OnDurable either sees the new
+    // watermark (runs inline) or enqueued before this drain (fires here).
+    auto greater = [](const PendingAck& a, const PendingAck& b) {
+      return a.lsn > b.lsn;
+    };
+    while (!pending_acks_.empty() && pending_acks_.front().lsn <= high) {
+      std::pop_heap(pending_acks_.begin(), pending_acks_.end(), greater);
+      ready.push_back(std::move(pending_acks_.back().cb));
+      pending_acks_.pop_back();
+    }
+    acks_in_flight_ += ready.size();
   }
   // Notify off the lock: a batch wakes every blocked committer, and waking
   // them into a held mutex just reconvoys them.
   durable_cv_.notify_all();
+  // Async acks also run off the lock, in LSN order, on this flusher thread.
+  for (std::function<void()>& cb : ready) cb();
+  if (!ready.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      acks_in_flight_ -= ready.size();
+    }
+    // Drain() waits for in-flight acks, not just the watermark.
+    durable_cv_.notify_all();
+  }
 }
 
 }  // namespace ccr

@@ -54,8 +54,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/latency_recorder.h"
 #include "txn/journal.h"
@@ -99,6 +101,7 @@ struct GroupCommitStats {
   uint64_t batches = 0;            // flush cycles that appended >= 1 record
   uint64_t syncs = 0;              // sink Sync calls issued
   uint64_t max_batch_observed = 0;
+  uint64_t async_acks = 0;  // OnDurable callbacks registered (incl. inline)
   // Commit-call-to-acknowledgment latency of durable commits, recorded by
   // TxnManager::Commit around the object-commit loop + WaitDurable.
   LatencyRecorder ack_latency_us;
@@ -132,11 +135,28 @@ class GroupCommitPipeline {
   // for kNoLsn.
   void WaitDurable(Lsn lsn);
 
+  // Async counterpart of WaitDurable: runs `cb` once `lsn` is covered by
+  // the mode's acknowledgment point, without parking the calling thread.
+  // Mirrors WaitDurable's contract exactly — kSync (already durable),
+  // kRelaxed (ack is sequencing), and kNoLsn run `cb` inline on the calling
+  // thread; in kGroup a not-yet-durable `lsn` defers `cb` to the flusher,
+  // which invokes it (holding no pipeline locks) right after the batch sync
+  // that advances the watermark past `lsn`. Callbacks for one batch fire in
+  // LSN order; they must not block on the pipeline (WaitDurable/Drain from
+  // a callback deadlocks the flusher). A pending callback cuts the
+  // flusher's linger exactly like a parked committer: it stands for a
+  // client waiting on the ack, and under saturation the sync itself is the
+  // batching window, so lingering past a registered ack only adds latency.
+  void OnDurable(Lsn lsn, std::function<void()> cb);
+
   // Highest LSN known durable (on disk, synced).
   Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
 
-  // Blocks until everything sequenced so far is durable. Used at shutdown
-  // and by harnesses before inspecting the sink image.
+  // Blocks until everything sequenced so far is durable AND every OnDurable
+  // callback covered by the watermark has finished running — after Drain
+  // returns, no ack for a durable LSN is still pending or mid-flight on the
+  // flusher. Used at shutdown and by harnesses before inspecting the sink
+  // image or ack-side state.
   void Drain();
 
   void RecordAckLatency(uint64_t us);
@@ -157,6 +177,16 @@ class GroupCommitPipeline {
   std::condition_variable durable_cv_;  // committers wait for the watermark
   std::deque<Journal::Entry> queue_;  // sequenced, not yet flushed
   size_t waiters_ = 0;  // threads blocked on the watermark (cuts the linger)
+  // Deferred OnDurable callbacks, a min-heap on lsn (std::push_heap with a
+  // greater-than comparator). Invariant: every pending lsn is above the
+  // watermark and at or below next_lsn_-1, so its record is still in queue_
+  // or in the batch being flushed — the flusher always drains the heap.
+  struct PendingAck {
+    Lsn lsn;
+    std::function<void()> cb;
+  };
+  std::vector<PendingAck> pending_acks_;
+  size_t acks_in_flight_ = 0;  // ready acks currently executing off-lock
   Lsn next_lsn_ = 1;                         // LSN the next Sequence assigns
   std::atomic<Lsn> durable_lsn_{0};
   bool stop_ = false;

@@ -1059,15 +1059,34 @@ StatusOr<std::vector<Value>> TxnManager::ExecuteBatch(
 }
 
 Status TxnManager::Commit(Transaction* txn) {
-  CCR_CHECK(txn != nullptr);
-  if (!txn->active()) {
-    return Status::IllegalState("commit of a finished transaction");
-  }
   // The ack-latency clock only matters when a pipeline will record it;
   // without one, the commit fast path reads no clock at all.
   const auto commit_start = pipeline_ == nullptr
                                 ? std::chrono::steady_clock::time_point{}
                                 : std::chrono::steady_clock::now();
+  StatusOr<Lsn> high_lsn = CommitAsync(txn);
+  if (!high_lsn.ok()) return high_lsn.status();
+  // The acknowledgment point: with a pipeline attached, block (holding no
+  // locks) until the transaction's highest LSN is durable. LSNs are
+  // assigned in commit order under the journal mutex, so waiting for our
+  // own highest LSN transitively waits for every commit this transaction
+  // could have read from — an acknowledged commit never depends on a
+  // lost one.
+  if (pipeline_ != nullptr && *high_lsn != kNoLsn) {
+    pipeline_->WaitDurable(*high_lsn);
+    pipeline_->RecordAckLatency(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - commit_start)
+            .count()));
+  }
+  return Status::OK();
+}
+
+StatusOr<Lsn> TxnManager::CommitAsync(Transaction* txn) {
+  CCR_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::IllegalState("commit of a finished transaction");
+  }
   if (!txn->TryLatchCommit()) {
     // A kill won the arbitration (possibly racing this very call): the
     // victim must abort; committing would violate the victim choice another
@@ -1107,20 +1126,7 @@ Status TxnManager::Commit(Transaction* txn) {
     stripe.txns.erase(txn->id());
   }
   committed_.fetch_add(1, std::memory_order_relaxed);
-  // The acknowledgment point: with a pipeline attached, block (holding no
-  // locks) until the transaction's highest LSN is durable. LSNs are
-  // assigned in commit order under the journal mutex, so waiting for our
-  // own highest LSN transitively waits for every commit this transaction
-  // could have read from — an acknowledged commit never depends on a
-  // lost one.
-  if (pipeline_ != nullptr && high_lsn != kNoLsn) {
-    pipeline_->WaitDurable(high_lsn);
-    pipeline_->RecordAckLatency(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - commit_start)
-            .count()));
-  }
-  return Status::OK();
+  return high_lsn;
 }
 
 Lsn TxnManager::CommitBatchAtomic(Transaction* txn) {

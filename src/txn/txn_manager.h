@@ -283,6 +283,17 @@ class TxnManager {
   Status Commit(Transaction* txn);
   Status Abort(Transaction* txn);
 
+  // Non-blocking commit for async front ends: runs the whole commit
+  // protocol (latch arbitration, per-object or batch-atomic commit,
+  // bookkeeping) but does NOT wait for durability. Returns the
+  // transaction's highest sequenced LSN; the caller owns the
+  // acknowledgment — typically GroupCommitPipeline::OnDurable(lsn, ...) —
+  // and must not report the commit to anyone before that point fires.
+  // kNoLsn means nothing was journaled (volatile objects): ack immediately.
+  // On error (e.g. kDeadlock when a kill won the arbitration) the
+  // transaction is already aborted, exactly like Commit.
+  StatusOr<Lsn> CommitAsync(Transaction* txn);
+
   // Executes a whole multi-key batch for `txn` in one call: ops are grouped
   // by object, every object is resolved in one directory pass (shared-mode
   // stripe lookups, GetOrCreate through op.factory for lazy keys — kNotFound

@@ -400,5 +400,68 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---------------------------------------------------------------------------
+// OnDurable: the async acknowledgment hook behind the serving front end.
+// ---------------------------------------------------------------------------
+
+// In kGroup mode a callback registered past the watermark must not fire
+// until the flusher's sync completes, and callbacks fire in LSN order.
+TEST(OnDurableTest, FiresAfterSyncInLsnOrder) {
+  GatedSink sink;
+  PipelinedSystem sys(GroupCommitOptions{DurabilityMode::kGroup}, &sink);
+
+  auto t1 = sys.manager.Begin();
+  ASSERT_TRUE(Deposit(&sys, t1.get(), 1).ok());
+  auto t2 = sys.manager.Begin();
+  ASSERT_TRUE(Deposit(&sys, t2.get(), 2).ok());
+  const StatusOr<Lsn> l1 = sys.manager.CommitAsync(t1.get());
+  const StatusOr<Lsn> l2 = sys.manager.CommitAsync(t2.get());
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  ASSERT_LT(*l1, *l2);
+
+  std::mutex mu;
+  std::vector<Lsn> fired;
+  // Register out of LSN order; both are past the (gated) watermark.
+  sys.pipeline.OnDurable(*l2, [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    fired.push_back(*l2);
+  });
+  sys.pipeline.OnDurable(*l1, [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    fired.push_back(*l1);
+  });
+  sink.WaitForSyncStart();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_TRUE(fired.empty());  // sync still in flight: no ack yet
+  }
+  sink.Open();
+  sys.pipeline.Drain();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], *l1);  // LSN order, not registration order
+    EXPECT_EQ(fired[1], *l2);
+  }
+  EXPECT_EQ(sys.pipeline.stats().async_acks, 2u);
+}
+
+// A callback for an already-durable LSN (or kNoLsn) runs inline.
+TEST(OnDurableTest, AlreadyDurableRunsInline) {
+  MemorySink sink;
+  PipelinedSystem sys(GroupCommitOptions{DurabilityMode::kGroup}, &sink);
+  auto t1 = sys.manager.Begin();
+  ASSERT_TRUE(Deposit(&sys, t1.get(), 5).ok());
+  ASSERT_TRUE(sys.manager.Commit(t1.get()).ok());  // waits durable
+
+  bool fired = false;
+  sys.pipeline.OnDurable(sys.pipeline.durable_lsn(), [&] { fired = true; });
+  EXPECT_TRUE(fired);
+  fired = false;
+  sys.pipeline.OnDurable(kNoLsn, [&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
 }  // namespace
 }  // namespace ccr

@@ -2,6 +2,8 @@
 //
 // Unit tests for the workload statistics helpers.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/latency_recorder.h"
@@ -89,6 +91,95 @@ TEST(LatencyRecorderTest, RecordAfterPercentileStaysCorrect) {
   EXPECT_EQ(r.Percentile(50), 10u);
   r.Record(1);  // invalidates the sorted cache
   EXPECT_EQ(r.Percentile(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// kBuckets mode: bounded-memory log-linear histogram. Exact nearest-rank
+// stays the default; these pin the bucket mode's error bound against it.
+// ---------------------------------------------------------------------------
+
+// The index/bound maps invert each other and every uint64 lands in range.
+TEST(LatencyRecorderTest, BucketIndexRoundTrip) {
+  for (const uint64_t v :
+       {uint64_t{0}, uint64_t{1}, uint64_t{31}, uint64_t{32}, uint64_t{33},
+        uint64_t{1000}, uint64_t{123456789}, uint64_t{1} << 40,
+        ~uint64_t{0}}) {
+    const size_t index = LatencyRecorder::BucketIndex(v);
+    ASSERT_LT(index, LatencyRecorder::kNumBuckets) << v;
+    EXPECT_LE(v, LatencyRecorder::BucketUpperBound(index)) << v;
+    // The bucket's upper bound maps back to the same bucket.
+    EXPECT_EQ(LatencyRecorder::BucketIndex(
+                  LatencyRecorder::BucketUpperBound(index)),
+              index)
+        << v;
+  }
+}
+
+// Values below the sub-bucket count are represented exactly.
+TEST(LatencyRecorderTest, BucketModeExactForSmallValues) {
+  LatencyRecorder exact(LatencyMode::kExact);
+  LatencyRecorder buckets(LatencyMode::kBuckets);
+  for (uint64_t v = 0; v < 32; ++v) {
+    exact.Record(v);
+    buckets.Record(v);
+  }
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_EQ(buckets.Percentile(p), exact.Percentile(p)) << "p" << p;
+  }
+}
+
+// Agreement bound on an adversarial-ish spread: a bucket percentile never
+// understates the exact one and overstates it by at most one sub-bucket
+// width (<= 1/16 relative once values exceed the exact range, absolute 1
+// below that).
+TEST(LatencyRecorderTest, BucketModeAgreesWithExactWithinABucket) {
+  LatencyRecorder exact(LatencyMode::kExact);
+  LatencyRecorder buckets(LatencyMode::kBuckets);
+  uint64_t x = 0x9e3779b97f4a7c15ull;  // deterministic xorshift stream
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Mix scales: microsecond-ish values spanning ~6 decades.
+    const uint64_t v = x % (i % 3 == 0 ? 1000u : 1000000u);
+    exact.Record(v);
+    buckets.Record(v);
+  }
+  ASSERT_EQ(exact.count(), buckets.count());
+  EXPECT_EQ(exact.Min(), buckets.Min());
+  EXPECT_EQ(exact.Max(), buckets.Max());
+  EXPECT_DOUBLE_EQ(exact.Mean(), buckets.Mean());
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const uint64_t e = exact.Percentile(p);
+    const uint64_t b = buckets.Percentile(p);
+    EXPECT_GE(b, e) << "p" << p;
+    EXPECT_LE(b, e + std::max<uint64_t>(1, e / 16)) << "p" << p;
+  }
+  // p0/p100 are exact in both modes (clamped to the true min/max).
+  EXPECT_EQ(buckets.Percentile(0), exact.Percentile(0));
+  EXPECT_EQ(buckets.Percentile(100), exact.Percentile(100));
+}
+
+// Merging histograms adds them; merging an exact source re-records into
+// whatever the destination is.
+TEST(LatencyRecorderTest, BucketMergeCombines) {
+  LatencyRecorder a(LatencyMode::kBuckets);
+  LatencyRecorder b(LatencyMode::kBuckets);
+  for (uint64_t v = 1; v <= 100; ++v) a.Record(v * 7);
+  for (uint64_t v = 1; v <= 100; ++v) b.Record(v * 1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.Max(), 100000u);
+  EXPECT_GE(a.Percentile(99), 90000u);
+
+  LatencyRecorder exact_src(LatencyMode::kExact);
+  exact_src.Record(5);
+  exact_src.Record(123456);
+  LatencyRecorder bucket_dst(LatencyMode::kBuckets);
+  bucket_dst.Merge(exact_src);
+  EXPECT_EQ(bucket_dst.count(), 2u);
+  EXPECT_EQ(bucket_dst.Min(), 5u);
+  EXPECT_EQ(bucket_dst.Max(), 123456u);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "adt/counter.h"
 #include "adt/int_set.h"
 #include "common/random.h"
+#include "common/temp_path.h"
 #include "sim/crash_harness.h"
 #include "store/log_store.h"
 #include "store/mem_store.h"
@@ -41,13 +42,7 @@ namespace {
 class TempDir {
  public:
   TempDir() {
-    const char* tmpdir = std::getenv("TMPDIR");
-    std::string templ =
-        std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp");
-    templ += "/ccr_store_test_XXXXXX";
-    std::vector<char> buf(templ.begin(), templ.end());
-    buf.push_back('\0');
-    if (::mkdtemp(buf.data()) != nullptr) path_ = buf.data();
+    path_ = MakeTempDir("ccr_store_test_");
     CCR_CHECK(!path_.empty());
   }
   ~TempDir() {
